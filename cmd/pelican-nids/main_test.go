@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNIDSSignatureDetector(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-detector", "signature", "-dataset", "nsl-kdd",
+		"-train", "1500", "-flows", "400", "-workers", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"mined", "processed=400", "throughput"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestNIDSAnomalyDetector(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-detector", "anomaly", "-dataset", "nsl-kdd",
+		"-train", "1200", "-flows", "300",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "profiled") {
+		t.Fatalf("missing profiling line:\n%s", out.String())
+	}
+}
+
+func TestNIDSModelDetector(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	var out bytes.Buffer
+	err := run([]string{
+		"-detector", "mlp", "-dataset", "nsl-kdd",
+		"-train", "800", "-flows", "300", "-epochs", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "DR=") {
+		t.Fatalf("missing stats line:\n%s", out.String())
+	}
+}
+
+func TestNIDSRejectsUnknownDetector(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-detector", "quantum"}, &out); err == nil {
+		t.Fatal("unknown detector accepted")
+	}
+}

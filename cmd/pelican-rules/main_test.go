@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMineAndEvaluate(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-dataset", "nsl-kdd", "-records", "1500", "-mine"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"mined", "alert", "held-out evaluation", "matches per rule"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMineWriteLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rules.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "nsl-kdd", "-records", "1500", "-mine", "-out", path, "-eval=false"}, &out); err != nil {
+		t.Fatalf("mine: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"-dataset", "nsl-kdd", "-records", "1000", "-rules", path}, &out); err != nil {
+		t.Fatalf("load+eval: %v", err)
+	}
+	if !strings.Contains(out.String(), "loaded") {
+		t.Fatalf("missing load confirmation:\n%s", out.String())
+	}
+}
+
+func TestRequiresMineOrRules(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "nsl-kdd"}, &out); err == nil {
+		t.Fatal("no-op invocation accepted")
+	}
+}
+
+func TestRejectsUnknownDataset(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "darpa98", "-mine"}, &out); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

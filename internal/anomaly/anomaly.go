@@ -1,0 +1,198 @@
+// Package anomaly implements the anomaly-detection baselines discussed in
+// the paper's Background (§VI): detectors that learn a profile of normal
+// traffic only and flag outliers as attacks. The paper argues this
+// approach "often leads to a high false alarm rate" compared with
+// supervised learning — the ext-anomaly experiment quantifies that claim
+// against Pelican on the same traffic.
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Detector scores how anomalous a feature vector is; higher is more
+// anomalous. Fit sees ONLY normal traffic (that is the whole point of the
+// approach).
+type Detector interface {
+	Fit(normal *tensor.Tensor) error
+	Score(row []float64) float64
+	Name() string
+}
+
+// Thresholded wraps a detector with a decision threshold calibrated on
+// the training scores.
+type Thresholded struct {
+	D         Detector
+	Threshold float64
+}
+
+// Calibrate fits the detector and sets the threshold at the q-quantile of
+// the training scores — e.g. q = 0.99 targets a 1% false-alarm rate on
+// traffic identical to the profile. Distribution drift in live traffic is
+// what inflates the realized FAR.
+func Calibrate(d Detector, normal *tensor.Tensor, q float64) (*Thresholded, error) {
+	if q <= 0 || q >= 1 {
+		return nil, fmt.Errorf("anomaly: quantile %v outside (0,1)", q)
+	}
+	if err := d.Fit(normal); err != nil {
+		return nil, err
+	}
+	n := normal.Dim(0)
+	scores := make([]float64, n)
+	for i := 0; i < n; i++ {
+		scores[i] = d.Score(normal.Row(i))
+	}
+	sort.Float64s(scores)
+	idx := int(q * float64(n-1))
+	return &Thresholded{D: d, Threshold: scores[idx]}, nil
+}
+
+// IsAttack reports whether the row scores above the threshold.
+func (t *Thresholded) IsAttack(row []float64) bool {
+	return t.D.Score(row) > t.Threshold
+}
+
+// Gaussian is the classical statistical profile: per-feature mean and
+// variance on normal traffic; the score is the mean squared z-score.
+type Gaussian struct {
+	mean []float64
+	std  []float64
+}
+
+// NewGaussian constructs an unfitted Gaussian profile detector.
+func NewGaussian() *Gaussian { return &Gaussian{} }
+
+var _ Detector = (*Gaussian)(nil)
+
+// Name implements Detector.
+func (g *Gaussian) Name() string { return "gaussian-profile" }
+
+// Fit implements Detector.
+func (g *Gaussian) Fit(normal *tensor.Tensor) error {
+	n, d := normal.Dim(0), normal.Dim(1)
+	if n < 2 {
+		return fmt.Errorf("anomaly: need >= 2 normal rows, got %d", n)
+	}
+	g.mean = make([]float64, d)
+	g.std = make([]float64, d)
+	for i := 0; i < n; i++ {
+		row := normal.Row(i)
+		for j, v := range row {
+			g.mean[j] += v
+		}
+	}
+	inv := 1.0 / float64(n)
+	for j := range g.mean {
+		g.mean[j] *= inv
+	}
+	for i := 0; i < n; i++ {
+		row := normal.Row(i)
+		for j, v := range row {
+			dv := v - g.mean[j]
+			g.std[j] += dv * dv
+		}
+	}
+	for j := range g.std {
+		g.std[j] = math.Sqrt(g.std[j] * inv)
+		if g.std[j] < 1e-9 {
+			g.std[j] = 1e-9
+		}
+	}
+	return nil
+}
+
+// Score implements Detector: mean squared z-score across features.
+func (g *Gaussian) Score(row []float64) float64 {
+	if g.mean == nil {
+		panic("anomaly: Gaussian.Score before Fit")
+	}
+	s := 0.0
+	for j, v := range row {
+		z := (v - g.mean[j]) / g.std[j]
+		s += z * z
+	}
+	return s / float64(len(row))
+}
+
+// KNN scores a point by its distance to the k-th nearest neighbour in a
+// reference sample of normal traffic (the unsupervised-clustering style of
+// [35]–[37] in the paper).
+type KNN struct {
+	K int
+	// MaxRef caps the retained reference sample; 0 keeps everything.
+	MaxRef int
+	ref    *tensor.Tensor
+}
+
+// NewKNN constructs a k-NN detector (k defaults to 5).
+func NewKNN(k int) *KNN {
+	if k < 1 {
+		k = 5
+	}
+	return &KNN{K: k}
+}
+
+var _ Detector = (*KNN)(nil)
+
+// Name implements Detector.
+func (k *KNN) Name() string { return fmt.Sprintf("knn-%d", k.K) }
+
+// Fit implements Detector.
+func (k *KNN) Fit(normal *tensor.Tensor) error {
+	n := normal.Dim(0)
+	if n <= k.K {
+		return fmt.Errorf("anomaly: need > %d normal rows, got %d", k.K, n)
+	}
+	if k.MaxRef > 0 && n > k.MaxRef {
+		// Deterministic stride subsample keeps memory bounded.
+		d := normal.Dim(1)
+		sub := tensor.New(k.MaxRef, d)
+		stride := n / k.MaxRef
+		for i := 0; i < k.MaxRef; i++ {
+			copy(sub.Row(i), normal.Row(i*stride))
+		}
+		k.ref = sub
+		return nil
+	}
+	k.ref = normal.Clone()
+	return nil
+}
+
+// Score implements Detector: squared distance to the K-th nearest
+// reference point.
+func (k *KNN) Score(row []float64) float64 {
+	if k.ref == nil {
+		panic("anomaly: KNN.Score before Fit")
+	}
+	n := k.ref.Dim(0)
+	// Maintain the K smallest distances in a small max-heap-ish array.
+	best := make([]float64, k.K)
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	for i := 0; i < n; i++ {
+		ref := k.ref.Row(i)
+		d := 0.0
+		for j, v := range row {
+			diff := v - ref[j]
+			d += diff * diff
+			if d >= best[k.K-1] {
+				break // early exit: already beyond the current k-th best
+			}
+		}
+		if d < best[k.K-1] {
+			// Insertion into the sorted best list.
+			pos := k.K - 1
+			for pos > 0 && best[pos-1] > d {
+				best[pos] = best[pos-1]
+				pos--
+			}
+			best[pos] = d
+		}
+	}
+	return best[k.K-1]
+}

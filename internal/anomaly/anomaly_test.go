@@ -1,0 +1,139 @@
+package anomaly
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func normalSample(rng *rand.Rand, n, d int) *tensor.Tensor {
+	return tensor.RandNormal(rng, 0, 1, n, d)
+}
+
+func outlierRow(d int, magnitude float64) []float64 {
+	row := make([]float64, d)
+	for i := range row {
+		row[i] = magnitude
+	}
+	return row
+}
+
+func TestGaussianScoresOutliersHigher(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGaussian()
+	if err := g.Fit(normalSample(rng, 500, 8)); err != nil {
+		t.Fatal(err)
+	}
+	inlier := make([]float64, 8)
+	if in, out := g.Score(inlier), g.Score(outlierRow(8, 6)); out <= in {
+		t.Fatalf("outlier score %v <= inlier score %v", out, in)
+	}
+}
+
+func TestGaussianRequiresRows(t *testing.T) {
+	if err := NewGaussian().Fit(tensor.New(1, 4)); err == nil {
+		t.Fatal("fit on 1 row accepted")
+	}
+}
+
+func TestGaussianScoreBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Score before Fit did not panic")
+		}
+	}()
+	NewGaussian().Score([]float64{1})
+}
+
+func TestKNNScoresOutliersHigher(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	k := NewKNN(5)
+	if err := k.Fit(normalSample(rng, 400, 6)); err != nil {
+		t.Fatal(err)
+	}
+	inlier := make([]float64, 6)
+	if in, out := k.Score(inlier), k.Score(outlierRow(6, 8)); out <= in {
+		t.Fatalf("outlier score %v <= inlier score %v", out, in)
+	}
+}
+
+func TestKNNMaxRefSubsamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	k := NewKNN(3)
+	k.MaxRef = 50
+	if err := k.Fit(normalSample(rng, 500, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if k.ref.Dim(0) != 50 {
+		t.Fatalf("reference size %d, want 50", k.ref.Dim(0))
+	}
+}
+
+func TestKNNNeedsMoreRowsThanK(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	k := NewKNN(10)
+	if err := k.Fit(normalSample(rng, 10, 3)); err == nil {
+		t.Fatal("n == k accepted")
+	}
+}
+
+func TestCalibrateTargetsQuantileFAR(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	train := normalSample(rng, 2000, 5)
+	th, err := Calibrate(NewGaussian(), train, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On fresh data from the SAME distribution, the false-alarm rate should
+	// be near 5%.
+	test := normalSample(rng, 2000, 5)
+	alarms := 0
+	for i := 0; i < test.Dim(0); i++ {
+		if th.IsAttack(test.Row(i)) {
+			alarms++
+		}
+	}
+	far := float64(alarms) / float64(test.Dim(0))
+	if far < 0.02 || far > 0.10 {
+		t.Fatalf("calibrated FAR %v, want ≈0.05", far)
+	}
+}
+
+func TestCalibrateDetectsShiftedTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	th, err := Calibrate(NewGaussian(), normalSample(rng, 1000, 6), 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strongly shifted records must alarm.
+	detected := 0
+	for i := 0; i < 100; i++ {
+		row := make([]float64, 6)
+		for j := range row {
+			row[j] = 5 + rng.NormFloat64()
+		}
+		if th.IsAttack(row) {
+			detected++
+		}
+	}
+	if detected < 95 {
+		t.Fatalf("only %d/100 shifted records detected", detected)
+	}
+}
+
+func TestCalibrateRejectsBadQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := Calibrate(NewGaussian(), normalSample(rng, 100, 3), 1.5); err == nil {
+		t.Fatal("quantile > 1 accepted")
+	}
+}
+
+func TestDetectorNames(t *testing.T) {
+	if NewGaussian().Name() != "gaussian-profile" {
+		t.Fatal("gaussian name")
+	}
+	if NewKNN(7).Name() != "knn-7" {
+		t.Fatal("knn name")
+	}
+}

@@ -1,0 +1,89 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes a dataset with a header row: numeric columns first,
+// then categorical columns, then "label" holding the class name.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, d.Schema.NumNumeric()+len(d.Schema.Categorical)+1)
+	header = append(header, d.Schema.NumericNames...)
+	for _, c := range d.Schema.Categorical {
+		header = append(header, c.Name)
+	}
+	header = append(header, "label")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	row := make([]string, len(header))
+	for i := range d.Records {
+		r := &d.Records[i]
+		for j, v := range r.Numeric {
+			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		base := len(r.Numeric)
+		copy(row[base:], r.Categorical)
+		row[len(row)-1] = d.Schema.ClassNames[r.Label]
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("write record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV. The schema supplies the
+// expected layout; the header is validated against it.
+func ReadCSV(r io.Reader, schema Schema) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read header: %w", err)
+	}
+	wantCols := schema.NumNumeric() + len(schema.Categorical) + 1
+	if len(header) != wantCols {
+		return nil, fmt.Errorf("header has %d columns, schema wants %d", len(header), wantCols)
+	}
+	for i, n := range schema.NumericNames {
+		if header[i] != n {
+			return nil, fmt.Errorf("column %d is %q, schema wants %q", i, header[i], n)
+		}
+	}
+	classIdx := make(map[string]int, len(schema.ClassNames))
+	for i, c := range schema.ClassNames {
+		classIdx[c] = i
+	}
+	ds := &Dataset{Schema: schema}
+	nn := schema.NumNumeric()
+	nc := len(schema.Categorical)
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		rec := Record{Numeric: make([]float64, nn), Categorical: make([]string, nc)}
+		for j := 0; j < nn; j++ {
+			v, err := strconv.ParseFloat(row[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d column %d: %w", line, j, err)
+			}
+			rec.Numeric[j] = v
+		}
+		copy(rec.Categorical, row[nn:nn+nc])
+		label, ok := classIdx[row[len(row)-1]]
+		if !ok {
+			return nil, fmt.Errorf("line %d: unknown class %q", line, row[len(row)-1])
+		}
+		rec.Label = label
+		ds.Records = append(ds.Records, rec)
+	}
+	return ds, nil
+}

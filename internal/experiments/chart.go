@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of an ASCII chart.
+type Series struct {
+	Name   string
+	Points []float64
+}
+
+// AsciiChart renders series as a fixed-size terminal plot, used by
+// pelican-bench to show the Fig. 2 / Fig. 5 curves without a plotting
+// stack. Each series gets a distinct marker; the y-axis is shared.
+func AsciiChart(title, xlabel string, width, height int, series []Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	// Global y-range across series.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		for _, v := range s.Points {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	if maxLen == 0 || math.IsInf(lo, 1) {
+		return title + "\n(no data)\n"
+	}
+	if hi-lo < 1e-12 {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i, v := range s.Points {
+			var col int
+			if maxLen == 1 {
+				col = 0
+			} else {
+				col = i * (width - 1) / (maxLen - 1)
+			}
+			rowF := (v - lo) / (hi - lo) // 0 at bottom
+			row := height - 1 - int(rowF*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = m
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	for r, rowBytes := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.4f", hi)
+		case height - 1:
+			label = fmt.Sprintf("%8.4f", lo)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		b.WriteString(label)
+		b.WriteString(" |")
+		b.Write(rowBytes)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 9))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat(" ", 10))
+	b.WriteString(xlabel)
+	b.WriteByte('\n')
+	for si, s := range series {
+		fmt.Fprintf(&b, "          %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// ChartFig5 renders one Fig. 5 panel as an ASCII chart.
+func ChartFig5(res *FourNetResult, kind string) string {
+	series := make([]Series, 0, len(res.Evals))
+	for _, ev := range res.Evals {
+		pts := ev.Curve.Train
+		if kind == "test" {
+			pts = ev.Curve.Test
+		}
+		series = append(series, Series{Name: displayName(ev.Design), Points: pts})
+	}
+	title := fmt.Sprintf("Fig. 5 — %s loss vs epoch on %s", kind, res.Dataset)
+	return AsciiChart(title, "epochs →", 60, 16, series)
+}
+
+// ChartFig2 renders the Fig. 2 accuracy-vs-depth sweep as an ASCII chart.
+func ChartFig2(res *Fig2Result) string {
+	train := Series{Name: "training accuracy"}
+	test := Series{Name: "testing accuracy"}
+	for _, pt := range res.Points {
+		train.Points = append(train.Points, pt.TrainAcc)
+		test.Points = append(test.Points, pt.TestAcc)
+	}
+	title := fmt.Sprintf("Fig. 2 — LuNet accuracy vs depth on %s", res.Dataset)
+	return AsciiChart(title, "parameter layers →", 60, 14, []Series{train, test})
+}

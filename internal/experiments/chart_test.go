@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiChartBasics(t *testing.T) {
+	out := AsciiChart("title", "x →", 40, 10, []Series{
+		{Name: "up", Points: []float64{0, 1, 2, 3}},
+		{Name: "down", Points: []float64{3, 2, 1, 0}},
+	})
+	if !strings.Contains(out, "title") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Fatal("missing legend entries")
+	}
+	if !strings.Contains(out, "3.0000") || !strings.Contains(out, "0.0000") {
+		t.Fatalf("missing y-axis labels:\n%s", out)
+	}
+	// Both markers must appear in the grid.
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Fatalf("missing series markers:\n%s", out)
+	}
+}
+
+func TestAsciiChartEmpty(t *testing.T) {
+	out := AsciiChart("t", "x", 40, 10, nil)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart should say so:\n%s", out)
+	}
+}
+
+func TestAsciiChartConstantSeries(t *testing.T) {
+	// A flat line must not divide by zero.
+	out := AsciiChart("t", "x", 30, 8, []Series{{Name: "flat", Points: []float64{5, 5, 5}}})
+	if !strings.Contains(out, "flat") {
+		t.Fatal("flat series lost")
+	}
+}
+
+func TestAsciiChartSinglePoint(t *testing.T) {
+	out := AsciiChart("t", "x", 30, 8, []Series{{Name: "dot", Points: []float64{1}}})
+	if !strings.ContainsRune(out, '*') {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestAsciiChartClampsTinyDimensions(t *testing.T) {
+	out := AsciiChart("t", "x", 1, 1, []Series{{Name: "s", Points: []float64{1, 2}}})
+	if out == "" {
+		t.Fatal("chart with tiny dimensions empty")
+	}
+}
+
+func TestChartFig2Renders(t *testing.T) {
+	res := &Fig2Result{Dataset: UNSW, Points: []DepthPoint{
+		{ParamLayers: 5, TrainAcc: 0.7, TestAcc: 0.65},
+		{ParamLayers: 21, TrainAcc: 0.8, TestAcc: 0.72},
+		{ParamLayers: 41, TrainAcc: 0.75, TestAcc: 0.69},
+	}}
+	out := ChartFig2(res)
+	if !strings.Contains(out, "Fig. 2") || !strings.Contains(out, "parameter layers") {
+		t.Fatalf("Fig. 2 chart malformed:\n%s", out)
+	}
+}
+
+func TestChartFig5Renders(t *testing.T) {
+	res := &FourNetResult{Dataset: NSL, Evals: []*NetEval{
+		{Design: "plain-21", Curve: LossCurve{Train: []float64{0.9, 0.5, 0.3}, Test: []float64{1, 0.6, 0.4}}},
+		{Design: "pelican", Curve: LossCurve{Train: []float64{0.8, 0.4, 0.2}, Test: []float64{0.9, 0.5, 0.3}}},
+	}}
+	for _, kind := range []string{"train", "test"} {
+		out := ChartFig5(res, kind)
+		if !strings.Contains(out, "Fig. 5") || !strings.Contains(out, "Pelican") {
+			t.Fatalf("Fig. 5 %s chart malformed:\n%s", kind, out)
+		}
+	}
+}

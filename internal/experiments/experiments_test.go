@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"paper", "default", "smoke"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatalf("ProfileByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Fatalf("profile name %q, want %q", p.Name, name)
+		}
+	}
+	if _, err := ProfileByName("bogus"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	// Empty name defaults.
+	p, err := ProfileByName("")
+	if err != nil || p.Name != "default" {
+		t.Fatalf("empty name → %q, %v", p.Name, err)
+	}
+}
+
+func TestPaperProfileMatchesTableI(t *testing.T) {
+	p := PaperProfile()
+	if p.Batch != 4000 || p.LR != 0.01 || p.Folds != 10 {
+		t.Fatalf("paper profile %+v does not match Table I", p)
+	}
+	_, unswRecords, unswEpochs, err := p.DatasetConfig(UNSW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unswRecords != 257673 || unswEpochs != 100 {
+		t.Fatalf("UNSW paper setting %d records / %d epochs, want 257673 / 100", unswRecords, unswEpochs)
+	}
+	_, nslRecords, nslEpochs, err := p.DatasetConfig(NSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nslRecords != 148516 || nslEpochs != 50 {
+		t.Fatalf("NSL paper setting %d records / %d epochs, want 148516 / 50", nslRecords, nslEpochs)
+	}
+}
+
+func TestDatasetConfigUnknown(t *testing.T) {
+	if _, _, _, err := DefaultProfile().DatasetConfig("kdd99"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestPrepareSmoke(t *testing.T) {
+	p := SmokeProfile()
+	prep, err := prepare(p, NSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.x.Dim(0) != p.Records {
+		t.Fatalf("prepared %d rows, want %d", prep.x.Dim(0), p.Records)
+	}
+	if prep.features != prep.x.Dim(1) {
+		t.Fatalf("feature count mismatch %d vs %d", prep.features, prep.x.Dim(1))
+	}
+	if len(prep.folds) != 1 {
+		t.Fatalf("smoke profile should make 1 fold, got %d", len(prep.folds))
+	}
+	tr, te := len(prep.folds[0].Train), len(prep.folds[0].Test)
+	if tr+te != p.Records {
+		t.Fatalf("fold covers %d records, want %d", tr+te, p.Records)
+	}
+}
+
+func TestRunFourNetsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping training test in -short mode")
+	}
+	p := SmokeProfile()
+	res, err := RunFourNets(p, NSL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evals) != 4 {
+		t.Fatalf("got %d evals, want 4", len(res.Evals))
+	}
+	for _, ev := range res.Evals {
+		if ev.Confusion.Total() == 0 {
+			t.Fatalf("%s: empty confusion matrix", ev.Design)
+		}
+		if len(ev.Curve.Train) != 2 {
+			t.Fatalf("%s: %d curve points, want 2", ev.Design, len(ev.Curve.Train))
+		}
+		if ev.Summary.ACC < 0 || ev.Summary.ACC > 100 {
+			t.Fatalf("%s: ACC %v out of range", ev.Design, ev.Summary.ACC)
+		}
+		if ev.Params == 0 {
+			t.Fatalf("%s: zero parameters", ev.Design)
+		}
+	}
+	// Formatting must mention every design and produce epoch rows.
+	t2 := FormatTable2(res, res)
+	if !strings.Contains(t2, "TP") || !strings.Contains(t2, "Pelican") {
+		t.Fatalf("Table II formatting missing content:\n%s", t2)
+	}
+	t34 := FormatTable34(res)
+	if !strings.Contains(t34, "Plain-21") {
+		t.Fatalf("Table III/IV formatting missing rows:\n%s", t34)
+	}
+	fig5 := FormatFig5(res, "train")
+	if !strings.Contains(fig5, "epoch") {
+		t.Fatalf("Fig. 5 formatting broken:\n%s", fig5)
+	}
+}
+
+func TestRunFig2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping training test in -short mode")
+	}
+	p := SmokeProfile()
+	// Trim the sweep for the smoke test.
+	old := Fig2Depths
+	Fig2Depths = []int{1, 2}
+	defer func() { Fig2Depths = old }()
+
+	res, err := RunFig2(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	if res.Points[0].ParamLayers != 5 || res.Points[1].ParamLayers != 9 {
+		t.Fatalf("param layers %v", res.Points)
+	}
+	out := FormatFig2(res)
+	if !strings.Contains(out, "param-layers") {
+		t.Fatalf("Fig. 2 formatting broken:\n%s", out)
+	}
+}
+
+func TestDegradationOnset(t *testing.T) {
+	pts := []DepthPoint{
+		{ParamLayers: 5, TrainAcc: 0.70},
+		{ParamLayers: 13, TrainAcc: 0.78},
+		{ParamLayers: 21, TrainAcc: 0.75},
+		{ParamLayers: 41, TrainAcc: 0.71},
+	}
+	if got := DegradationOnset(pts); got != 13 {
+		t.Fatalf("onset = %d, want 13", got)
+	}
+	mono := []DepthPoint{
+		{ParamLayers: 5, TrainAcc: 0.7},
+		{ParamLayers: 9, TrainAcc: 0.8},
+	}
+	if got := DegradationOnset(mono); got != -1 {
+		t.Fatalf("monotone onset = %d, want -1", got)
+	}
+}
+
+func TestRunTable5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping training test in -short mode")
+	}
+	p := SmokeProfile()
+	res, err := RunTable5(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(Table5Designs) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(Table5Designs))
+	}
+	names := map[string]bool{}
+	for _, r := range res.Rows {
+		names[r.Design] = true
+		if r.ACC < 0 || r.ACC > 100 || r.FAR < 0 || r.FAR > 100 {
+			t.Fatalf("%s: metrics out of range: %+v", r.Design, r)
+		}
+	}
+	for _, want := range []string{"AdaBoost", "SVM (RBF)", "RF", "Pelican", "LuNet"} {
+		if !names[want] {
+			t.Fatalf("Table V missing design %q; have %v", want, names)
+		}
+	}
+	out := FormatTable5(res)
+	if !strings.Contains(out, "TABLE V") {
+		t.Fatalf("Table V formatting broken:\n%s", out)
+	}
+}
+
+func TestFormatTable1(t *testing.T) {
+	out := FormatTable1(SmokeProfile())
+	for _, want := range []string{"Kernel size", "Dropout rate", "Batch size"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, out)
+		}
+	}
+	// The paper profile must echo the exact Table I values.
+	paper := FormatTable1(PaperProfile())
+	for _, want := range []string{"196", "121", "4000", "0.01", "0.6"} {
+		if !strings.Contains(paper, want) {
+			t.Fatalf("paper Table I missing %q:\n%s", want, paper)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+// DepthPoint is one point of the Fig. 2 sweep: LuNet trained at a given
+// depth, reporting final training and testing accuracy.
+type DepthPoint struct {
+	Blocks      int
+	ParamLayers int
+	TrainAcc    float64
+	TestAcc     float64
+}
+
+// Fig2Result is the full degradation sweep.
+type Fig2Result struct {
+	Dataset DatasetID
+	Points  []DepthPoint
+}
+
+// Fig2Depths are the block counts swept by default; their parameter-layer
+// counts (5, 9, ..., 41) cover the paper's 5–40 x-axis.
+var Fig2Depths = []int{1, 2, 3, 5, 7, 10}
+
+// RunFig2 reproduces Fig. 2: train LuNet (the plain CNN+GRU network) at
+// increasing depth on UNSW-NB15 and record train/test accuracy. The paper's
+// observation — accuracy stops improving and then degrades as plain depth
+// grows — is the motivation for residual learning.
+func RunFig2(p Profile, log io.Writer) (*Fig2Result, error) {
+	prep, err := prepare(p, UNSW)
+	if err != nil {
+		return nil, err
+	}
+	fold := prep.folds[0]
+	xTr, yTr := gather(prep.x, prep.y, fold.Train)
+	xTe, yTe := gather(prep.x, prep.y, fold.Test)
+
+	res := &Fig2Result{Dataset: UNSW}
+	for _, blocks := range Fig2Depths {
+		rng := rand.New(rand.NewSource(p.Seed + int64(blocks)*31))
+		dropRNG := rand.New(rand.NewSource(p.Seed + int64(blocks)*31 + 1))
+		cfg := models.PaperBlockConfig(prep.features)
+		stack := models.BuildLuNet(rng, dropRNG, blocks, cfg, prep.classes)
+		opt := nn.NewRMSprop(p.LR)
+		opt.MaxNorm = p.GradClip
+		net := nn.NewNetwork(stack, nn.NewSoftmaxCrossEntropy(), opt)
+
+		var last nn.EpochStats
+		net.Fit(xTr, yTr, nn.FitConfig{
+			Epochs:     prep.epochs,
+			BatchSize:  p.Batch,
+			Shuffle:    true,
+			RNG:        rng,
+			TestX:      xTe,
+			TestLabels: yTe,
+			Verbose: func(st nn.EpochStats) {
+				last = st
+				if log != nil {
+					fmt.Fprintf(log, "  [fig2 blocks=%d] epoch %d/%d train_acc=%.4f test_acc=%.4f\n",
+						blocks, st.Epoch, prep.epochs, st.TrainAcc, st.TestAcc)
+				}
+			},
+		})
+		res.Points = append(res.Points, DepthPoint{
+			Blocks:      blocks,
+			ParamLayers: models.ParamLayersForBlocks(blocks),
+			TrainAcc:    last.TrainAcc,
+			TestAcc:     last.TestAcc,
+		})
+	}
+	return res, nil
+}
+
+// FormatFig2 renders the sweep as the two series of Fig. 2(a)/(b).
+func FormatFig2(res *Fig2Result) string {
+	out := fmt.Sprintf("Fig. 2: LuNet accuracy vs depth on %s\n", res.Dataset)
+	out += fmt.Sprintf("%12s %12s %12s %12s\n", "blocks", "param-layers", "train-acc", "test-acc")
+	for _, pt := range res.Points {
+		out += fmt.Sprintf("%12d %12d %12.4f %12.4f\n", pt.Blocks, pt.ParamLayers, pt.TrainAcc, pt.TestAcc)
+	}
+	return out
+}
+
+// DegradationOnset returns the parameter-layer count after which training
+// accuracy stopped improving (the "beginning of degradation" annotation in
+// Fig. 2), or -1 if accuracy improved monotonically.
+func DegradationOnset(points []DepthPoint) int {
+	bestAcc := -1.0
+	bestLayers := -1
+	for _, pt := range points {
+		if pt.TrainAcc > bestAcc {
+			bestAcc = pt.TrainAcc
+			bestLayers = pt.ParamLayers
+		}
+	}
+	if len(points) > 0 && bestLayers == points[len(points)-1].ParamLayers {
+		return -1 // still improving at max depth
+	}
+	return bestLayers
+}

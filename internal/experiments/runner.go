@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/tensor"
+)
+
+// prepared holds a dataset ready for training: standardized features,
+// labels and split indices.
+type prepared struct {
+	id       DatasetID
+	cfg      synth.Config
+	schema   data.Schema
+	x        *tensor.Tensor // (N, F) standardized
+	y        []int
+	folds    []data.Fold
+	features int
+	classes  int
+	epochs   int
+}
+
+// prepare generates, preprocesses and splits a dataset under the profile.
+func prepare(p Profile, id DatasetID) (*prepared, error) {
+	cfg, records, epochs, err := p.DatasetConfig(id)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := synth.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ds := gen.Generate(records, p.Seed)
+	x, y, _ := data.Preprocess(ds)
+	rng := rand.New(rand.NewSource(p.Seed + 17))
+	var folds []data.Fold
+	if p.Folds >= 2 {
+		folds = data.StratifiedKFold(rng, y, p.Folds)
+	} else {
+		folds = []data.Fold{data.TrainTestSplit(rng, y, p.TestFrac)}
+	}
+	return &prepared{
+		id: id, cfg: cfg, schema: gen.Schema(),
+		x: x, y: y, folds: folds,
+		features: gen.Schema().EncodedWidth(),
+		classes:  gen.Schema().NumClasses(),
+		epochs:   epochs,
+	}, nil
+}
+
+// gather copies the selected rows into a fresh (len(idx), 1, F) tensor and
+// label slice — the rank-3 input shape every model consumes.
+func gather(x *tensor.Tensor, y []int, idx []int) (*tensor.Tensor, []int) {
+	f := x.Dim(1)
+	out := tensor.New(len(idx), f)
+	labels := make([]int, len(idx))
+	for i, j := range idx {
+		copy(out.Row(i), x.Row(j))
+		labels[i] = y[j]
+	}
+	return out.Reshape(len(idx), 1, f), labels
+}
+
+// LossCurve is one design's per-epoch training and testing loss — the
+// series plotted in Fig. 5.
+type LossCurve struct {
+	Design string
+	Train  []float64
+	Test   []float64
+}
+
+// NetEval is the outcome of training one network on one dataset.
+type NetEval struct {
+	Design    string
+	Dataset   DatasetID
+	Confusion *metrics.Confusion
+	Summary   metrics.Summary
+	Curve     LossCurve
+	Params    int
+}
+
+// trainEval trains the named model on every fold and returns the merged
+// evaluation; the loss curve is recorded on the first fold.
+func trainEval(p Profile, prep *prepared, modelName string, log io.Writer) (*NetEval, error) {
+	spec, err := models.Lookup(modelName)
+	if err != nil {
+		return nil, err
+	}
+	conf := metrics.NewConfusion(prep.classes)
+	curve := LossCurve{Design: modelName}
+	paramCount := 0
+
+	for fi, fold := range prep.folds {
+		rng := rand.New(rand.NewSource(p.Seed + int64(fi)*101))
+		dropRNG := rand.New(rand.NewSource(p.Seed + int64(fi)*101 + 1))
+		cfg := models.PaperBlockConfig(prep.features)
+		stack := spec.Build(rng, dropRNG, cfg, prep.features, prep.classes)
+		opt := nn.NewRMSprop(p.LR)
+		opt.MaxNorm = p.GradClip
+		net := nn.NewNetwork(stack, nn.NewSoftmaxCrossEntropy(), opt)
+		paramCount = nn.ParamCount(stack.Params())
+
+		xTr, yTr := gather(prep.x, prep.y, fold.Train)
+		xTe, yTe := gather(prep.x, prep.y, fold.Test)
+
+		recordCurve := fi == 0
+		stats := net.Fit(xTr, yTr, nn.FitConfig{
+			Epochs:     prep.epochs,
+			BatchSize:  p.Batch,
+			Shuffle:    true,
+			RNG:        rng,
+			TestX:      xTe,
+			TestLabels: yTe,
+			Verbose: func(st nn.EpochStats) {
+				if recordCurve {
+					curve.Train = append(curve.Train, st.TrainLoss)
+					curve.Test = append(curve.Test, st.TestLoss)
+				}
+				if log != nil {
+					fmt.Fprintf(log, "  [%s/%s fold %d] epoch %d/%d train_loss=%.4f test_loss=%.4f test_acc=%.4f\n",
+						prep.id, modelName, fi, st.Epoch, prep.epochs, st.TrainLoss, st.TestLoss, st.TestAcc)
+				}
+			},
+		})
+		_ = stats
+		pred := net.PredictClasses(xTe, p.Batch)
+		conf.AddAll(yTe, pred)
+	}
+	return &NetEval{
+		Design:    modelName,
+		Dataset:   prep.id,
+		Confusion: conf,
+		Summary:   metrics.Summarize(modelName, conf, 0),
+		Curve:     curve,
+		Params:    paramCount,
+	}, nil
+}
+
+// FourNetDesigns are the paper's four evaluated networks in table order.
+var FourNetDesigns = []string{"plain-21", "residual-21", "plain-41", "pelican"}
+
+// FourNetResult carries the four networks' evaluations for one dataset; it
+// powers Fig. 5 (curves), Table II (TP/FP) and Tables III/IV (metrics).
+type FourNetResult struct {
+	Dataset DatasetID
+	Evals   []*NetEval
+}
+
+// RunFourNets trains Plain-21, Residual-21, Plain-41 and Residual-41
+// (Pelican) on the dataset — the runs behind Fig. 5 and Tables II–IV.
+func RunFourNets(p Profile, id DatasetID, log io.Writer) (*FourNetResult, error) {
+	prep, err := prepare(p, id)
+	if err != nil {
+		return nil, err
+	}
+	res := &FourNetResult{Dataset: id}
+	for _, name := range FourNetDesigns {
+		ev, err := trainEval(p, prep, name, log)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", name, id, err)
+		}
+		res.Evals = append(res.Evals, ev)
+	}
+	return res, nil
+}
+
+// displayName maps registry names onto the paper's design labels.
+func displayName(model string) string {
+	switch model {
+	case "pelican":
+		return "Residual-41 (Pelican)"
+	case "plain-21":
+		return "Plain-21"
+	case "plain-41":
+		return "Plain-41"
+	case "residual-21":
+		return "Residual-21"
+	}
+	return model
+}
+
+// FormatTable2 renders the Table II layout (total TP and FP per network)
+// from the two datasets' four-network results.
+func FormatTable2(nsl, unsw *FourNetResult) string {
+	out := "TABLE II: TOTAL TRUE ATTACKS DETECTED AND TOTAL FALSE ALARMS\n"
+	out += fmt.Sprintf("%-12s %-8s", "Dataset", "Metric")
+	for _, name := range FourNetDesigns {
+		out += fmt.Sprintf(" %22s", displayName(name))
+	}
+	out += "\n"
+	for _, res := range []*FourNetResult{nsl, unsw} {
+		if res == nil {
+			continue
+		}
+		for _, metric := range []string{"TP", "FP"} {
+			out += fmt.Sprintf("%-12s %-8s", res.Dataset, metric)
+			for _, ev := range res.Evals {
+				v := ev.Summary.TP
+				if metric == "FP" {
+					v = ev.Summary.FP
+				}
+				out += fmt.Sprintf(" %22d", v)
+			}
+			out += "\n"
+		}
+	}
+	return out
+}
+
+// FormatTable34 renders Table III (NSL-KDD) or Table IV (UNSW-NB15):
+// DR/ACC/FAR for the four networks.
+func FormatTable34(res *FourNetResult) string {
+	title := "TABLE III: TESTING PERFORMANCE ON NSL-KDD"
+	if res.Dataset == UNSW {
+		title = "TABLE IV: TESTING PERFORMANCE ON UNSW-NB15"
+	}
+	rows := make([]metrics.Summary, 0, len(res.Evals))
+	for _, ev := range res.Evals {
+		s := ev.Summary
+		s.Design = displayName(ev.Design)
+		rows = append(rows, s)
+	}
+	return metrics.FormatTable(title, rows)
+}
+
+// FormatFig5 renders one Fig. 5 panel: per-epoch loss series for the four
+// networks. kind selects "train" or "test".
+func FormatFig5(res *FourNetResult, kind string) string {
+	out := fmt.Sprintf("Fig. 5 (%s loss) on %s\n", kind, res.Dataset)
+	out += "epoch"
+	for _, ev := range res.Evals {
+		out += fmt.Sprintf(" %22s", displayName(ev.Design))
+	}
+	out += "\n"
+	if len(res.Evals) == 0 {
+		return out
+	}
+	n := len(res.Evals[0].Curve.Train)
+	for e := 0; e < n; e++ {
+		out += fmt.Sprintf("%5d", e+1)
+		for _, ev := range res.Evals {
+			series := ev.Curve.Train
+			if kind == "test" {
+				series = ev.Curve.Test
+			}
+			if e < len(series) {
+				out += fmt.Sprintf(" %22.4f", series[e])
+			}
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/ml"
+)
+
+// Table5XDesigns extends the paper's Table V with three further classical
+// baselines implemented in internal/ml — logistic regression, Gaussian
+// naive Bayes, and k-nearest-neighbours — positioning the paper's
+// comparison inside a broader classical spectrum.
+var Table5XDesigns = []string{"logistic", "naive-bayes", "knn"}
+
+// extendedBaseline builds the extra classifiers.
+func extendedBaseline(id string, classes int, seed int64) (ml.Classifier, string, error) {
+	switch id {
+	case "logistic":
+		return ml.NewLogistic(ml.LogisticConfig{Classes: classes, Epochs: 40, Seed: seed}), "Logistic Regression", nil
+	case "naive-bayes":
+		return ml.NewNaiveBayes(classes), "Naive Bayes", nil
+	case "knn":
+		c := ml.NewKNNClassifier(5, classes)
+		c.MaxRef = 2500
+		return c, "k-NN (k=5)", nil
+	}
+	return nil, "", fmt.Errorf("experiments: unknown extended baseline %q", id)
+}
+
+// RunTable5Extended evaluates the extra classical baselines on the same
+// UNSW-NB15 workload Table V uses. Combine with RunTable5 for the full
+// twelve-design picture.
+func RunTable5Extended(p Profile, log io.Writer) (*Table5Result, error) {
+	prep, err := prepare(p, UNSW)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table5Result{Dataset: UNSW}
+	for _, id := range Table5XDesigns {
+		clf, label, err := extendedBaseline(id, prep.classes, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		conf := metrics.NewConfusion(prep.classes)
+		for fi, fold := range prep.folds {
+			if fi > 0 {
+				if c, _, err := extendedBaseline(id, prep.classes, p.Seed+int64(fi)); err == nil {
+					clf = c
+				}
+			}
+			xTr, yTr := gatherFlat(prep.x, prep.y, fold.Train)
+			xTe, yTe := gatherFlat(prep.x, prep.y, fold.Test)
+			if log != nil {
+				fmt.Fprintf(log, "  [table5x/%s fold %d] fitting on %d records\n", id, fi, xTr.Dim(0))
+			}
+			if err := clf.Fit(xTr, yTr); err != nil {
+				return nil, fmt.Errorf("%s: %w", id, err)
+			}
+			conf.AddAll(yTe, clf.Predict(xTe))
+		}
+		res.Rows = append(res.Rows, metrics.Summarize(label, conf, 0))
+	}
+	return res, nil
+}
+
+// FormatTable5Extended renders the extension rows.
+func FormatTable5Extended(res *Table5Result) string {
+	return metrics.FormatTable(
+		"TABLE Vx: ADDITIONAL CLASSICAL BASELINES (UNSW-NB15, extension)",
+		res.Rows)
+}

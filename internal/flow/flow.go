@@ -1,0 +1,160 @@
+// Package flow is the network-traffic substrate for the live NIDS pipeline
+// (paper Fig. 1): flow records with five-tuple metadata, and a simulated
+// traffic source that replays class-conditional synthetic traffic as a
+// stream of flows — normal background traffic punctuated by attack
+// episodes, the workload a deployed NIDS monitors.
+package flow
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/synth"
+)
+
+// Flow is one observed network flow: metadata plus the feature record the
+// detector consumes. TrueClass carries ground truth for evaluation; a
+// production deployment would not have it.
+type Flow struct {
+	ID        uint64
+	Timestamp time.Time
+	SrcIP     string
+	DstIP     string
+	SrcPort   int
+	DstPort   int
+	Record    data.Record
+	TrueClass int
+}
+
+// SourceConfig controls the simulated traffic mix.
+type SourceConfig struct {
+	// AttackRate is the steady-state fraction of attack flows outside
+	// episodes (background noise level).
+	AttackRate float64
+	// EpisodeEvery is the mean number of flows between attack episodes.
+	EpisodeEvery int
+	// EpisodeLen is the mean episode length in flows; during an episode a
+	// single attack class dominates (a campaign).
+	EpisodeLen int
+	// EpisodeAttackRate is the attack fraction inside an episode.
+	EpisodeAttackRate float64
+	// Seed drives all sampling.
+	Seed int64
+}
+
+// DefaultSourceConfig is a plausible mix: 2% background attacks with
+// concentrated campaigns every ~500 flows.
+func DefaultSourceConfig() SourceConfig {
+	return SourceConfig{
+		AttackRate:        0.02,
+		EpisodeEvery:      500,
+		EpisodeLen:        60,
+		EpisodeAttackRate: 0.7,
+		Seed:              1,
+	}
+}
+
+// Source generates a deterministic flow stream from a synth generator.
+type Source struct {
+	gen *synth.Generator
+	cfg SourceConfig
+	rng *rand.Rand
+
+	nextID       uint64
+	inEpisode    int // remaining flows of the current episode
+	episodeClass int
+	sinceEpisode int
+	attackSet    []int // class indices that are attacks (≠ 0)
+	now          time.Time
+}
+
+// NewSource constructs a traffic source over the generator's class model.
+func NewSource(gen *synth.Generator, cfg SourceConfig) (*Source, error) {
+	k := gen.Schema().NumClasses()
+	if k < 2 {
+		return nil, fmt.Errorf("flow: generator has %d classes, need >= 2", k)
+	}
+	attacks := make([]int, 0, k-1)
+	for c := 1; c < k; c++ {
+		attacks = append(attacks, c)
+	}
+	if cfg.EpisodeEvery <= 0 {
+		cfg.EpisodeEvery = 500
+	}
+	if cfg.EpisodeLen <= 0 {
+		cfg.EpisodeLen = 50
+	}
+	return &Source{
+		gen: gen, cfg: cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		attackSet: attacks,
+		now:       time.Unix(1700000000, 0), // fixed epoch: deterministic streams
+	}, nil
+}
+
+// Next produces the next flow in the stream.
+func (s *Source) Next() Flow {
+	class := 0
+	switch {
+	case s.inEpisode > 0:
+		s.inEpisode--
+		if s.rng.Float64() < s.cfg.EpisodeAttackRate {
+			class = s.episodeClass
+		}
+	default:
+		s.sinceEpisode++
+		if s.rng.Float64() < 1.0/float64(s.cfg.EpisodeEvery) {
+			// Start a campaign with a random attack class.
+			s.episodeClass = s.attackSet[s.rng.Intn(len(s.attackSet))]
+			s.inEpisode = 1 + s.rng.Intn(2*s.cfg.EpisodeLen)
+			s.sinceEpisode = 0
+		}
+		if class == 0 && s.rng.Float64() < s.cfg.AttackRate {
+			class = s.attackSet[s.rng.Intn(len(s.attackSet))]
+		}
+	}
+	rec := s.gen.SampleClass(s.rng, class)
+	s.nextID++
+	s.now = s.now.Add(time.Duration(1+s.rng.Intn(20)) * time.Millisecond)
+	f := Flow{
+		ID:        s.nextID,
+		Timestamp: s.now,
+		SrcIP:     s.randIP(class != 0),
+		DstIP:     s.randIP(false),
+		SrcPort:   1024 + s.rng.Intn(64000),
+		DstPort:   wellKnownPort(s.rng),
+		Record:    rec,
+		TrueClass: class,
+	}
+	return f
+}
+
+// randIP fabricates an address; attack sources skew to "outside" ranges.
+func (s *Source) randIP(outside bool) string {
+	if outside {
+		return fmt.Sprintf("203.0.%d.%d", s.rng.Intn(256), 1+s.rng.Intn(254))
+	}
+	return fmt.Sprintf("10.%d.%d.%d", s.rng.Intn(256), s.rng.Intn(256), 1+s.rng.Intn(254))
+}
+
+func wellKnownPort(rng *rand.Rand) int {
+	ports := []int{80, 443, 22, 53, 25, 3306, 8080, 21}
+	return ports[rng.Intn(len(ports))]
+}
+
+// Run streams flows into out until ctx is cancelled or n flows have been
+// produced (n <= 0 streams forever). It closes out on return.
+func (s *Source) Run(ctx context.Context, out chan<- Flow, n int) {
+	defer close(out)
+	for i := 0; n <= 0 || i < n; i++ {
+		f := s.Next()
+		select {
+		case out <- f:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package flow
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func testGen(t *testing.T) *synth.Generator {
+	t.Helper()
+	cfg := synth.NSLKDDConfig()
+	g, err := synth.New(cfg)
+	if err != nil {
+		t.Fatalf("synth.New: %v", err)
+	}
+	return g
+}
+
+func TestSourceDeterministic(t *testing.T) {
+	g := testGen(t)
+	cfg := DefaultSourceConfig()
+	s1, err := NewSource(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSource(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		a, b := s1.Next(), s2.Next()
+		if a.ID != b.ID || a.TrueClass != b.TrueClass || a.SrcIP != b.SrcIP {
+			t.Fatalf("flow %d diverged between identical sources", i)
+		}
+	}
+}
+
+func TestSourceFlowFieldsPlausible(t *testing.T) {
+	g := testGen(t)
+	s, err := NewSource(g, DefaultSourceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := s.Next()
+	for i := 0; i < 500; i++ {
+		f := s.Next()
+		if f.ID != prev.ID+1 {
+			t.Fatalf("IDs not monotonic: %d after %d", f.ID, prev.ID)
+		}
+		if !f.Timestamp.After(prev.Timestamp) {
+			t.Fatal("timestamps not increasing")
+		}
+		if f.SrcPort < 1024 || f.SrcPort >= 65024 {
+			t.Fatalf("implausible source port %d", f.SrcPort)
+		}
+		if len(f.Record.Numeric) != g.Schema().NumNumeric() {
+			t.Fatalf("record has %d numeric features", len(f.Record.Numeric))
+		}
+		if f.TrueClass != f.Record.Label {
+			t.Fatalf("TrueClass %d != record label %d", f.TrueClass, f.Record.Label)
+		}
+		prev = f
+	}
+}
+
+func TestSourceProducesEpisodes(t *testing.T) {
+	g := testGen(t)
+	cfg := DefaultSourceConfig()
+	cfg.EpisodeEvery = 100
+	cfg.EpisodeLen = 40
+	cfg.EpisodeAttackRate = 0.9
+	s, err := NewSource(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacks := 0
+	const n = 5000
+	// Count attack flows and look for at least one dense burst.
+	window := make([]bool, 0, n)
+	for i := 0; i < n; i++ {
+		f := s.Next()
+		isAttack := f.TrueClass != 0
+		if isAttack {
+			attacks++
+		}
+		window = append(window, isAttack)
+	}
+	if attacks == 0 {
+		t.Fatal("no attacks generated")
+	}
+	// Find a 30-flow window with >= 60% attacks: evidence of an episode.
+	found := false
+	for i := 0; i+30 <= len(window); i++ {
+		c := 0
+		for _, a := range window[i : i+30] {
+			if a {
+				c++
+			}
+		}
+		if c >= 18 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no attack episode burst observed in 5000 flows")
+	}
+	// Overall rate should still be far from 100%.
+	if frac := float64(attacks) / n; frac > 0.6 {
+		t.Fatalf("attack fraction %v implausibly high", frac)
+	}
+}
+
+func TestSourceRunStreamsAndStops(t *testing.T) {
+	g := testGen(t)
+	s, err := NewSource(g, DefaultSourceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(chan Flow, 1)
+	go s.Run(context.Background(), out, 50)
+	count := 0
+	for range out {
+		count++
+	}
+	if count != 50 {
+		t.Fatalf("received %d flows, want 50", count)
+	}
+}
+
+func TestSourceRunHonoursCancel(t *testing.T) {
+	g := testGen(t)
+	s, err := NewSource(g, DefaultSourceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	out := make(chan Flow) // unbuffered: Run blocks on send
+	done := make(chan struct{})
+	go func() {
+		s.Run(ctx, out, 0) // unbounded
+		close(done)
+	}()
+	<-out // take one flow
+	cancel()
+	<-done // Run must return promptly after cancellation
+}
+
+func TestNewSourceRejectsTooFewClasses(t *testing.T) {
+	cfg := synth.NSLKDDConfig()
+	cfg.Classes = cfg.Classes[:2] // normal + 1 attack is fine...
+	g, err := synth.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSource(g, DefaultSourceConfig()); err != nil {
+		t.Fatalf("2-class source should be accepted: %v", err)
+	}
+}

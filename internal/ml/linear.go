@@ -1,0 +1,356 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// LogisticConfig controls multinomial logistic regression.
+type LogisticConfig struct {
+	// LR is the gradient-descent step size (default 0.1).
+	LR float64
+	// Epochs is the number of passes (default 100).
+	Epochs int
+	// Batch is the minibatch size (default 128).
+	Batch int
+	// L2 is the ridge penalty (default 1e-4).
+	L2 float64
+	// Classes is the number of classes; required.
+	Classes int
+	// Seed drives shuffling.
+	Seed int64
+}
+
+// Logistic is multinomial logistic regression (softmax regression) trained
+// by minibatch gradient descent — the simplest supervised reference point
+// for the comparative study.
+type Logistic struct {
+	Cfg LogisticConfig
+	w   *tensor.Tensor // (d, k)
+	b   []float64
+}
+
+// NewLogistic constructs an unfitted logistic-regression classifier.
+func NewLogistic(cfg LogisticConfig) *Logistic {
+	if cfg.LR <= 0 {
+		cfg.LR = 0.1
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 100
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 128
+	}
+	if cfg.L2 < 0 {
+		cfg.L2 = 0
+	}
+	return &Logistic{Cfg: cfg}
+}
+
+var _ Classifier = (*Logistic)(nil)
+
+// Fit implements Classifier.
+func (l *Logistic) Fit(x *tensor.Tensor, y []int) error {
+	n, d := x.Dim(0), x.Dim(1)
+	if n == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	k := l.Cfg.Classes
+	if k < 2 {
+		return fmt.Errorf("ml: LogisticConfig.Classes = %d, need >= 2", k)
+	}
+	l.w = tensor.New(d, k)
+	l.b = make([]float64, k)
+	rng := rand.New(rand.NewSource(l.Cfg.Seed))
+
+	order := rng.Perm(n)
+	probs := make([]float64, k)
+	for ep := 0; ep < l.Cfg.Epochs; ep++ {
+		rng.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for lo := 0; lo < n; lo += l.Cfg.Batch {
+			hi := lo + l.Cfg.Batch
+			if hi > n {
+				hi = n
+			}
+			gw := tensor.New(d, k)
+			gb := make([]float64, k)
+			for _, i := range order[lo:hi] {
+				row := x.Row(i)
+				l.scores(row, probs)
+				softmaxInPlace(probs)
+				probs[y[i]] -= 1
+				for j, xv := range row {
+					if xv == 0 {
+						continue
+					}
+					grow := gw.Row(j)
+					for c, p := range probs {
+						grow[c] += xv * p
+					}
+				}
+				for c, p := range probs {
+					gb[c] += p
+				}
+			}
+			scale := l.Cfg.LR / float64(hi-lo)
+			wd, gd := l.w.Data(), gw.Data()
+			for i := range wd {
+				wd[i] -= scale*gd[i] + l.Cfg.LR*l.Cfg.L2*wd[i]
+			}
+			for c := range l.b {
+				l.b[c] -= scale * gb[c]
+			}
+		}
+	}
+	return nil
+}
+
+// scores writes xᵀW + b into out.
+func (l *Logistic) scores(row []float64, out []float64) {
+	copy(out, l.b)
+	for j, xv := range row {
+		if xv == 0 {
+			continue
+		}
+		wrow := l.w.Row(j)
+		for c, wv := range wrow {
+			out[c] += xv * wv
+		}
+	}
+}
+
+func softmaxInPlace(v []float64) {
+	maxV := math.Inf(-1)
+	for _, x := range v {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	sum := 0.0
+	for i, x := range v {
+		e := math.Exp(x - maxV)
+		v[i] = e
+		sum += e
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// Predict implements Classifier.
+func (l *Logistic) Predict(x *tensor.Tensor) []int {
+	n := x.Dim(0)
+	out := make([]int, n)
+	probs := make([]float64, l.Cfg.Classes)
+	for i := 0; i < n; i++ {
+		l.scores(x.Row(i), probs)
+		out[i] = argmaxF(probs)
+	}
+	return out
+}
+
+// NaiveBayes is Gaussian naive Bayes: per-class independent feature
+// Gaussians with log-prior class weights. A fast, surprisingly strong
+// baseline on standardized tabular data.
+type NaiveBayes struct {
+	Classes int
+
+	prior []float64   // log P(class)
+	mean  [][]float64 // per class, per feature
+	vari  [][]float64
+}
+
+// NewNaiveBayes constructs an unfitted classifier.
+func NewNaiveBayes(classes int) *NaiveBayes { return &NaiveBayes{Classes: classes} }
+
+var _ Classifier = (*NaiveBayes)(nil)
+
+// Fit implements Classifier.
+func (nb *NaiveBayes) Fit(x *tensor.Tensor, y []int) error {
+	n, d := x.Dim(0), x.Dim(1)
+	if n == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	if nb.Classes < 2 {
+		return fmt.Errorf("ml: NaiveBayes classes %d, need >= 2", nb.Classes)
+	}
+	counts := make([]int, nb.Classes)
+	nb.mean = make([][]float64, nb.Classes)
+	nb.vari = make([][]float64, nb.Classes)
+	for c := range nb.mean {
+		nb.mean[c] = make([]float64, d)
+		nb.vari[c] = make([]float64, d)
+	}
+	for i := 0; i < n; i++ {
+		c := y[i]
+		if c < 0 || c >= nb.Classes {
+			return fmt.Errorf("ml: label %d out of range", c)
+		}
+		counts[c]++
+		row := x.Row(i)
+		for j, v := range row {
+			nb.mean[c][j] += v
+		}
+	}
+	for c := range nb.mean {
+		if counts[c] == 0 {
+			continue
+		}
+		inv := 1.0 / float64(counts[c])
+		for j := range nb.mean[c] {
+			nb.mean[c][j] *= inv
+		}
+	}
+	for i := 0; i < n; i++ {
+		c := y[i]
+		row := x.Row(i)
+		for j, v := range row {
+			dv := v - nb.mean[c][j]
+			nb.vari[c][j] += dv * dv
+		}
+	}
+	nb.prior = make([]float64, nb.Classes)
+	for c := range nb.vari {
+		if counts[c] == 0 {
+			nb.prior[c] = math.Inf(-1)
+			continue
+		}
+		inv := 1.0 / float64(counts[c])
+		for j := range nb.vari[c] {
+			nb.vari[c][j] = nb.vari[c][j]*inv + 1e-6 // variance smoothing
+		}
+		nb.prior[c] = math.Log(float64(counts[c]) / float64(n))
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (nb *NaiveBayes) Predict(x *tensor.Tensor) []int {
+	n := x.Dim(0)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		best, bi := math.Inf(-1), 0
+		for c := 0; c < nb.Classes; c++ {
+			if math.IsInf(nb.prior[c], -1) {
+				continue
+			}
+			ll := nb.prior[c]
+			for j, v := range row {
+				dv := v - nb.mean[c][j]
+				ll -= 0.5*dv*dv/nb.vari[c][j] + 0.5*math.Log(2*math.Pi*nb.vari[c][j])
+			}
+			if ll > best {
+				best, bi = ll, c
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// KNNClassifier is a k-nearest-neighbour majority-vote classifier,
+// completing the classical-baseline family. Training is storage; the work
+// happens at prediction time.
+type KNNClassifier struct {
+	K       int
+	Classes int
+	// MaxRef caps the retained training sample (0 = keep all).
+	MaxRef int
+	x      *tensor.Tensor
+	y      []int
+}
+
+// NewKNNClassifier constructs a k-NN classifier (k defaults to 5).
+func NewKNNClassifier(k, classes int) *KNNClassifier {
+	if k < 1 {
+		k = 5
+	}
+	return &KNNClassifier{K: k, Classes: classes}
+}
+
+var _ Classifier = (*KNNClassifier)(nil)
+
+// Fit implements Classifier.
+func (kc *KNNClassifier) Fit(x *tensor.Tensor, y []int) error {
+	n := x.Dim(0)
+	if n == 0 {
+		return fmt.Errorf("ml: empty training set")
+	}
+	if kc.Classes < 2 {
+		return fmt.Errorf("ml: KNNClassifier classes %d, need >= 2", kc.Classes)
+	}
+	if kc.MaxRef > 0 && n > kc.MaxRef {
+		d := x.Dim(1)
+		stride := n / kc.MaxRef
+		xs := tensor.New(kc.MaxRef, d)
+		ys := make([]int, kc.MaxRef)
+		for i := 0; i < kc.MaxRef; i++ {
+			copy(xs.Row(i), x.Row(i*stride))
+			ys[i] = y[i*stride]
+		}
+		kc.x, kc.y = xs, ys
+		return nil
+	}
+	kc.x = x.Clone()
+	kc.y = append([]int(nil), y...)
+	return nil
+}
+
+// Predict implements Classifier.
+func (kc *KNNClassifier) Predict(x *tensor.Tensor) []int {
+	n := x.Dim(0)
+	m := kc.x.Dim(0)
+	k := kc.K
+	if k > m {
+		k = m
+	}
+	out := make([]int, n)
+	type nb struct {
+		d float64
+		y int
+	}
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		best := make([]nb, k)
+		for j := range best {
+			best[j] = nb{d: math.Inf(1)}
+		}
+		for j := 0; j < m; j++ {
+			ref := kc.x.Row(j)
+			d := 0.0
+			for f, v := range row {
+				diff := v - ref[f]
+				d += diff * diff
+				if d >= best[k-1].d {
+					break
+				}
+			}
+			if d < best[k-1].d {
+				pos := k - 1
+				for pos > 0 && best[pos-1].d > d {
+					best[pos] = best[pos-1]
+					pos--
+				}
+				best[pos] = nb{d: d, y: kc.y[j]}
+			}
+		}
+		votes := make([]int, kc.Classes)
+		for _, b := range best {
+			if !math.IsInf(b.d, 1) {
+				votes[b.y]++
+			}
+		}
+		bi, bv := 0, -1
+		for c, v := range votes {
+			if v > bv {
+				bv, bi = v, c
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}

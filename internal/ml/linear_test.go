@@ -1,0 +1,147 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestLogisticLearnsBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	x, y := blobs(rng, 600, 5, 3, 1.0)
+	xt, yt := blobs(rand.New(rand.NewSource(20)), 600, 5, 3, 1.0)
+	lr := NewLogistic(LogisticConfig{Classes: 3, Epochs: 60, Seed: 1})
+	if err := lr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accOf(lr.Predict(xt), yt); acc < 0.9 {
+		t.Fatalf("logistic blob accuracy %v < 0.9", acc)
+	}
+}
+
+func TestLogisticCannotSolveXOR(t *testing.T) {
+	// Sanity that it is genuinely linear: XOR accuracy must hover near
+	// chance, unlike the RBF SVM.
+	rng := rand.New(rand.NewSource(21))
+	x, y := xorData(rng, 400)
+	lr := NewLogistic(LogisticConfig{Classes: 2, Epochs: 80, Seed: 2})
+	if err := lr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accOf(lr.Predict(x), y); acc > 0.75 {
+		t.Fatalf("linear model 'solved' XOR (%.3f): not actually linear?", acc)
+	}
+}
+
+func TestLogisticRejectsBadConfig(t *testing.T) {
+	lr := NewLogistic(LogisticConfig{Classes: 1})
+	if err := lr.Fit(tensor.New(2, 2), []int{0, 0}); err == nil {
+		t.Fatal("classes=1 accepted")
+	}
+	lr2 := NewLogistic(LogisticConfig{Classes: 2})
+	if err := lr2.Fit(tensor.New(0, 2), nil); err == nil {
+		t.Fatal("empty set accepted")
+	}
+}
+
+func TestNaiveBayesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x, y := blobs(rng, 500, 6, 4, 1.0)
+	xt, yt := blobs(rand.New(rand.NewSource(22)), 500, 6, 4, 1.0)
+	nb := NewNaiveBayes(4)
+	if err := nb.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accOf(nb.Predict(xt), yt); acc < 0.9 {
+		t.Fatalf("naive Bayes blob accuracy %v < 0.9", acc)
+	}
+}
+
+func TestNaiveBayesHandlesAbsentClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x, y := blobs(rng, 200, 3, 2, 1.0) // only labels 0, 1
+	nb := NewNaiveBayes(4)
+	if err := nb.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range nb.Predict(x) {
+		if p > 1 {
+			t.Fatal("absent class predicted")
+		}
+	}
+}
+
+func TestNaiveBayesUsesPriors(t *testing.T) {
+	// Identical likelihoods: the prior must decide.
+	x := tensor.New(100, 1)
+	y := make([]int, 100)
+	for i := range y {
+		if i < 90 {
+			y[i] = 0
+		} else {
+			y[i] = 1
+		}
+		x.Set(0, i, 0)
+	}
+	nb := NewNaiveBayes(2)
+	if err := nb.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := nb.Predict(tensor.New(1, 1)); p[0] != 0 {
+		t.Fatalf("prior-dominant prediction %d, want 0", p[0])
+	}
+}
+
+func TestKNNClassifierBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	x, y := blobs(rng, 500, 4, 3, 1.0)
+	xt, yt := blobs(rand.New(rand.NewSource(24)), 500, 4, 3, 1.0)
+	kc := NewKNNClassifier(5, 3)
+	if err := kc.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accOf(kc.Predict(xt), yt); acc < 0.9 {
+		t.Fatalf("kNN blob accuracy %v < 0.9", acc)
+	}
+}
+
+func TestKNNClassifierSolvesXOR(t *testing.T) {
+	// Local method: must handle the nonlinear boundary logistic cannot.
+	rng := rand.New(rand.NewSource(25))
+	x, y := xorData(rng, 500)
+	xt, yt := xorData(rand.New(rand.NewSource(26)), 300)
+	kc := NewKNNClassifier(7, 2)
+	if err := kc.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := accOf(kc.Predict(xt), yt); acc < 0.8 {
+		t.Fatalf("kNN XOR accuracy %v < 0.8", acc)
+	}
+}
+
+func TestKNNClassifierMaxRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	x, y := blobs(rng, 400, 3, 2, 1.0)
+	kc := NewKNNClassifier(3, 2)
+	kc.MaxRef = 80
+	if err := kc.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if kc.x.Dim(0) != 80 {
+		t.Fatalf("retained %d rows, want 80", kc.x.Dim(0))
+	}
+}
+
+func TestKNNClassifierKLargerThanTrainingSet(t *testing.T) {
+	x := tensor.FromSlice([]float64{0, 0, 1, 1}, 2, 2)
+	y := []int{0, 1}
+	kc := NewKNNClassifier(10, 2)
+	if err := kc.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred := kc.Predict(x) // must not panic
+	if len(pred) != 2 {
+		t.Fatalf("got %d predictions", len(pred))
+	}
+}

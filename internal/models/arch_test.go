@@ -1,0 +1,96 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// TestPelicanParamCountAtPaperWidths pins the exact trainable-parameter
+// counts of the paper's networks at the real dataset widths, guarding the
+// architecture against accidental drift. Derivation per block at width F:
+//
+//	BN(head)  2F
+//	Conv1D    10·F·F + F     (kernel 10, same padding)
+//	BN        2F
+//	GRU       F·3F + F·3F + 3F
+//	           = 6F² + 3F
+//
+// block = 16F² + 8F; network = blocks·block + dense (F·K + K).
+func TestPelicanParamCountAtPaperWidths(t *testing.T) {
+	cases := []struct {
+		name     string
+		features int
+		classes  int
+		blocks   int
+	}{
+		{"unsw-pelican", 196, 10, 10},
+		{"nsl-pelican", 121, 5, 10},
+		{"unsw-residual-21", 196, 10, 5},
+		{"nsl-residual-21", 121, 5, 5},
+	}
+	for _, c := range cases {
+		f := c.features
+		wantBlock := 16*f*f + 8*f
+		want := c.blocks*wantBlock + f*c.classes + c.classes
+
+		rng := rand.New(rand.NewSource(1))
+		stack := BuildBlockNet(rng, rand.New(rand.NewSource(2)), c.blocks, true,
+			PaperBlockConfig(f), c.classes)
+		got := nn.ParamCount(stack.Params())
+		if got != want {
+			t.Errorf("%s: %d parameters, want %d", c.name, got, want)
+		}
+	}
+}
+
+// TestPlainAndResidualAlwaysParamIdentical: at any width, the shortcut
+// adds zero parameters.
+func TestPlainAndResidualAlwaysParamIdentical(t *testing.T) {
+	for _, f := range []int{8, 33, 121, 196} {
+		r1 := rand.New(rand.NewSource(1))
+		d1 := rand.New(rand.NewSource(2))
+		plain := BuildBlockNet(r1, d1, 3, false, PaperBlockConfig(f), 5)
+		r2 := rand.New(rand.NewSource(1))
+		d2 := rand.New(rand.NewSource(2))
+		res := BuildBlockNet(r2, d2, 3, true, PaperBlockConfig(f), 5)
+		if p, q := nn.ParamCount(plain.Params()), nn.ParamCount(res.Params()); p != q {
+			t.Errorf("width %d: plain %d != residual %d", f, p, q)
+		}
+	}
+}
+
+// TestDeterministicInitGivenSeed: same seeds, same initial weights.
+func TestDeterministicInitGivenSeed(t *testing.T) {
+	build := func() []float64 {
+		rng := rand.New(rand.NewSource(42))
+		stack := BuildPelican(rng, rand.New(rand.NewSource(43)), PaperBlockConfig(16), 3)
+		var out []float64
+		for _, p := range stack.Params() {
+			out = append(out, p.Value.Data()...)
+		}
+		return out
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("different parameter counts across identical builds")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("weight %d differs across identical seeds", i)
+		}
+	}
+}
+
+// TestModelsAreIndependentInstances: two builds share no parameter
+// storage (mutating one must not affect the other).
+func TestModelsAreIndependentInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := BuildResidual21(rng, rand.New(rand.NewSource(2)), PaperBlockConfig(8), 3)
+	b := BuildResidual21(rng, rand.New(rand.NewSource(3)), PaperBlockConfig(8), 3)
+	a.Params()[0].Value.Fill(123)
+	if b.Params()[0].Value.At(0) == 123 {
+		t.Fatal("two model instances share parameter storage")
+	}
+}

@@ -1,0 +1,262 @@
+// Package nids assembles the full intrusion-detection pipeline of the
+// paper's Fig. 1: a traffic source feeding a detector whose alerts land in
+// a security-team queue. Detectors are hot-swappable — the Pelican network,
+// any other trained model, the signature engine of §VI, or an anomaly
+// profile — so the paper's supervised-vs-signature-vs-anomaly arguments
+// can be measured on identical traffic.
+//
+// The pipeline is a bounded-channel goroutine graph with clean shutdown:
+// Source → [workers × (preprocess + detect)] → alert collector.
+package nids
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/anomaly"
+	"repro/internal/data"
+	"repro/internal/flow"
+	"repro/internal/nn"
+	"repro/internal/signature"
+	"repro/internal/tensor"
+)
+
+// Verdict is one detector decision.
+type Verdict struct {
+	IsAttack bool
+	// Class is the predicted class (0 = normal) when the detector is
+	// class-aware; -1 when it only flags anomalies.
+	Class int
+	// RuleID is the matching signature for signature-based detectors.
+	RuleID int
+	// Score is a detector-specific confidence/anomaly value.
+	Score float64
+}
+
+// Detector classifies a raw flow record.
+type Detector interface {
+	Name() string
+	Detect(rec *data.Record) Verdict
+}
+
+// ModelDetector wraps a trained network plus its preprocessing pipeline.
+type ModelDetector struct {
+	ModelName string
+	Net       *nn.Network
+	Pipe      *data.Pipeline
+}
+
+var _ Detector = (*ModelDetector)(nil)
+
+// Name implements Detector.
+func (d *ModelDetector) Name() string { return d.ModelName }
+
+// Detect implements Detector: preprocess, run the network, argmax.
+func (d *ModelDetector) Detect(rec *data.Record) Verdict {
+	row := d.Pipe.Apply(rec)
+	x := tensor.FromSlice(row, 1, 1, len(row))
+	logits := d.Net.Predict(x)
+	cls := logits.ArgmaxRow()[0]
+	return Verdict{IsAttack: cls != 0, Class: cls, Score: logits.At(0, cls)}
+}
+
+// SignatureDetector wraps the Snort-style engine.
+type SignatureDetector struct {
+	Engine *signature.Engine
+}
+
+var _ Detector = (*SignatureDetector)(nil)
+
+// Name implements Detector.
+func (d *SignatureDetector) Name() string { return "signature" }
+
+// Detect implements Detector.
+func (d *SignatureDetector) Detect(rec *data.Record) Verdict {
+	if rule, ok := d.Engine.Match(rec); ok {
+		return Verdict{IsAttack: true, Class: rule.Class, RuleID: rule.ID, Score: 1}
+	}
+	return Verdict{Class: 0}
+}
+
+// AnomalyDetector wraps a calibrated anomaly profile; it is class-blind.
+type AnomalyDetector struct {
+	Profile *anomaly.Thresholded
+	Pipe    *data.Pipeline
+}
+
+var _ Detector = (*AnomalyDetector)(nil)
+
+// Name implements Detector.
+func (d *AnomalyDetector) Name() string { return d.Profile.D.Name() }
+
+// Detect implements Detector.
+func (d *AnomalyDetector) Detect(rec *data.Record) Verdict {
+	row := d.Pipe.Apply(rec)
+	score := d.Profile.D.Score(row)
+	return Verdict{IsAttack: score > d.Profile.Threshold, Class: -1, Score: score}
+}
+
+// Alert is one entry in the security team's queue.
+type Alert struct {
+	Flow    flow.Flow
+	Verdict Verdict
+	At      time.Time
+}
+
+// Stats counts pipeline outcomes; all fields are atomically updated and
+// safe to read concurrently via the Snapshot method.
+type Stats struct {
+	processed  atomic.Int64
+	alerts     atomic.Int64
+	truePos    atomic.Int64
+	falseAlarm atomic.Int64
+	missed     atomic.Int64
+	trueNeg    atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of the counters.
+type StatsSnapshot struct {
+	Processed   int64
+	Alerts      int64
+	TruePos     int64
+	FalseAlarms int64
+	Missed      int64
+	TrueNeg     int64
+}
+
+// Snapshot returns a consistent-enough copy for reporting.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Processed:   s.processed.Load(),
+		Alerts:      s.alerts.Load(),
+		TruePos:     s.truePos.Load(),
+		FalseAlarms: s.falseAlarm.Load(),
+		Missed:      s.missed.Load(),
+		TrueNeg:     s.trueNeg.Load(),
+	}
+}
+
+// DR returns the realized detection rate.
+func (s StatsSnapshot) DR() float64 {
+	n := s.TruePos + s.Missed
+	if n == 0 {
+		return 0
+	}
+	return float64(s.TruePos) / float64(n)
+}
+
+// FAR returns the realized false-alarm rate.
+func (s StatsSnapshot) FAR() float64 {
+	n := s.FalseAlarms + s.TrueNeg
+	if n == 0 {
+		return 0
+	}
+	return float64(s.FalseAlarms) / float64(n)
+}
+
+// String renders a one-line summary.
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("processed=%d alerts=%d DR=%.2f%% FAR=%.2f%%",
+		s.Processed, s.Alerts, s.DR()*100, s.FAR()*100)
+}
+
+// Config controls the pipeline.
+type Config struct {
+	// Workers is the number of concurrent detector goroutines (default 4).
+	Workers int
+	// QueueDepth bounds the alert queue (default 1; alerts block when the
+	// security team falls behind, which is deliberate backpressure).
+	QueueDepth int
+}
+
+// Pipeline is a running NIDS instance.
+type Pipeline struct {
+	det   Detector
+	cfg   Config
+	stats Stats
+}
+
+// New constructs a pipeline around a detector.
+func New(det Detector, cfg Config) *Pipeline {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1
+	}
+	return &Pipeline{det: det, cfg: cfg}
+}
+
+// Stats exposes the live counters.
+func (p *Pipeline) Stats() StatsSnapshot { return p.stats.Snapshot() }
+
+// Detector returns the wrapped detector.
+func (p *Pipeline) Detector() Detector { return p.det }
+
+// Run consumes flows until in closes or ctx is cancelled, invoking onAlert
+// for every alert (from the single collector goroutine — onAlert needs no
+// locking). It blocks until all workers have drained.
+func (p *Pipeline) Run(ctx context.Context, in <-chan flow.Flow, onAlert func(Alert)) error {
+	alerts := make(chan Alert, p.cfg.QueueDepth)
+
+	var wg sync.WaitGroup
+	for w := 0; w < p.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case f, ok := <-in:
+					if !ok {
+						return
+					}
+					p.handle(ctx, f, alerts)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for a := range alerts {
+			if onAlert != nil {
+				onAlert(a)
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(alerts)
+	<-done
+	return ctx.Err()
+}
+
+// handle scores one flow and updates the counters.
+func (p *Pipeline) handle(ctx context.Context, f flow.Flow, alerts chan<- Alert) {
+	v := p.det.Detect(&f.Record)
+	p.stats.processed.Add(1)
+	actualAttack := f.TrueClass != 0
+	switch {
+	case v.IsAttack && actualAttack:
+		p.stats.truePos.Add(1)
+	case v.IsAttack && !actualAttack:
+		p.stats.falseAlarm.Add(1)
+	case !v.IsAttack && actualAttack:
+		p.stats.missed.Add(1)
+	default:
+		p.stats.trueNeg.Add(1)
+	}
+	if v.IsAttack {
+		p.stats.alerts.Add(1)
+		select {
+		case alerts <- Alert{Flow: f, Verdict: v, At: f.Timestamp}:
+		case <-ctx.Done():
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package nids
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/anomaly"
+	"repro/internal/data"
+	"repro/internal/flow"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/signature"
+	"repro/internal/synth"
+	"repro/internal/tensor"
+)
+
+// tinyGen is a small dataset shape so detector training stays fast.
+func tinyGen(t *testing.T) *synth.Generator {
+	t.Helper()
+	cfg := synth.NSLKDDConfig()
+	cfg.Name = "nsl-tiny"
+	cfg.NumericName = cfg.NumericName[:8]
+	cfg.Cats = []synth.CatSpec{{Name: "proto", Card: 3}, {Name: "flag", Card: 4}}
+	cfg.Classes = []synth.ClassSpec{
+		{Name: "normal", Weight: 0.6},
+		{Name: "dos", Weight: 0.25},
+		{Name: "probe", Weight: 0.15},
+	}
+	cfg.LatentDim = 6
+	cfg.QuadTerms = 4
+	g, err := synth.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// trainTinyModel fits a small MLP detector on generator traffic.
+func trainTinyModel(t *testing.T, g *synth.Generator) *ModelDetector {
+	t.Helper()
+	ds := g.Generate(1200, 71)
+	x, y, pipe := data.Preprocess(ds)
+	rng := rand.New(rand.NewSource(1))
+	stack := models.BuildMLP(rng, rand.New(rand.NewSource(2)), g.Schema().EncodedWidth(), g.Schema().NumClasses())
+	net := nn.NewNetwork(stack, nn.NewSoftmaxCrossEntropy(), nn.NewAdam(0.005))
+	x3 := x.Reshape(x.Dim(0), 1, x.Dim(1))
+	net.Fit(x3, y, nn.FitConfig{Epochs: 8, BatchSize: 128, Shuffle: true, RNG: rng})
+	return &ModelDetector{ModelName: "mlp", Net: net, Pipe: pipe}
+}
+
+func TestModelDetectorOnPipeline(t *testing.T) {
+	g := tinyGen(t)
+	det := trainTinyModel(t, g)
+
+	src, err := flow.NewSource(g, flow.DefaultSourceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(det, Config{Workers: 4})
+	flows := make(chan flow.Flow, 1)
+	go src.Run(context.Background(), flows, 800)
+
+	var mu sync.Mutex
+	var alerts []Alert
+	if err := p.Run(context.Background(), flows, func(a Alert) {
+		mu.Lock()
+		alerts = append(alerts, a)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := p.Stats()
+	if st.Processed != 800 {
+		t.Fatalf("processed %d flows, want 800", st.Processed)
+	}
+	if int64(len(alerts)) != st.Alerts {
+		t.Fatalf("alert callback count %d != counter %d", len(alerts), st.Alerts)
+	}
+	if st.TruePos+st.FalseAlarms+st.Missed+st.TrueNeg != st.Processed {
+		t.Fatalf("counters inconsistent: %+v", st)
+	}
+	// A trained detector must beat coin-flipping on this easy shape.
+	if st.DR() < 0.5 {
+		t.Fatalf("trained detector DR %.2f < 0.5", st.DR())
+	}
+	if st.FAR() > 0.3 {
+		t.Fatalf("trained detector FAR %.2f > 0.3", st.FAR())
+	}
+}
+
+func TestSignatureDetectorOnPipeline(t *testing.T) {
+	g := tinyGen(t)
+	train := g.Generate(2500, 72)
+	rules, err := signature.MineRules(train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := signature.NewEngine(train.Schema, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := &SignatureDetector{Engine: eng}
+
+	src, err := flow.NewSource(g, flow.DefaultSourceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(det, Config{Workers: 2})
+	flows := make(chan flow.Flow, 1)
+	go src.Run(context.Background(), flows, 600)
+	if err := p.Run(context.Background(), flows, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Processed != 600 {
+		t.Fatalf("processed %d, want 600", st.Processed)
+	}
+	if st.Alerts == 0 {
+		t.Fatal("signature engine produced no alerts at all")
+	}
+}
+
+func TestAnomalyDetectorOnPipeline(t *testing.T) {
+	g := tinyGen(t)
+	train := g.Generate(1500, 73)
+	x, y, pipe := data.Preprocess(train)
+	// Profile on normal rows only.
+	var normalRows []int
+	for i, yi := range y {
+		if yi == 0 {
+			normalRows = append(normalRows, i)
+		}
+	}
+	normal := tensor.New(len(normalRows), x.Dim(1))
+	for i, r := range normalRows {
+		copy(normal.Row(i), x.Row(r))
+	}
+	th, err := anomaly.Calibrate(anomaly.NewGaussian(), normal, 0.98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := &AnomalyDetector{Profile: th, Pipe: pipe}
+
+	src, err := flow.NewSource(g, flow.DefaultSourceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(det, Config{Workers: 3})
+	flows := make(chan flow.Flow, 1)
+	go src.Run(context.Background(), flows, 600)
+	if err := p.Run(context.Background(), flows, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Processed != 600 {
+		t.Fatalf("processed %d, want 600", st.Processed)
+	}
+	if st.TruePos == 0 {
+		t.Fatal("anomaly detector caught nothing")
+	}
+}
+
+func TestPipelineCancellation(t *testing.T) {
+	g := tinyGen(t)
+	det := &SignatureDetector{Engine: mustEngine(t, g)}
+	p := New(det, Config{Workers: 2})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	src, err := flow.NewSource(g, flow.DefaultSourceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := make(chan flow.Flow)
+	go src.Run(ctx, flows, 0) // unbounded stream
+
+	done := make(chan error, 1)
+	go func() { done <- p.Run(ctx, flows, nil) }()
+	// Let it process a bit, then cancel; Run must return promptly.
+	for p.Stats().Processed < 50 {
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+}
+
+func mustEngine(t *testing.T, g *synth.Generator) *signature.Engine {
+	t.Helper()
+	train := g.Generate(2000, 74)
+	rules, err := signature.MineRules(train, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := signature.NewEngine(train.Schema, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestStatsSnapshotMath(t *testing.T) {
+	var s Stats
+	s.truePos.Store(80)
+	s.missed.Store(20)
+	s.falseAlarm.Store(5)
+	s.trueNeg.Store(95)
+	snap := s.Snapshot()
+	if snap.DR() != 0.8 {
+		t.Fatalf("DR = %v, want 0.8", snap.DR())
+	}
+	if snap.FAR() != 0.05 {
+		t.Fatalf("FAR = %v, want 0.05", snap.FAR())
+	}
+	if snap.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestStatsEmptyNoNaN(t *testing.T) {
+	var s Stats
+	snap := s.Snapshot()
+	if snap.DR() != 0 || snap.FAR() != 0 {
+		t.Fatal("empty stats should be zero, not NaN")
+	}
+}

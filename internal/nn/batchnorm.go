@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm normalizes activations per channel (the last axis), matching
+// Keras BatchNormalization with axis=-1. It accepts rank-2 (batch, C) or
+// rank-3 (batch, T, C) inputs; rank-3 inputs are normalized over batch×time.
+//
+// During training it uses batch statistics and updates exponential running
+// moments; during inference it uses the running moments.
+type BatchNorm struct {
+	C        int
+	Eps      float64
+	Momentum float64
+
+	gamma *Param // scale (C)
+	beta  *Param // shift (C)
+
+	runMean *tensor.Tensor // running mean (C)
+	runVar  *tensor.Tensor // running variance (C)
+
+	// Cached from the forward pass for Backward.
+	xhat    *tensor.Tensor // normalized input, flattened (N, C); train mode
+	evalX   *tensor.Tensor // raw input, flattened (N, C); eval mode
+	invStd  []float64      // 1/sqrt(var+eps) per channel
+	n       int            // rows normalized over (batch×time)
+	inShape []int
+	trained bool // whether the last forward used batch statistics
+}
+
+// NewBatchNorm constructs a BatchNorm over c channels with Keras defaults
+// (eps 1e-3, momentum 0.99, gamma=1, beta=0).
+func NewBatchNorm(c int) *BatchNorm {
+	return &BatchNorm{
+		C:        c,
+		Eps:      1e-3,
+		Momentum: 0.99,
+		gamma:    NewParam(fmt.Sprintf("bn_gamma_%d", c), tensor.Ones(c)),
+		beta:     NewParam(fmt.Sprintf("bn_beta_%d", c), tensor.New(c)),
+		runMean:  tensor.New(c),
+		runVar:   tensor.Ones(c),
+	}
+}
+
+var _ Layer = (*BatchNorm)(nil)
+
+// flatten2 views x as (N, C) rows regardless of rank-2/rank-3 input.
+func (l *BatchNorm) flatten2(x *tensor.Tensor) *tensor.Tensor {
+	switch x.Rank() {
+	case 2:
+		if x.Dim(1) != l.C {
+			panic(fmt.Sprintf("nn: BatchNorm expects %d channels, got shape %v", l.C, x.Shape()))
+		}
+		return x
+	case 3:
+		if x.Dim(2) != l.C {
+			panic(fmt.Sprintf("nn: BatchNorm expects %d channels, got shape %v", l.C, x.Shape()))
+		}
+		return x.Reshape(x.Dim(0)*x.Dim(1), l.C)
+	default:
+		panic(fmt.Sprintf("nn: BatchNorm expects rank-2 or rank-3 input, got shape %v", x.Shape()))
+	}
+}
+
+// Forward implements Layer.
+func (l *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.inShape = x.Shape()
+	x2 := l.flatten2(x)
+	n, c := x2.Dim(0), l.C
+	out2 := tensor.New(n, c)
+	xd, od := x2.Data(), out2.Data()
+	g, b := l.gamma.Value.Data(), l.beta.Value.Data()
+
+	if !train {
+		l.trained = false
+		l.evalX = x2
+		rm, rv := l.runMean.Data(), l.runVar.Data()
+		for ci := 0; ci < c; ci++ {
+			inv := 1.0 / math.Sqrt(rv[ci]+l.Eps)
+			mean := rm[ci]
+			gi, bi := g[ci], b[ci]
+			for r := 0; r < n; r++ {
+				od[r*c+ci] = (xd[r*c+ci]-mean)*inv*gi + bi
+			}
+		}
+		return out2.Reshape(l.inShape...)
+	}
+
+	l.trained = true
+	l.n = n
+	if l.invStd == nil || len(l.invStd) != c {
+		l.invStd = make([]float64, c)
+	}
+	l.xhat = tensor.New(n, c)
+	xh := l.xhat.Data()
+	rm, rv := l.runMean.Data(), l.runVar.Data()
+	invN := 1.0 / float64(n)
+	for ci := 0; ci < c; ci++ {
+		mean := 0.0
+		for r := 0; r < n; r++ {
+			mean += xd[r*c+ci]
+		}
+		mean *= invN
+		variance := 0.0
+		for r := 0; r < n; r++ {
+			d := xd[r*c+ci] - mean
+			variance += d * d
+		}
+		variance *= invN // biased variance, as Keras uses in normalization
+		inv := 1.0 / math.Sqrt(variance+l.Eps)
+		l.invStd[ci] = inv
+		gi, bi := g[ci], b[ci]
+		for r := 0; r < n; r++ {
+			h := (xd[r*c+ci] - mean) * inv
+			xh[r*c+ci] = h
+			od[r*c+ci] = h*gi + bi
+		}
+		rm[ci] = l.Momentum*rm[ci] + (1-l.Momentum)*mean
+		rv[ci] = l.Momentum*rv[ci] + (1-l.Momentum)*variance
+	}
+	return out2.Reshape(l.inShape...)
+}
+
+// Backward implements Layer. It assumes the preceding Forward ran in
+// training mode (batch statistics); inference-mode backward treats the
+// moments as constants.
+func (l *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g2 := l.flatten2(grad)
+	n, c := g2.Dim(0), l.C
+	dx2 := tensor.New(n, c)
+	gd, dxd := g2.Data(), dx2.Data()
+	gamma := l.gamma.Value.Data()
+	dgamma := l.gamma.Grad.Data()
+	dbeta := l.beta.Grad.Data()
+
+	if !l.trained {
+		// Inference-mode: y = (x − μ_run)·invStd·γ + β. The moments are
+		// constants, but γ and β still receive gradients.
+		rm, rv := l.runMean.Data(), l.runVar.Data()
+		xd := l.evalX.Data()
+		for ci := 0; ci < c; ci++ {
+			inv := 1.0 / math.Sqrt(rv[ci]+l.Eps)
+			for r := 0; r < n; r++ {
+				dy := gd[r*c+ci]
+				xh := (xd[r*c+ci] - rm[ci]) * inv
+				dgamma[ci] += dy * xh
+				dbeta[ci] += dy
+				dxd[r*c+ci] = dy * gamma[ci] * inv
+			}
+		}
+		return dx2.Reshape(l.inShape...)
+	}
+
+	xh := l.xhat.Data()
+	invN := 1.0 / float64(n)
+	for ci := 0; ci < c; ci++ {
+		// Accumulate per-channel sums needed by the BN backward formula.
+		sumDy, sumDyXh := 0.0, 0.0
+		for r := 0; r < n; r++ {
+			dy := gd[r*c+ci]
+			sumDy += dy
+			sumDyXh += dy * xh[r*c+ci]
+		}
+		dgamma[ci] += sumDyXh
+		dbeta[ci] += sumDy
+		k := gamma[ci] * l.invStd[ci]
+		for r := 0; r < n; r++ {
+			dy := gd[r*c+ci]
+			dxd[r*c+ci] = k * (dy - invN*sumDy - xh[r*c+ci]*invN*sumDyXh)
+		}
+	}
+	return dx2.Reshape(l.inShape...)
+}
+
+// Params implements Layer.
+func (l *BatchNorm) Params() []*Param { return []*Param{l.gamma, l.beta} }
+
+// RunningStats returns copies of the running mean and variance, exposed for
+// tests and checkpointing.
+func (l *BatchNorm) RunningStats() (mean, variance *tensor.Tensor) {
+	return l.runMean.Clone(), l.runVar.Clone()
+}
+
+// SetRunningStats overwrites the running moments (used when loading
+// checkpoints).
+func (l *BatchNorm) SetRunningStats(mean, variance *tensor.Tensor) {
+	l.runMean.CopyFrom(mean)
+	l.runVar.CopyFrom(variance)
+}
+
+// LayerName implements Named.
+func (l *BatchNorm) LayerName() string { return fmt.Sprintf("BatchNorm(%d)", l.C) }

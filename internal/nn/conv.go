@@ -1,0 +1,345 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Padding selects how Conv1D handles sequence boundaries.
+type Padding int
+
+const (
+	// PaddingSame zero-pads so the output has the same length as the input
+	// (Keras "same"). This is what the paper's blocks require so the
+	// residual add shapes line up.
+	PaddingSame Padding = iota + 1
+	// PaddingValid performs no padding; output length is T − K + 1.
+	PaddingValid
+)
+
+// Conv1D is a 1-D convolution over (batch, timesteps, channels) inputs with
+// stride 1. The kernel has shape (K, inC, outC); bias has shape (outC).
+type Conv1D struct {
+	InC, OutC, K int
+	Pad          Padding
+
+	w *Param // (K, inC, outC), stored as K slabs of (inC, outC)
+	b *Param // (outC)
+
+	x *tensor.Tensor // cached input (B, T, inC)
+}
+
+// NewConv1D constructs a Conv1D layer with Glorot-uniform weights
+// (fanIn = K·inC, fanOut = K·outC, matching Keras) and zero bias.
+func NewConv1D(rng *rand.Rand, inC, outC, k int, pad Padding) *Conv1D {
+	if k < 1 {
+		panic(fmt.Sprintf("nn: Conv1D kernel size %d < 1", k))
+	}
+	return &Conv1D{
+		InC: inC, OutC: outC, K: k, Pad: pad,
+		w: NewParam(fmt.Sprintf("conv1d_w_%dx%dx%d", k, inC, outC),
+			tensor.GlorotUniform(rng, k*inC, k*outC, k, inC, outC)),
+		b: NewParam(fmt.Sprintf("conv1d_b_%d", outC), tensor.New(outC)),
+	}
+}
+
+var _ Layer = (*Conv1D)(nil)
+
+// outLen returns the output sequence length for input length t.
+func (l *Conv1D) outLen(t int) int {
+	if l.Pad == PaddingSame {
+		return t
+	}
+	out := t - l.K + 1
+	if out < 0 {
+		out = 0
+	}
+	return out
+}
+
+// leftPad returns the number of (virtual) zero frames prepended under
+// "same" padding: the Keras convention floor((K-1)/2).
+func (l *Conv1D) leftPad() int {
+	if l.Pad == PaddingSame {
+		return (l.K - 1) / 2
+	}
+	return 0
+}
+
+// wSlab returns tap k of the kernel as an (inC, outC) matrix view.
+func (l *Conv1D) wSlab(val *tensor.Tensor, k int) *tensor.Tensor {
+	sz := l.InC * l.OutC
+	return tensor.FromSlice(val.Data()[k*sz:(k+1)*sz], l.InC, l.OutC)
+}
+
+// Forward implements Layer.
+//
+// The convolution is evaluated as a sum over kernel taps of shifted GEMMs:
+// out[:, t, :] += x[:, t+k-pad, :] @ W[k]. For each tap the contributing
+// rows of every batch item are gathered into one contiguous matrix so the
+// whole batch runs through a single parallel GEMM (per-item micro-GEMMs
+// are far too small to parallelize).
+func (l *Conv1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	mustRank("Conv1D", x, 3)
+	if x.Dim(2) != l.InC {
+		panic(fmt.Sprintf("nn: Conv1D expects %d input channels, got shape %v", l.InC, x.Shape()))
+	}
+	l.x = x
+	b, t := x.Dim(0), x.Dim(1)
+	to := l.outLen(t)
+	out := tensor.New(b, to, l.OutC)
+	pad := l.leftPad()
+
+	xd := x.Data()
+	od := out.Data()
+	for k := 0; k < l.K; k++ {
+		t0lo, t0hi := validOutRange(to, t, k, pad)
+		if t0lo >= t0hi {
+			continue
+		}
+		rows := t0hi - t0lo
+		tiLo := t0lo + k - pad
+		wk := l.wSlab(l.w.Value, k)
+
+		// Gather the contributing input rows of all batch items.
+		xin := tensor.New(b*rows, l.InC)
+		xind := xin.Data()
+		for bi := 0; bi < b; bi++ {
+			copy(xind[bi*rows*l.InC:(bi+1)*rows*l.InC],
+				xd[(bi*t+tiLo)*l.InC:(bi*t+tiLo+rows)*l.InC])
+		}
+		part := tensor.New(b*rows, l.OutC)
+		tensor.MatMulInto(part, xin, wk)
+		// Scatter-add into the output band of each batch item.
+		pd := part.Data()
+		for bi := 0; bi < b; bi++ {
+			dst := od[(bi*to+t0lo)*l.OutC : (bi*to+t0hi)*l.OutC]
+			src := pd[bi*rows*l.OutC : (bi+1)*rows*l.OutC]
+			for i, v := range src {
+				dst[i] += v
+			}
+		}
+	}
+	out.Reshape(b*to, l.OutC).AddRowVec(l.b.Value)
+	return out
+}
+
+// validOutRange returns the half-open range of output steps t0 for which
+// input step t0+k−pad lies in [0, t).
+func validOutRange(to, t, k, pad int) (lo, hi int) {
+	lo = pad - k
+	if lo < 0 {
+		lo = 0
+	}
+	hi = t - 1 + pad - k
+	if hi > to-1 {
+		hi = to - 1
+	}
+	return lo, hi + 1
+}
+
+// Backward implements Layer.
+func (l *Conv1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	mustRank("Conv1D.Backward", grad, 3)
+	b, t := l.x.Dim(0), l.x.Dim(1)
+	to := l.outLen(t)
+	if grad.Dim(0) != b || grad.Dim(1) != to || grad.Dim(2) != l.OutC {
+		panic(fmt.Sprintf("nn: Conv1D.Backward grad shape %v, want [%d %d %d]", grad.Shape(), b, to, l.OutC))
+	}
+	pad := l.leftPad()
+	dx := tensor.New(b, t, l.InC)
+
+	// Bias gradient: sum over batch and time.
+	db := tensor.New(l.OutC)
+	tensor.SumRowsInto(db, grad.Reshape(b*to, l.OutC))
+	l.b.Grad.Axpy(1, db)
+
+	xd, gd, dxd := l.x.Data(), grad.Data(), dx.Data()
+	for k := 0; k < l.K; k++ {
+		t0lo, t0hi := validOutRange(to, t, k, pad)
+		if t0lo >= t0hi {
+			continue
+		}
+		rows := t0hi - t0lo
+		tiLo := t0lo + k - pad
+		wk := l.wSlab(l.w.Value, k)
+		dwk := l.wSlab(l.w.Grad, k)
+
+		// Gather contributing input rows and gradient rows batch-wide.
+		xin := tensor.New(b*rows, l.InC)
+		gslab := tensor.New(b*rows, l.OutC)
+		xind, gsd := xin.Data(), gslab.Data()
+		for bi := 0; bi < b; bi++ {
+			copy(xind[bi*rows*l.InC:(bi+1)*rows*l.InC],
+				xd[(bi*t+tiLo)*l.InC:(bi*t+tiLo+rows)*l.InC])
+			copy(gsd[bi*rows*l.OutC:(bi+1)*rows*l.OutC],
+				gd[(bi*to+t0lo)*l.OutC:(bi*to+t0hi)*l.OutC])
+		}
+
+		// dW[k] += xinᵀ @ gslab
+		dwPart := tensor.New(l.InC, l.OutC)
+		tensor.MatMulTransAInto(dwPart, xin, gslab)
+		dwk.Axpy(1, dwPart)
+
+		// dx bands += gslab @ W[k]ᵀ
+		dxPart := tensor.New(b*rows, l.InC)
+		tensor.MatMulTransBInto(dxPart, gslab, wk)
+		dpd := dxPart.Data()
+		for bi := 0; bi < b; bi++ {
+			dst := dxd[(bi*t+tiLo)*l.InC : (bi*t+tiLo+rows)*l.InC]
+			src := dpd[bi*rows*l.InC : (bi+1)*rows*l.InC]
+			for i, v := range src {
+				dst[i] += v
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *Conv1D) Params() []*Param { return []*Param{l.w, l.b} }
+
+// LayerName implements Named.
+func (l *Conv1D) LayerName() string {
+	return fmt.Sprintf("Conv1D(k=%d, %d→%d)", l.K, l.InC, l.OutC)
+}
+
+// MaxPool1D downsamples (batch, T, C) inputs by taking the max over
+// non-overlapping windows of size Pool along the time axis. If T is not a
+// multiple of Pool the tail partial window is still pooled (ceil division),
+// and if Pool exceeds T the whole sequence is pooled to length 1 — this
+// mirrors how the paper's degenerate T=1 inputs behave.
+type MaxPool1D struct {
+	Pool int
+
+	argmax []int // flat input index chosen for each output element
+	inB    int
+	inT    int
+	inC    int
+}
+
+// NewMaxPool1D constructs a MaxPool1D layer with the given window size.
+func NewMaxPool1D(pool int) *MaxPool1D {
+	if pool < 1 {
+		panic(fmt.Sprintf("nn: MaxPool1D pool size %d < 1", pool))
+	}
+	return &MaxPool1D{Pool: pool}
+}
+
+var _ Layer = (*MaxPool1D)(nil)
+
+// outLen returns ceil(t / pool).
+func (l *MaxPool1D) outLen(t int) int { return (t + l.Pool - 1) / l.Pool }
+
+// Forward implements Layer.
+func (l *MaxPool1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	mustRank("MaxPool1D", x, 3)
+	b, t, c := x.Dim(0), x.Dim(1), x.Dim(2)
+	to := l.outLen(t)
+	l.inB, l.inT, l.inC = b, t, c
+	out := tensor.New(b, to, c)
+	if cap(l.argmax) < out.Len() {
+		l.argmax = make([]int, out.Len())
+	}
+	l.argmax = l.argmax[:out.Len()]
+
+	xd, od := x.Data(), out.Data()
+	for bi := 0; bi < b; bi++ {
+		for t0 := 0; t0 < to; t0++ {
+			lo := t0 * l.Pool
+			hi := lo + l.Pool
+			if hi > t {
+				hi = t
+			}
+			for ci := 0; ci < c; ci++ {
+				bestIdx := (bi*t+lo)*c + ci
+				best := xd[bestIdx]
+				for ti := lo + 1; ti < hi; ti++ {
+					idx := (bi*t+ti)*c + ci
+					if xd[idx] > best {
+						best, bestIdx = xd[idx], idx
+					}
+				}
+				oi := (bi*to+t0)*c + ci
+				od[oi] = best
+				l.argmax[oi] = bestIdx
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *MaxPool1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(l.inB, l.inT, l.inC)
+	dxd, gd := dx.Data(), grad.Data()
+	for oi, g := range gd {
+		dxd[l.argmax[oi]] += g
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *MaxPool1D) Params() []*Param { return nil }
+
+// LayerName implements Named.
+func (l *MaxPool1D) LayerName() string { return fmt.Sprintf("MaxPool1D(%d)", l.Pool) }
+
+// GlobalAvgPool1D reduces (batch, T, C) to (batch, C) by averaging over the
+// time axis — the paper's head layer before the final Dense.
+type GlobalAvgPool1D struct {
+	inT int
+	inB int
+	inC int
+}
+
+// NewGlobalAvgPool1D constructs a GlobalAvgPool1D layer.
+func NewGlobalAvgPool1D() *GlobalAvgPool1D { return &GlobalAvgPool1D{} }
+
+var _ Layer = (*GlobalAvgPool1D)(nil)
+
+// Forward implements Layer.
+func (l *GlobalAvgPool1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	mustRank("GlobalAvgPool1D", x, 3)
+	b, t, c := x.Dim(0), x.Dim(1), x.Dim(2)
+	l.inB, l.inT, l.inC = b, t, c
+	out := tensor.New(b, c)
+	xd, od := x.Data(), out.Data()
+	inv := 1.0 / float64(t)
+	for bi := 0; bi < b; bi++ {
+		orow := od[bi*c : (bi+1)*c]
+		for ti := 0; ti < t; ti++ {
+			xrow := xd[(bi*t+ti)*c : (bi*t+ti+1)*c]
+			for ci, v := range xrow {
+				orow[ci] += v * inv
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *GlobalAvgPool1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	mustRank("GlobalAvgPool1D.Backward", grad, 2)
+	dx := tensor.New(l.inB, l.inT, l.inC)
+	gd, dxd := grad.Data(), dx.Data()
+	inv := 1.0 / float64(l.inT)
+	for bi := 0; bi < l.inB; bi++ {
+		grow := gd[bi*l.inC : (bi+1)*l.inC]
+		for ti := 0; ti < l.inT; ti++ {
+			drow := dxd[(bi*l.inT+ti)*l.inC : (bi*l.inT+ti+1)*l.inC]
+			for ci, g := range grow {
+				drow[ci] = g * inv
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *GlobalAvgPool1D) Params() []*Param { return nil }
+
+// LayerName implements Named.
+func (l *GlobalAvgPool1D) LayerName() string { return "GlobalAvgPool1D" }

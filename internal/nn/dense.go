@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully-connected layer: y = xW + b for rank-2 inputs
+// (batch, in) producing (batch, out).
+type Dense struct {
+	In, Out int
+	w       *Param // (in, out)
+	b       *Param // (out)
+	useBias bool
+
+	x *tensor.Tensor // cached input
+}
+
+// NewDense constructs a Dense layer with Glorot-uniform weights and zero
+// bias, matching Keras defaults.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	return &Dense{
+		In: in, Out: out,
+		w:       NewParam(fmt.Sprintf("dense_w_%dx%d", in, out), tensor.GlorotUniform(rng, in, out, in, out)),
+		b:       NewParam(fmt.Sprintf("dense_b_%d", out), tensor.New(out)),
+		useBias: true,
+	}
+}
+
+// NewDenseNoBias constructs a Dense layer without a bias term.
+func NewDenseNoBias(rng *rand.Rand, in, out int) *Dense {
+	d := NewDense(rng, in, out)
+	d.useBias = false
+	return d
+}
+
+var _ Layer = (*Dense)(nil)
+
+// Forward implements Layer.
+func (l *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	mustRank("Dense", x, 2)
+	if x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: Dense expects %d input features, got shape %v", l.In, x.Shape()))
+	}
+	l.x = x
+	out := tensor.MatMul(x, l.w.Value)
+	if l.useBias {
+		out.AddRowVec(l.b.Value)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	mustRank("Dense.Backward", grad, 2)
+	// dW += xᵀ @ grad
+	dw := tensor.New(l.In, l.Out)
+	tensor.MatMulTransAInto(dw, l.x, grad)
+	l.w.Grad.Axpy(1, dw)
+	if l.useBias {
+		db := tensor.New(l.Out)
+		tensor.SumRowsInto(db, grad)
+		l.b.Grad.Axpy(1, db)
+	}
+	// dx = grad @ Wᵀ
+	dx := tensor.New(grad.Dim(0), l.In)
+	tensor.MatMulTransBInto(dx, grad, l.w.Value)
+	return dx
+}
+
+// Params implements Layer.
+func (l *Dense) Params() []*Param {
+	if l.useBias {
+		return []*Param{l.w, l.b}
+	}
+	return []*Param{l.w}
+}
+
+// LayerName implements Named.
+func (l *Dense) LayerName() string { return fmt.Sprintf("Dense(%d→%d)", l.In, l.Out) }

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dropout randomly zeroes a fraction Rate of activations during training
+// and rescales the survivors by 1/(1−Rate) (inverted dropout), so inference
+// is the identity. The paper uses Rate = 0.6.
+type Dropout struct {
+	Rate float64
+
+	rng      *rand.Rand
+	mask     []float64
+	lastLive bool // whether the last forward applied a mask
+
+	// PinMask, when true, freezes the current mask so repeated forward
+	// passes are deterministic. Used by gradient-checking tests only.
+	PinMask bool
+	pinned  bool
+}
+
+// NewDropout constructs a Dropout layer with the given drop rate in [0, 1).
+func NewDropout(rng *rand.Rand, rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: Dropout rate %v outside [0, 1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// Forward implements Layer.
+func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || l.Rate == 0 {
+		l.lastLive = false
+		return x
+	}
+	l.lastLive = true
+	n := x.Len()
+	regenerate := !(l.PinMask && l.pinned && len(l.mask) == n)
+	if cap(l.mask) < n {
+		l.mask = make([]float64, n)
+	}
+	l.mask = l.mask[:n]
+	if regenerate {
+		keep := 1 - l.Rate
+		scale := 1 / keep
+		for i := range l.mask {
+			if l.rng.Float64() < keep {
+				l.mask[i] = scale
+			} else {
+				l.mask[i] = 0
+			}
+		}
+		l.pinned = l.PinMask
+	}
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		od[i] = v * l.mask[i]
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if !l.lastLive {
+		return grad
+	}
+	out := tensor.New(grad.Shape()...)
+	gd, od := grad.Data(), out.Data()
+	for i, g := range gd {
+		od[i] = g * l.mask[i]
+	}
+	return out
+}
+
+// Params implements Layer.
+func (l *Dropout) Params() []*Param { return nil }
+
+// LayerName implements Named.
+func (l *Dropout) LayerName() string { return fmt.Sprintf("Dropout(%.2f)", l.Rate) }
+
+// Reshape reinterprets the input with a new shape whose leading dimension
+// is the batch; the remaining dimensions are fixed at construction. The
+// paper's blocks use it to restore the (batch, T, C) layout after a GRU.
+type Reshape struct {
+	// Dims are the per-example dimensions (excluding batch). One entry may
+	// be -1 to be inferred.
+	Dims []int
+
+	inShape []int
+}
+
+// NewReshape constructs a Reshape to (batch, dims...).
+func NewReshape(dims ...int) *Reshape {
+	out := make([]int, len(dims))
+	copy(out, dims)
+	return &Reshape{Dims: out}
+}
+
+var _ Layer = (*Reshape)(nil)
+
+// Forward implements Layer.
+func (l *Reshape) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	l.inShape = x.Shape()
+	shape := make([]int, 0, len(l.Dims)+1)
+	shape = append(shape, x.Dim(0))
+	shape = append(shape, l.Dims...)
+	return x.Reshape(shape...)
+}
+
+// Backward implements Layer.
+func (l *Reshape) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(l.inShape...)
+}
+
+// Params implements Layer.
+func (l *Reshape) Params() []*Param { return nil }
+
+// LayerName implements Named.
+func (l *Reshape) LayerName() string { return fmt.Sprintf("Reshape%v", l.Dims) }
+
+// Flatten collapses (batch, ...) to (batch, features).
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten constructs a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+var _ Layer = (*Flatten)(nil)
+
+// Forward implements Layer.
+func (l *Flatten) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	l.inShape = x.Shape()
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward implements Layer.
+func (l *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(l.inShape...)
+}
+
+// Params implements Layer.
+func (l *Flatten) Params() []*Param { return nil }
+
+// LayerName implements Named.
+func (l *Flatten) LayerName() string { return "Flatten" }

@@ -1,0 +1,343 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// orthogonalSquare returns an n×n matrix with orthonormal rows/columns,
+// built by modified Gram–Schmidt on a random normal matrix and scaled by
+// gain. Keras initializes recurrent kernels orthogonally; we do the same
+// per gate.
+func orthogonalSquare(rng *rand.Rand, n int, gain float64) *tensor.Tensor {
+	m := tensor.RandNormal(rng, 0, 1, n, n)
+	d := m.Data()
+	for i := 0; i < n; i++ {
+		ri := d[i*n : (i+1)*n]
+		// Subtract projections onto previous rows.
+		for j := 0; j < i; j++ {
+			rj := d[j*n : (j+1)*n]
+			dot := 0.0
+			for k := range ri {
+				dot += ri[k] * rj[k]
+			}
+			for k := range ri {
+				ri[k] -= dot * rj[k]
+			}
+		}
+		norm := 0.0
+		for _, v := range ri {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			// Degenerate draw; re-randomize this row deterministically.
+			for k := range ri {
+				ri[k] = rng.NormFloat64()
+			}
+			i-- // redo orthogonalization for this row
+			continue
+		}
+		for k := range ri {
+			ri[k] = ri[k] / norm * gain
+		}
+	}
+	return m
+}
+
+// gruStep caches one timestep's intermediate values for backpropagation
+// through time.
+type gruStep struct {
+	hPrev *tensor.Tensor // (B, H)
+	z     *tensor.Tensor // update gate output
+	r     *tensor.Tensor // reset gate output
+	hc    *tensor.Tensor // candidate (tanh output)
+	az    *tensor.Tensor // update gate pre-activation
+	ar    *tensor.Tensor // reset gate pre-activation
+	rh    *tensor.Tensor // r ⊙ hPrev
+	h     *tensor.Tensor // step output
+}
+
+// GRU is a gated recurrent unit over (batch, T, inC) inputs with H hidden
+// units, using tanh candidate activation and hard-sigmoid gate activation —
+// exactly the configuration the paper specifies (§IV.4). The candidate uses
+// the reset_after=False formulation tanh(xW + (r⊙h)U + b), the Keras
+// default of the paper's era.
+//
+// With ReturnSequences the output is (batch, T, H); otherwise it is the
+// final hidden state (batch, H).
+type GRU struct {
+	InC, H          int
+	ReturnSequences bool
+
+	w *Param // (inC, 3H): [z | r | h]
+	u *Param // (H, 3H)
+	b *Param // (3H)
+
+	x     *tensor.Tensor
+	steps []gruStep
+}
+
+// NewGRU constructs a GRU with Glorot-uniform input kernel, orthogonal
+// recurrent kernel and zero bias (Keras defaults).
+func NewGRU(rng *rand.Rand, inC, h int, returnSequences bool) *GRU {
+	u := tensor.New(h, 3*h)
+	for g := 0; g < 3; g++ {
+		q := orthogonalSquare(rng, h, 1)
+		for i := 0; i < h; i++ {
+			copy(u.Data()[i*3*h+g*h:i*3*h+(g+1)*h], q.Data()[i*h:(i+1)*h])
+		}
+	}
+	return &GRU{
+		InC: inC, H: h, ReturnSequences: returnSequences,
+		w: NewParam(fmt.Sprintf("gru_w_%dx%d", inC, 3*h), tensor.GlorotUniform(rng, inC, h, inC, 3*h)),
+		u: NewParam(fmt.Sprintf("gru_u_%dx%d", h, 3*h), u),
+		b: NewParam(fmt.Sprintf("gru_b_%d", 3*h), tensor.New(3*h)),
+	}
+}
+
+var _ Layer = (*GRU)(nil)
+
+// cols returns a (B, H) copy of columns [g*H, (g+1)*H) of a (B, 3H) matrix.
+func gateCols(m *tensor.Tensor, g, h int) *tensor.Tensor {
+	b := m.Dim(0)
+	out := tensor.New(b, h)
+	md, od := m.Data(), out.Data()
+	w := m.Dim(1)
+	for r := 0; r < b; r++ {
+		copy(od[r*h:(r+1)*h], md[r*w+g*h:r*w+(g+1)*h])
+	}
+	return out
+}
+
+// addGateCols accumulates src (B, H) into columns [g*H, (g+1)*H) of dst
+// (B, 3H).
+func addGateCols(dst *tensor.Tensor, src *tensor.Tensor, g, h int) {
+	b := dst.Dim(0)
+	w := dst.Dim(1)
+	dd, sd := dst.Data(), src.Data()
+	for r := 0; r < b; r++ {
+		drow := dd[r*w+g*h : r*w+(g+1)*h]
+		srow := sd[r*h : (r+1)*h]
+		for i, v := range srow {
+			drow[i] += v
+		}
+	}
+}
+
+// Forward implements Layer.
+func (l *GRU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	mustRank("GRU", x, 3)
+	if x.Dim(2) != l.InC {
+		panic(fmt.Sprintf("nn: GRU expects %d input channels, got shape %v", l.InC, x.Shape()))
+	}
+	l.x = x
+	b, t := x.Dim(0), x.Dim(1)
+	h := l.H
+	l.steps = make([]gruStep, t)
+
+	hPrev := tensor.New(b, h)
+	var outSeq *tensor.Tensor
+	if l.ReturnSequences {
+		outSeq = tensor.New(b, t, h)
+	}
+
+	xd := x.Data()
+	for ti := 0; ti < t; ti++ {
+		// xt is a strided view: rows are b slices at stride t*inC. Copy into
+		// a contiguous (B, inC) matrix for GEMM.
+		xt := tensor.New(b, l.InC)
+		for bi := 0; bi < b; bi++ {
+			copy(xt.Row(bi), xd[(bi*t+ti)*l.InC:(bi*t+ti+1)*l.InC])
+		}
+		a := tensor.MatMul(xt, l.w.Value) // (B, 3H)
+		a.AddRowVec(l.b.Value)
+		p := tensor.MatMul(hPrev, l.u.Value) // (B, 3H)
+
+		az := gateCols(a, 0, h)
+		az.Axpy(1, gateCols(p, 0, h))
+		ar := gateCols(a, 1, h)
+		ar.Axpy(1, gateCols(p, 1, h))
+
+		z := az.Map(hardSigmoid)
+		r := ar.Map(hardSigmoid)
+
+		rh := tensor.Mul(r, hPrev)
+		ah := gateCols(a, 2, h)
+		// (r⊙hPrev) @ U_h: U_h is the last gate block of the recurrent kernel.
+		ahRec := tensor.New(b, h)
+		tensor.MatMulInto(ahRec, rh, l.uGate(2))
+		ah.Axpy(1, ahRec)
+		hc := ah.Map(math.Tanh)
+
+		// h = z⊙hPrev + (1−z)⊙hc
+		hNew := tensor.New(b, h)
+		hd, zd, hpd, hcd := hNew.Data(), z.Data(), hPrev.Data(), hc.Data()
+		for i := range hd {
+			hd[i] = zd[i]*hpd[i] + (1-zd[i])*hcd[i]
+		}
+
+		l.steps[ti] = gruStep{hPrev: hPrev, z: z, r: r, hc: hc, az: az, ar: ar, rh: rh, h: hNew}
+		if l.ReturnSequences {
+			od := outSeq.Data()
+			for bi := 0; bi < b; bi++ {
+				copy(od[(bi*t+ti)*h:(bi*t+ti+1)*h], hd[bi*h:(bi+1)*h])
+			}
+		}
+		hPrev = hNew
+	}
+	if l.ReturnSequences {
+		return outSeq
+	}
+	return hPrev
+}
+
+// uGate returns gate g's recurrent kernel as a contiguous (H, H) matrix.
+func (l *GRU) uGate(g int) *tensor.Tensor {
+	h := l.H
+	out := tensor.New(h, h)
+	ud, od := l.u.Value.Data(), out.Data()
+	for i := 0; i < h; i++ {
+		copy(od[i*h:(i+1)*h], ud[i*3*h+g*h:i*3*h+(g+1)*h])
+	}
+	return out
+}
+
+// addUGateGrad accumulates a (H, H) gradient into gate g's block of the
+// recurrent kernel gradient.
+func (l *GRU) addUGateGrad(g int, dU *tensor.Tensor) {
+	h := l.H
+	gd, dd := l.u.Grad.Data(), dU.Data()
+	for i := 0; i < h; i++ {
+		row := gd[i*3*h+g*h : i*3*h+(g+1)*h]
+		src := dd[i*h : (i+1)*h]
+		for j, v := range src {
+			row[j] += v
+		}
+	}
+}
+
+// Backward implements Layer.
+func (l *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	b, t := l.x.Dim(0), l.x.Dim(1)
+	h := l.H
+	dx := tensor.New(b, t, l.InC)
+	dh := tensor.New(b, h) // carry into step ti (dL/dh_ti from future steps)
+
+	gd := grad.Data()
+	xd, dxd := l.x.Data(), dx.Data()
+
+	for ti := t - 1; ti >= 0; ti-- {
+		st := &l.steps[ti]
+		// Add upstream gradient for this step's output.
+		if l.ReturnSequences {
+			dhd := dh.Data()
+			for bi := 0; bi < b; bi++ {
+				src := gd[(bi*t+ti)*h : (bi*t+ti+1)*h]
+				dst := dhd[bi*h : (bi+1)*h]
+				for i, v := range src {
+					dst[i] += v
+				}
+			}
+		} else if ti == t-1 {
+			dh.Axpy(1, grad)
+		}
+
+		// Gate gradients.
+		dz := tensor.New(b, h)
+		dhc := tensor.New(b, h)
+		dhPrev := tensor.New(b, h)
+		dzd, dhcd, dhpd := dz.Data(), dhc.Data(), dhPrev.Data()
+		dhd, zd, hpd, hcd := dh.Data(), st.z.Data(), st.hPrev.Data(), st.hc.Data()
+		for i := range dhd {
+			dzd[i] = dhd[i] * (hpd[i] - hcd[i])
+			dhcd[i] = dhd[i] * (1 - zd[i])
+			dhpd[i] = dhd[i] * zd[i]
+		}
+
+		// Candidate pre-activation.
+		dah := tensor.New(b, h)
+		dahd := dah.Data()
+		for i := range dahd {
+			dahd[i] = dhcd[i] * (1 - hcd[i]*hcd[i])
+		}
+		// drh = dah @ U_hᵀ ; dU_h += rhᵀ @ dah
+		drh := tensor.New(b, h)
+		tensor.MatMulTransBInto(drh, dah, l.uGate(2))
+		dUh := tensor.New(h, h)
+		tensor.MatMulTransAInto(dUh, st.rh, dah)
+		l.addUGateGrad(2, dUh)
+
+		dr := tensor.Mul(drh, st.hPrev)
+		// dhPrev += drh ⊙ r
+		drhd, rd := drh.Data(), st.r.Data()
+		for i := range dhpd {
+			dhpd[i] += drhd[i] * rd[i]
+		}
+
+		// Gate pre-activations through hard sigmoid.
+		daz := tensor.New(b, h)
+		dar := tensor.New(b, h)
+		dazd, dard := daz.Data(), dar.Data()
+		azd, ard, drd := st.az.Data(), st.ar.Data(), dr.Data()
+		for i := range dazd {
+			dazd[i] = dzd[i] * hardSigmoidGrad(azd[i])
+			dard[i] = drd[i] * hardSigmoidGrad(ard[i])
+		}
+
+		// Assemble (B, 3H) pre-activation gradient da = [daz | dar | dah].
+		da := tensor.New(b, 3*h)
+		addGateCols(da, daz, 0, h)
+		addGateCols(da, dar, 1, h)
+		addGateCols(da, dah, 2, h)
+
+		// Input kernel and bias gradients; dx_t = da @ Wᵀ.
+		xt := tensor.New(b, l.InC)
+		for bi := 0; bi < b; bi++ {
+			copy(xt.Row(bi), xd[(bi*t+ti)*l.InC:(bi*t+ti+1)*l.InC])
+		}
+		dW := tensor.New(l.InC, 3*h)
+		tensor.MatMulTransAInto(dW, xt, da)
+		l.w.Grad.Axpy(1, dW)
+		dbVec := tensor.New(3 * h)
+		tensor.SumRowsInto(dbVec, da)
+		l.b.Grad.Axpy(1, dbVec)
+
+		dxt := tensor.New(b, l.InC)
+		tensor.MatMulTransBInto(dxt, da, l.w.Value)
+		for bi := 0; bi < b; bi++ {
+			copy(dxd[(bi*t+ti)*l.InC:(bi*t+ti+1)*l.InC], dxt.Row(bi))
+		}
+
+		// Recurrent contributions to dhPrev from the z and r gates, and
+		// recurrent kernel gradients for those gates. Note the candidate
+		// gate's recurrent path went through rh (handled above).
+		dazRec := tensor.New(b, h)
+		tensor.MatMulTransBInto(dazRec, daz, l.uGate(0))
+		dhPrev.Axpy(1, dazRec)
+		dUz := tensor.New(h, h)
+		tensor.MatMulTransAInto(dUz, st.hPrev, daz)
+		l.addUGateGrad(0, dUz)
+
+		darRec := tensor.New(b, h)
+		tensor.MatMulTransBInto(darRec, dar, l.uGate(1))
+		dhPrev.Axpy(1, darRec)
+		dUr := tensor.New(h, h)
+		tensor.MatMulTransAInto(dUr, st.hPrev, dar)
+		l.addUGateGrad(1, dUr)
+
+		dh = dhPrev
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *GRU) Params() []*Param { return []*Param{l.w, l.u, l.b} }
+
+// LayerName implements Named.
+func (l *GRU) LayerName() string {
+	return fmt.Sprintf("GRU(%d→%d, seq=%v)", l.InC, l.H, l.ReturnSequences)
+}

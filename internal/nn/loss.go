@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Loss computes a scalar training objective and its gradient with respect
+// to the network output.
+type Loss interface {
+	// Forward returns the mean loss over the batch and caches what Backward
+	// needs.
+	Forward(pred *tensor.Tensor, labels []int) float64
+	// Backward returns dLoss/dPred for the most recent Forward.
+	Backward() *tensor.Tensor
+}
+
+// SoftmaxCrossEntropy fuses a softmax over logits with categorical
+// cross-entropy, yielding the numerically-stable gradient
+// (softmax(x) − onehot(y)) / batch.
+type SoftmaxCrossEntropy struct {
+	probs  *tensor.Tensor
+	labels []int
+}
+
+// NewSoftmaxCrossEntropy returns the fused softmax + cross-entropy loss.
+func NewSoftmaxCrossEntropy() *SoftmaxCrossEntropy { return &SoftmaxCrossEntropy{} }
+
+var _ Loss = (*SoftmaxCrossEntropy)(nil)
+
+// Forward implements Loss. pred must be rank-2 logits (batch, classes).
+func (l *SoftmaxCrossEntropy) Forward(pred *tensor.Tensor, labels []int) float64 {
+	mustRank("SoftmaxCrossEntropy", pred, 2)
+	rows, cols := pred.Dim(0), pred.Dim(1)
+	if len(labels) != rows {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy got %d labels for batch %d", len(labels), rows))
+	}
+	l.probs = pred.Clone()
+	l.labels = labels
+	pd := l.probs.Data()
+	loss := 0.0
+	for r := 0; r < rows; r++ {
+		row := pd[r*cols : (r+1)*cols]
+		softmaxRow(row)
+		y := labels[r]
+		if y < 0 || y >= cols {
+			panic(fmt.Sprintf("nn: label %d out of range for %d classes", y, cols))
+		}
+		p := row[y]
+		if p < 1e-15 {
+			p = 1e-15
+		}
+		loss -= math.Log(p)
+	}
+	return loss / float64(rows)
+}
+
+// Backward implements Loss.
+func (l *SoftmaxCrossEntropy) Backward() *tensor.Tensor {
+	rows, cols := l.probs.Dim(0), l.probs.Dim(1)
+	grad := l.probs.Clone()
+	gd := grad.Data()
+	inv := 1.0 / float64(rows)
+	for r := 0; r < rows; r++ {
+		row := gd[r*cols : (r+1)*cols]
+		row[l.labels[r]] -= 1
+		for i := range row {
+			row[i] *= inv
+		}
+	}
+	return grad
+}
+
+// Probs returns the class probabilities computed by the last Forward.
+func (l *SoftmaxCrossEntropy) Probs() *tensor.Tensor { return l.probs }
+
+// MSE is the mean-squared-error loss over one-hot targets; provided for
+// regression-style experiments and for testing layers against a smooth
+// objective.
+type MSE struct {
+	diff *tensor.Tensor
+	n    int
+}
+
+// NewMSE returns a mean-squared-error loss.
+func NewMSE() *MSE { return &MSE{} }
+
+// ForwardDense computes mean((pred-target)²) over all elements.
+func (l *MSE) ForwardDense(pred, target *tensor.Tensor) float64 {
+	l.diff = tensor.Sub(pred, target)
+	l.n = pred.Len()
+	s := 0.0
+	for _, d := range l.diff.Data() {
+		s += d * d
+	}
+	return s / float64(l.n)
+}
+
+// Forward implements Loss by one-hot encoding the labels.
+func (l *MSE) Forward(pred *tensor.Tensor, labels []int) float64 {
+	mustRank("MSE", pred, 2)
+	target := tensor.New(pred.Shape()...)
+	cols := pred.Dim(1)
+	for r, y := range labels {
+		target.Set(1, r, y)
+	}
+	_ = cols
+	return l.ForwardDense(pred, target)
+}
+
+// Backward implements Loss.
+func (l *MSE) Backward() *tensor.Tensor {
+	grad := l.diff.Clone()
+	grad.Scale(2.0 / float64(l.n))
+	return grad
+}
+
+var _ Loss = (*MSE)(nil)
+
+// Accuracy returns the fraction of rows of logits whose argmax equals the
+// label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	pred := logits.ArgmaxRow()
+	if len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}

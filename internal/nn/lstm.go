@@ -1,0 +1,267 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// lstmStep caches one timestep's intermediates for backpropagation through
+// time.
+type lstmStep struct {
+	hPrev *tensor.Tensor
+	cPrev *tensor.Tensor
+	i     *tensor.Tensor // input gate
+	f     *tensor.Tensor // forget gate
+	g     *tensor.Tensor // candidate (tanh)
+	o     *tensor.Tensor // output gate
+	c     *tensor.Tensor // new cell state
+	tc    *tensor.Tensor // tanh(c)
+}
+
+// LSTM is a long short-term memory layer over (batch, T, inC) inputs with H
+// units: the classical baseline the paper compares against (§V-H). Gates use
+// the logistic sigmoid; candidate and output use tanh. The forget-gate bias
+// is initialized to 1 (Keras unit_forget_bias).
+//
+// With ReturnSequences the output is (batch, T, H); otherwise the final
+// hidden state (batch, H).
+type LSTM struct {
+	InC, H          int
+	ReturnSequences bool
+
+	w *Param // (inC, 4H): [i | f | g | o]
+	u *Param // (H, 4H)
+	b *Param // (4H)
+
+	x     *tensor.Tensor
+	steps []lstmStep
+}
+
+// NewLSTM constructs an LSTM with Glorot-uniform input kernel, orthogonal
+// recurrent kernel, zero bias except forget gate = 1.
+func NewLSTM(rng *rand.Rand, inC, h int, returnSequences bool) *LSTM {
+	u := tensor.New(h, 4*h)
+	for g := 0; g < 4; g++ {
+		q := orthogonalSquare(rng, h, 1)
+		for i := 0; i < h; i++ {
+			copy(u.Data()[i*4*h+g*h:i*4*h+(g+1)*h], q.Data()[i*h:(i+1)*h])
+		}
+	}
+	b := tensor.New(4 * h)
+	for j := h; j < 2*h; j++ {
+		b.Data()[j] = 1 // forget gate bias
+	}
+	return &LSTM{
+		InC: inC, H: h, ReturnSequences: returnSequences,
+		w: NewParam(fmt.Sprintf("lstm_w_%dx%d", inC, 4*h), tensor.GlorotUniform(rng, inC, h, inC, 4*h)),
+		u: NewParam(fmt.Sprintf("lstm_u_%dx%d", h, 4*h), u),
+		b: NewParam(fmt.Sprintf("lstm_b_%d", 4*h), b),
+	}
+}
+
+var _ Layer = (*LSTM)(nil)
+
+// uGate returns gate g's recurrent kernel as a contiguous (H, H) matrix.
+func (l *LSTM) uGate(g int) *tensor.Tensor {
+	h := l.H
+	out := tensor.New(h, h)
+	ud, od := l.u.Value.Data(), out.Data()
+	for i := 0; i < h; i++ {
+		copy(od[i*h:(i+1)*h], ud[i*4*h+g*h:i*4*h+(g+1)*h])
+	}
+	return out
+}
+
+func (l *LSTM) addUGateGrad(g int, dU *tensor.Tensor) {
+	h := l.H
+	gd, dd := l.u.Grad.Data(), dU.Data()
+	for i := 0; i < h; i++ {
+		row := gd[i*4*h+g*h : i*4*h+(g+1)*h]
+		src := dd[i*h : (i+1)*h]
+		for j, v := range src {
+			row[j] += v
+		}
+	}
+}
+
+// gateCols4 returns a (B, H) copy of gate g's columns from a (B, 4H) matrix.
+func gateCols4(m *tensor.Tensor, g, h int) *tensor.Tensor {
+	b := m.Dim(0)
+	out := tensor.New(b, h)
+	md, od := m.Data(), out.Data()
+	w := m.Dim(1)
+	for r := 0; r < b; r++ {
+		copy(od[r*h:(r+1)*h], md[r*w+g*h:r*w+(g+1)*h])
+	}
+	return out
+}
+
+func addGateCols4(dst *tensor.Tensor, src *tensor.Tensor, g, h int) {
+	b := dst.Dim(0)
+	w := dst.Dim(1)
+	dd, sd := dst.Data(), src.Data()
+	for r := 0; r < b; r++ {
+		drow := dd[r*w+g*h : r*w+(g+1)*h]
+		srow := sd[r*h : (r+1)*h]
+		for i, v := range srow {
+			drow[i] += v
+		}
+	}
+}
+
+// Forward implements Layer.
+func (l *LSTM) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	mustRank("LSTM", x, 3)
+	if x.Dim(2) != l.InC {
+		panic(fmt.Sprintf("nn: LSTM expects %d input channels, got shape %v", l.InC, x.Shape()))
+	}
+	l.x = x
+	b, t := x.Dim(0), x.Dim(1)
+	h := l.H
+	l.steps = make([]lstmStep, t)
+
+	hPrev := tensor.New(b, h)
+	cPrev := tensor.New(b, h)
+	var outSeq *tensor.Tensor
+	if l.ReturnSequences {
+		outSeq = tensor.New(b, t, h)
+	}
+
+	xd := x.Data()
+	for ti := 0; ti < t; ti++ {
+		xt := tensor.New(b, l.InC)
+		for bi := 0; bi < b; bi++ {
+			copy(xt.Row(bi), xd[(bi*t+ti)*l.InC:(bi*t+ti+1)*l.InC])
+		}
+		a := tensor.MatMul(xt, l.w.Value) // (B, 4H)
+		a.AddRowVec(l.b.Value)
+		p := tensor.MatMul(hPrev, l.u.Value)
+		a.Axpy(1, p)
+
+		ig := gateCols4(a, 0, h).Apply(sigmoid)
+		fg := gateCols4(a, 1, h).Apply(sigmoid)
+		gg := gateCols4(a, 2, h).Apply(math.Tanh)
+		og := gateCols4(a, 3, h).Apply(sigmoid)
+
+		c := tensor.New(b, h)
+		cd, fd, cpd, id, gd2 := c.Data(), fg.Data(), cPrev.Data(), ig.Data(), gg.Data()
+		for i := range cd {
+			cd[i] = fd[i]*cpd[i] + id[i]*gd2[i]
+		}
+		tc := c.Map(math.Tanh)
+		hNew := tensor.Mul(og, tc)
+
+		l.steps[ti] = lstmStep{hPrev: hPrev, cPrev: cPrev, i: ig, f: fg, g: gg, o: og, c: c, tc: tc}
+		if l.ReturnSequences {
+			od := outSeq.Data()
+			hd := hNew.Data()
+			for bi := 0; bi < b; bi++ {
+				copy(od[(bi*t+ti)*h:(bi*t+ti+1)*h], hd[bi*h:(bi+1)*h])
+			}
+		}
+		hPrev, cPrev = hNew, c
+	}
+	if l.ReturnSequences {
+		return outSeq
+	}
+	return hPrev
+}
+
+// Backward implements Layer.
+func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	b, t := l.x.Dim(0), l.x.Dim(1)
+	h := l.H
+	dx := tensor.New(b, t, l.InC)
+	dh := tensor.New(b, h)
+	dc := tensor.New(b, h)
+
+	gd := grad.Data()
+	xd, dxd := l.x.Data(), dx.Data()
+
+	for ti := t - 1; ti >= 0; ti-- {
+		st := &l.steps[ti]
+		if l.ReturnSequences {
+			dhd := dh.Data()
+			for bi := 0; bi < b; bi++ {
+				src := gd[(bi*t+ti)*h : (bi*t+ti+1)*h]
+				dst := dhd[bi*h : (bi+1)*h]
+				for i, v := range src {
+					dst[i] += v
+				}
+			}
+		} else if ti == t-1 {
+			dh.Axpy(1, grad)
+		}
+
+		// h = o ⊙ tanh(c)
+		do := tensor.Mul(dh, st.tc)
+		dhd, od2, tcd, dcd := dh.Data(), st.o.Data(), st.tc.Data(), dc.Data()
+		for i := range dcd {
+			dcd[i] += dhd[i] * od2[i] * (1 - tcd[i]*tcd[i])
+		}
+
+		// c = f ⊙ cPrev + i ⊙ g
+		di := tensor.Mul(dc, st.g)
+		df := tensor.Mul(dc, st.cPrev)
+		dg := tensor.Mul(dc, st.i)
+		dcPrev := tensor.Mul(dc, st.f)
+
+		// Through gate nonlinearities to pre-activations.
+		dai := tensor.New(b, h)
+		daf := tensor.New(b, h)
+		dag := tensor.New(b, h)
+		dao := tensor.New(b, h)
+		id, fd, gd2, dod := st.i.Data(), st.f.Data(), st.g.Data(), do.Data()
+		daid, dafd, dagd, daod := dai.Data(), daf.Data(), dag.Data(), dao.Data()
+		did, dfd, dgd := di.Data(), df.Data(), dg.Data()
+		for i := range daid {
+			daid[i] = did[i] * id[i] * (1 - id[i])
+			dafd[i] = dfd[i] * fd[i] * (1 - fd[i])
+			dagd[i] = dgd[i] * (1 - gd2[i]*gd2[i])
+			daod[i] = dod[i] * od2[i] * (1 - od2[i])
+		}
+
+		da := tensor.New(b, 4*h)
+		addGateCols4(da, dai, 0, h)
+		addGateCols4(da, daf, 1, h)
+		addGateCols4(da, dag, 2, h)
+		addGateCols4(da, dao, 3, h)
+
+		xt := tensor.New(b, l.InC)
+		for bi := 0; bi < b; bi++ {
+			copy(xt.Row(bi), xd[(bi*t+ti)*l.InC:(bi*t+ti+1)*l.InC])
+		}
+		dW := tensor.New(l.InC, 4*h)
+		tensor.MatMulTransAInto(dW, xt, da)
+		l.w.Grad.Axpy(1, dW)
+		dU := tensor.New(h, 4*h)
+		tensor.MatMulTransAInto(dU, st.hPrev, da)
+		l.u.Grad.Axpy(1, dU)
+		dbVec := tensor.New(4 * h)
+		tensor.SumRowsInto(dbVec, da)
+		l.b.Grad.Axpy(1, dbVec)
+
+		dxt := tensor.New(b, l.InC)
+		tensor.MatMulTransBInto(dxt, da, l.w.Value)
+		for bi := 0; bi < b; bi++ {
+			copy(dxd[(bi*t+ti)*l.InC:(bi*t+ti+1)*l.InC], dxt.Row(bi))
+		}
+
+		dhPrev := tensor.New(b, h)
+		tensor.MatMulTransBInto(dhPrev, da, l.u.Value)
+		dh = dhPrev
+		dc = dcPrev
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LSTM) Params() []*Param { return []*Param{l.w, l.u, l.b} }
+
+// LayerName implements Named.
+func (l *LSTM) LayerName() string {
+	return fmt.Sprintf("LSTM(%d→%d, seq=%v)", l.InC, l.H, l.ReturnSequences)
+}

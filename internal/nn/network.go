@@ -1,0 +1,326 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Network couples a layer stack with a loss and optimizer and provides the
+// training loop used by every experiment in the paper reproduction.
+type Network struct {
+	Stack *Sequential
+	Loss  Loss
+	Opt   Optimizer
+}
+
+// NewNetwork constructs a Network.
+func NewNetwork(stack *Sequential, loss Loss, opt Optimizer) *Network {
+	return &Network{Stack: stack, Loss: loss, Opt: opt}
+}
+
+// TrainBatch runs one optimization step on a batch and returns its loss.
+func (n *Network) TrainBatch(x *tensor.Tensor, labels []int) float64 {
+	out := n.Stack.Forward(x, true)
+	loss := n.Loss.Forward(out, labels)
+	n.Stack.Backward(n.Loss.Backward())
+	n.Opt.Step(n.Stack.Params())
+	return loss
+}
+
+// EvalLoss computes the mean loss over (x, labels) without training.
+func (n *Network) EvalLoss(x *tensor.Tensor, labels []int) float64 {
+	out := n.Stack.Forward(x, false)
+	return n.Loss.Forward(out, labels)
+}
+
+// Predict returns the raw network output (logits) in inference mode.
+func (n *Network) Predict(x *tensor.Tensor) *tensor.Tensor {
+	return n.Stack.Forward(x, false)
+}
+
+// PredictClasses returns the argmax class per row, evaluating in chunks of
+// batchSize to bound memory.
+func (n *Network) PredictClasses(x *tensor.Tensor, batchSize int) []int {
+	rows := x.Dim(0)
+	if batchSize <= 0 || batchSize > rows {
+		batchSize = rows
+	}
+	out := make([]int, 0, rows)
+	for lo := 0; lo < rows; lo += batchSize {
+		hi := lo + batchSize
+		if hi > rows {
+			hi = rows
+		}
+		chunk := sliceBatch(x, lo, hi)
+		logits := n.Predict(chunk)
+		out = append(out, logits.ArgmaxRow()...)
+	}
+	return out
+}
+
+// sliceBatch copies rows [lo, hi) of a rank-2 or rank-3 tensor.
+func sliceBatch(x *tensor.Tensor, lo, hi int) *tensor.Tensor {
+	switch x.Rank() {
+	case 2:
+		return x.SliceRows(lo, hi)
+	case 3:
+		t, c := x.Dim(1), x.Dim(2)
+		flat := x.Reshape(x.Dim(0), t*c).SliceRows(lo, hi)
+		return flat.Reshape(hi-lo, t, c)
+	default:
+		panic(fmt.Sprintf("nn: sliceBatch on rank-%d tensor", x.Rank()))
+	}
+}
+
+// EpochStats summarizes one training epoch.
+type EpochStats struct {
+	Epoch     int
+	TrainLoss float64
+	TestLoss  float64
+	TrainAcc  float64
+	TestAcc   float64
+}
+
+// FitConfig controls Network.Fit.
+type FitConfig struct {
+	Epochs    int
+	BatchSize int
+	Shuffle   bool
+	RNG       *rand.Rand
+	// TestX/TestLabels, when non-nil, are evaluated after each epoch.
+	TestX      *tensor.Tensor
+	TestLabels []int
+	// Verbose, when non-nil, receives per-epoch stats.
+	Verbose func(EpochStats)
+	// EvalEvery controls how often test metrics are computed (default 1 =
+	// every epoch). Train accuracy is computed from the training predictions
+	// at the same cadence.
+	EvalEvery int
+	// Schedule scales the optimizer's learning rate per epoch (nil keeps
+	// the base rate).
+	Schedule LRSchedule
+	// Patience stops training after this many consecutive epochs without
+	// test-loss improvement (0 disables). Requires TestX.
+	Patience int
+}
+
+// Fit trains the network for cfg.Epochs over (x, labels) and returns
+// per-epoch statistics. Inputs may be rank-2 or rank-3 (batch-first).
+func (n *Network) Fit(x *tensor.Tensor, labels []int, cfg FitConfig) []EpochStats {
+	rows := x.Dim(0)
+	if cfg.BatchSize <= 0 || cfg.BatchSize > rows {
+		cfg.BatchSize = rows
+	}
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 1
+	}
+	order := make([]int, rows)
+	for i := range order {
+		order[i] = i
+	}
+	// Work on flattened rank-2 view for row shuffling, restore shape per
+	// batch.
+	var t, c int
+	rank3 := x.Rank() == 3
+	if rank3 {
+		t, c = x.Dim(1), x.Dim(2)
+	}
+	flat := x
+	if rank3 {
+		flat = x.Reshape(rows, t*c)
+	}
+
+	stats := make([]EpochStats, 0, cfg.Epochs)
+	bestTestLoss := math.Inf(1)
+	sinceBest := 0
+	for ep := 1; ep <= cfg.Epochs; ep++ {
+		if cfg.Schedule != nil {
+			if s, ok := n.Opt.(scalable); ok {
+				s.setLRScale(cfg.Schedule.Factor(ep, cfg.Epochs))
+			}
+		}
+		if cfg.Shuffle && cfg.RNG != nil {
+			shuffleOrder(cfg.RNG, order)
+		}
+		totalLoss, batches := 0.0, 0
+		for lo := 0; lo < rows; lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > rows {
+				hi = rows
+			}
+			bx, by := gatherBatch(flat, labels, order[lo:hi])
+			if rank3 {
+				bx = bx.Reshape(hi-lo, t, c)
+			}
+			totalLoss += n.TrainBatch(bx, by)
+			batches++
+		}
+		st := EpochStats{Epoch: ep, TrainLoss: totalLoss / float64(batches)}
+		if ep%cfg.EvalEvery == 0 || ep == cfg.Epochs {
+			if cfg.TestX != nil {
+				st.TestLoss = n.evalLossBatched(cfg.TestX, cfg.TestLabels, cfg.BatchSize)
+				st.TestAcc = accuracyOf(n.PredictClasses(cfg.TestX, cfg.BatchSize), cfg.TestLabels)
+			}
+			st.TrainAcc = accuracyOf(n.PredictClasses(x, cfg.BatchSize), labels)
+		}
+		if cfg.Verbose != nil {
+			cfg.Verbose(st)
+		}
+		stats = append(stats, st)
+
+		if cfg.Patience > 0 && cfg.TestX != nil {
+			// Early stopping tracks test loss at the evaluation cadence.
+			if ep%cfg.EvalEvery == 0 || ep == cfg.Epochs {
+				if st.TestLoss < bestTestLoss-1e-9 {
+					bestTestLoss = st.TestLoss
+					sinceBest = 0
+				} else {
+					sinceBest++
+					if sinceBest >= cfg.Patience {
+						break
+					}
+				}
+			}
+		}
+	}
+	return stats
+}
+
+// evalLossBatched computes mean loss over the dataset in batches, weighted
+// by batch size.
+func (n *Network) evalLossBatched(x *tensor.Tensor, labels []int, batchSize int) float64 {
+	rows := x.Dim(0)
+	if batchSize <= 0 || batchSize > rows {
+		batchSize = rows
+	}
+	total, count := 0.0, 0
+	for lo := 0; lo < rows; lo += batchSize {
+		hi := lo + batchSize
+		if hi > rows {
+			hi = rows
+		}
+		chunk := sliceBatch(x, lo, hi)
+		total += n.EvalLoss(chunk, labels[lo:hi]) * float64(hi-lo)
+		count += hi - lo
+	}
+	return total / float64(count)
+}
+
+func accuracyOf(pred, labels []int) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+func shuffleOrder(rng *rand.Rand, order []int) {
+	for i := len(order) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+}
+
+// gatherBatch copies the selected rows (and labels) into fresh tensors.
+func gatherBatch(flat *tensor.Tensor, labels []int, idx []int) (*tensor.Tensor, []int) {
+	cols := flat.Dim(1)
+	bx := tensor.New(len(idx), cols)
+	by := make([]int, len(idx))
+	for i, r := range idx {
+		copy(bx.Row(i), flat.Row(r))
+		by[i] = labels[r]
+	}
+	return bx, by
+}
+
+// checkpoint is the gob wire format for saved weights.
+type checkpoint struct {
+	Names  []string
+	Shapes [][]int
+	Values [][]float64
+	// BNMeans/BNVars hold running statistics for BatchNorm layers in
+	// traversal order.
+	BNMeans [][]float64
+	BNVars  [][]float64
+}
+
+// Save serializes all parameter values (and BatchNorm running statistics)
+// to w using encoding/gob.
+func (n *Network) Save(w io.Writer) error {
+	params := n.Stack.Params()
+	ck := checkpoint{}
+	for _, p := range params {
+		ck.Names = append(ck.Names, p.Name)
+		ck.Shapes = append(ck.Shapes, p.Value.Shape())
+		vals := make([]float64, p.Value.Len())
+		copy(vals, p.Value.Data())
+		ck.Values = append(ck.Values, vals)
+	}
+	forEachBatchNorm(n.Stack, func(bn *BatchNorm) {
+		mean, variance := bn.RunningStats()
+		ck.BNMeans = append(ck.BNMeans, mean.Data())
+		ck.BNVars = append(ck.BNVars, variance.Data())
+	})
+	return gob.NewEncoder(w).Encode(&ck)
+}
+
+// Load restores parameter values saved by Save. The network must have the
+// same architecture (same parameter order and shapes).
+func (n *Network) Load(r io.Reader) error {
+	var ck checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return fmt.Errorf("decode checkpoint: %w", err)
+	}
+	params := n.Stack.Params()
+	if len(params) != len(ck.Values) {
+		return fmt.Errorf("checkpoint has %d parameters, network has %d", len(ck.Values), len(params))
+	}
+	for i, p := range params {
+		if p.Value.Len() != len(ck.Values[i]) {
+			return fmt.Errorf("parameter %q: checkpoint size %d, network size %d", ck.Names[i], len(ck.Values[i]), p.Value.Len())
+		}
+		copy(p.Value.Data(), ck.Values[i])
+	}
+	i := 0
+	var loadErr error
+	forEachBatchNorm(n.Stack, func(bn *BatchNorm) {
+		if loadErr != nil || i >= len(ck.BNMeans) {
+			return
+		}
+		if len(ck.BNMeans[i]) != bn.C {
+			loadErr = fmt.Errorf("BatchNorm %d: checkpoint channels %d, network %d", i, len(ck.BNMeans[i]), bn.C)
+			return
+		}
+		bn.SetRunningStats(tensor.FromSlice(ck.BNMeans[i], bn.C), tensor.FromSlice(ck.BNVars[i], bn.C))
+		i++
+	})
+	return loadErr
+}
+
+// forEachBatchNorm walks the layer tree in deterministic order invoking fn
+// on every BatchNorm.
+func forEachBatchNorm(l Layer, fn func(*BatchNorm)) {
+	switch v := l.(type) {
+	case *BatchNorm:
+		fn(v)
+	case *Sequential:
+		for _, c := range v.Layers() {
+			forEachBatchNorm(c, fn)
+		}
+	case *Residual:
+		forEachBatchNorm(v.Body, fn)
+	case *PreShortcut:
+		forEachBatchNorm(v.Head, fn)
+		forEachBatchNorm(v.Res, fn)
+	}
+}

@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// Sequential chains layers: forward runs them in order, backward in
+// reverse.
+type Sequential struct {
+	layers []Layer
+}
+
+// NewSequential constructs a Sequential container over the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{layers: layers}
+}
+
+var _ Layer = (*Sequential)(nil)
+
+// Add appends a layer.
+func (s *Sequential) Add(l Layer) { s.layers = append(s.layers, l) }
+
+// Layers returns the contained layers (shared slice; do not mutate).
+func (s *Sequential) Layers() []Layer { return s.layers }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		grad = s.layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// LayerName implements Named.
+func (s *Sequential) LayerName() string { return fmt.Sprintf("Sequential(%d layers)", len(s.layers)) }
+
+// Summary renders a human-readable description of the stack, one line per
+// layer, with parameter counts.
+func (s *Sequential) Summary() string {
+	var b strings.Builder
+	total := 0
+	for i, l := range s.layers {
+		name := fmt.Sprintf("%T", l)
+		if n, ok := l.(Named); ok {
+			name = n.LayerName()
+		}
+		np := ParamCount(l.Params())
+		total += np
+		fmt.Fprintf(&b, "%3d  %-40s params=%d\n", i, name, np)
+	}
+	fmt.Fprintf(&b, "total params: %d\n", total)
+	return b.String()
+}
+
+// Residual wraps a body with an identity shortcut: out = body(x) + x.
+// The body's output shape must equal its input shape — the reason the
+// paper sets filters = recurrent units = feature count (§V-C).
+type Residual struct {
+	Body Layer
+}
+
+// NewResidual constructs a Residual wrapper around body.
+func NewResidual(body Layer) *Residual { return &Residual{Body: body} }
+
+var _ Layer = (*Residual)(nil)
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := r.Body.Forward(x, train)
+	if !out.SameShape(x) {
+		panic(fmt.Sprintf("nn: Residual body changed shape %v → %v; shortcut add impossible", x.Shape(), out.Shape()))
+	}
+	return tensor.Add(out, x)
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dBody := r.Body.Backward(grad)
+	// Shortcut contributes the upstream gradient unchanged.
+	return tensor.Add(dBody, grad)
+}
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param { return r.Body.Params() }
+
+// LayerName implements Named.
+func (r *Residual) LayerName() string {
+	if n, ok := r.Body.(Named); ok {
+		return fmt.Sprintf("Residual(%s)", n.LayerName())
+	}
+	return "Residual"
+}
+
+// PreShortcut composes head → Residual(body): out = body(head(x)) + head(x).
+// This is exactly the paper's ResBlk wiring (Fig. 4b), where head is the
+// leading BatchNorm and body is the remainder of the block, with the
+// shortcut taken from the BN output.
+type PreShortcut struct {
+	Head Layer
+	Res  *Residual
+}
+
+// NewPreShortcut builds the paper's shortcut-from-BN-output composite.
+func NewPreShortcut(head, body Layer) *PreShortcut {
+	return &PreShortcut{Head: head, Res: NewResidual(body)}
+}
+
+var _ Layer = (*PreShortcut)(nil)
+
+// Forward implements Layer.
+func (p *PreShortcut) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return p.Res.Forward(p.Head.Forward(x, train), train)
+}
+
+// Backward implements Layer.
+func (p *PreShortcut) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return p.Head.Backward(p.Res.Backward(grad))
+}
+
+// Params implements Layer.
+func (p *PreShortcut) Params() []*Param {
+	return append(p.Head.Params(), p.Res.Params()...)
+}
+
+// LayerName implements Named.
+func (p *PreShortcut) LayerName() string { return "PreShortcut" }

@@ -1,0 +1,121 @@
+package signature
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/data"
+)
+
+// randomRule builds a syntactically valid random rule against testSchema.
+func randomRule(rng *rand.Rand, id int) Rule {
+	schema := testSchema()
+	r := Rule{ID: id, Msg: "fuzz rule", Class: 1 + rng.Intn(2)}
+	// Random subset of categorical conditions.
+	if rng.Float64() < 0.5 {
+		cf := schema.Categorical[0]
+		r.Cats = append(r.Cats, CatCondition{
+			Feature: cf.Name,
+			Value:   cf.Values[rng.Intn(len(cf.Values))],
+		})
+	}
+	// 1..3 numeric conditions with random ops and round-trippable values.
+	ops := []CmpOp{OpGT, OpLT, OpGE, OpLE}
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		r.Nums = append(r.Nums, Condition{
+			Feature: schema.NumericNames[rng.Intn(len(schema.NumericNames))],
+			Op:      ops[rng.Intn(len(ops))],
+			Value:   math.Round(rng.NormFloat64()*100) / 4, // exact in float64
+		})
+	}
+	return r
+}
+
+// TestPropFormatParseRoundTrip: any generated rule survives
+// FormatRule → ParseRules unchanged.
+func TestPropFormatParseRoundTrip(t *testing.T) {
+	schema := testSchema()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rule := randomRule(rng, 1+rng.Intn(9999))
+		text := FormatRule(rule, schema)
+		parsed, err := ParseRules(strings.NewReader(text), schema)
+		if err != nil || len(parsed) != 1 {
+			return false
+		}
+		got := parsed[0]
+		if got.ID != rule.ID || got.Class != rule.Class {
+			return false
+		}
+		if len(got.Cats) != len(rule.Cats) || len(got.Nums) != len(rule.Nums) {
+			return false
+		}
+		for i, c := range rule.Cats {
+			if got.Cats[i] != c {
+				return false
+			}
+		}
+		for i, c := range rule.Nums {
+			if got.Nums[i].Feature != c.Feature || got.Nums[i].Op != c.Op ||
+				math.Abs(got.Nums[i].Value-c.Value) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropParsedRulesAlwaysCompile: anything ParseRules accepts must
+// compile into an engine.
+func TestPropParsedRulesAlwaysCompile(t *testing.T) {
+	schema := testSchema()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			b.WriteString(FormatRule(randomRule(rng, i+1), schema))
+			b.WriteByte('\n')
+		}
+		rules, err := ParseRules(strings.NewReader(b.String()), schema)
+		if err != nil {
+			return false
+		}
+		_, err = NewEngine(schema, rules)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropEngineDeterministic: matching is a pure function of the record.
+func TestPropEngineDeterministic(t *testing.T) {
+	schema := testSchema()
+	rng := rand.New(rand.NewSource(99))
+	rules := []Rule{randomRule(rng, 1), randomRule(rng, 2), randomRule(rng, 3)}
+	eng, err := NewEngine(schema, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []string{"tcp", "udp"}
+	f := func(a, b, c float64, catIdx uint8) bool {
+		rec := data.Record{
+			Numeric:     []float64{a, b, c},
+			Categorical: []string{vals[int(catIdx)%2]},
+		}
+		r1, ok1 := eng.Match(&rec)
+		r2, ok2 := eng.Match(&rec)
+		return ok1 == ok2 && r1.ID == r2.ID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,458 @@
+// Package signature implements a Snort-style signature-based NIDS — the
+// previous-generation detector the paper's Background section (§VI)
+// contrasts with ML detection ("the signature-based solution lacks of
+// intelligence to discover advanced variants of previously known attacks").
+//
+// Rules match flow records on categorical equality and numeric threshold
+// conditions. A small rule language is provided:
+//
+//	alert 1001 "tcp flood" proto=tcp count>40 serror_rate>0.5 class=dos
+//
+// The engine also supports mining rules from labeled traffic, so the
+// baseline can be stood up on any synthetic dataset — and its blindness to
+// attack variants measured (see the ext-signature experiment).
+package signature
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/data"
+)
+
+// CmpOp is a numeric comparison operator.
+type CmpOp int
+
+// Comparison operators understood by rule conditions.
+const (
+	OpGT CmpOp = iota + 1
+	OpLT
+	OpGE
+	OpLE
+	OpEQ
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case OpGT:
+		return ">"
+	case OpLT:
+		return "<"
+	case OpGE:
+		return ">="
+	case OpLE:
+		return "<="
+	case OpEQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Condition is one numeric predicate on a named feature.
+type Condition struct {
+	Feature string
+	Op      CmpOp
+	Value   float64
+}
+
+// CatCondition is an equality predicate on a categorical feature.
+type CatCondition struct {
+	Feature string
+	Value   string
+}
+
+// Rule is one signature: all conditions must hold for a match.
+type Rule struct {
+	ID    int
+	Msg   string
+	Cats  []CatCondition
+	Nums  []Condition
+	Class int // the attack class this signature identifies
+}
+
+// Engine matches records against a compiled rule set.
+type Engine struct {
+	schema data.Schema
+	rules  []compiledRule
+}
+
+type compiledRule struct {
+	rule Rule
+	cats []compiledCat
+	nums []compiledNum
+}
+
+type compiledCat struct {
+	idx   int
+	value string
+}
+
+type compiledNum struct {
+	idx int
+	op  CmpOp
+	val float64
+}
+
+// NewEngine compiles rules against a schema, resolving feature names to
+// indices. Unknown features are an error — a rule that can never fire is a
+// deployment bug worth catching.
+func NewEngine(schema data.Schema, rules []Rule) (*Engine, error) {
+	numIdx := make(map[string]int, len(schema.NumericNames))
+	for i, n := range schema.NumericNames {
+		numIdx[n] = i
+	}
+	catIdx := make(map[string]int, len(schema.Categorical))
+	for i, c := range schema.Categorical {
+		catIdx[c.Name] = i
+	}
+	e := &Engine{schema: schema}
+	for _, r := range rules {
+		cr := compiledRule{rule: r}
+		if r.Class <= 0 || r.Class >= schema.NumClasses() {
+			return nil, fmt.Errorf("signature: rule %d: class %d is not an attack class", r.ID, r.Class)
+		}
+		for _, c := range r.Cats {
+			idx, ok := catIdx[c.Feature]
+			if !ok {
+				return nil, fmt.Errorf("signature: rule %d: unknown categorical feature %q", r.ID, c.Feature)
+			}
+			cr.cats = append(cr.cats, compiledCat{idx: idx, value: c.Value})
+		}
+		for _, c := range r.Nums {
+			idx, ok := numIdx[c.Feature]
+			if !ok {
+				return nil, fmt.Errorf("signature: rule %d: unknown numeric feature %q", r.ID, c.Feature)
+			}
+			cr.nums = append(cr.nums, compiledNum{idx: idx, op: c.Op, val: c.Value})
+		}
+		e.rules = append(e.rules, cr)
+	}
+	return e, nil
+}
+
+// RuleCount returns the number of compiled rules.
+func (e *Engine) RuleCount() int { return len(e.rules) }
+
+// Match returns the first matching rule, or ok=false if none fires.
+func (e *Engine) Match(rec *data.Record) (Rule, bool) {
+	for i := range e.rules {
+		if e.matches(&e.rules[i], rec) {
+			return e.rules[i].rule, true
+		}
+	}
+	return Rule{}, false
+}
+
+func (e *Engine) matches(cr *compiledRule, rec *data.Record) bool {
+	for _, c := range cr.cats {
+		if rec.Categorical[c.idx] != c.value {
+			return false
+		}
+	}
+	for _, c := range cr.nums {
+		v := rec.Numeric[c.idx]
+		switch c.op {
+		case OpGT:
+			if !(v > c.val) {
+				return false
+			}
+		case OpLT:
+			if !(v < c.val) {
+				return false
+			}
+		case OpGE:
+			if !(v >= c.val) {
+				return false
+			}
+		case OpLE:
+			if !(v <= c.val) {
+				return false
+			}
+		case OpEQ:
+			if v != c.val {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ParseRules reads the rule DSL, one rule per line:
+//
+//	alert <id> "<msg>" [feature=value]... [feature><=value]... class=<name>
+//
+// Blank lines and lines starting with '#' are ignored. Class names resolve
+// against the schema.
+func ParseRules(r io.Reader, schema data.Schema) ([]Rule, error) {
+	classIdx := make(map[string]int, len(schema.ClassNames))
+	for i, c := range schema.ClassNames {
+		classIdx[c] = i
+	}
+	catSet := make(map[string]bool, len(schema.Categorical))
+	for _, c := range schema.Categorical {
+		catSet[c.Name] = true
+	}
+
+	var rules []Rule
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		rule, err := parseRuleLine(text, classIdx, catSet)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		rules = append(rules, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rules, nil
+}
+
+func parseRuleLine(text string, classIdx map[string]int, catSet map[string]bool) (Rule, error) {
+	rest, msg, err := splitAlertHeader(text)
+	if err != nil {
+		return Rule{}, err
+	}
+	fields := strings.Fields(rest.tail)
+	rule := Rule{ID: rest.id, Msg: msg, Class: -1}
+	for _, f := range fields {
+		switch {
+		case strings.HasPrefix(f, "class="):
+			name := strings.TrimPrefix(f, "class=")
+			idx, ok := classIdx[name]
+			if !ok {
+				return Rule{}, fmt.Errorf("unknown class %q", name)
+			}
+			rule.Class = idx
+		case strings.Contains(f, ">="):
+			c, err := parseNum(f, ">=", OpGE)
+			if err != nil {
+				return Rule{}, err
+			}
+			rule.Nums = append(rule.Nums, c)
+		case strings.Contains(f, "<="):
+			c, err := parseNum(f, "<=", OpLE)
+			if err != nil {
+				return Rule{}, err
+			}
+			rule.Nums = append(rule.Nums, c)
+		case strings.Contains(f, ">"):
+			c, err := parseNum(f, ">", OpGT)
+			if err != nil {
+				return Rule{}, err
+			}
+			rule.Nums = append(rule.Nums, c)
+		case strings.Contains(f, "<"):
+			c, err := parseNum(f, "<", OpLT)
+			if err != nil {
+				return Rule{}, err
+			}
+			rule.Nums = append(rule.Nums, c)
+		case strings.Contains(f, "="):
+			parts := strings.SplitN(f, "=", 2)
+			if catSet[parts[0]] {
+				rule.Cats = append(rule.Cats, CatCondition{Feature: parts[0], Value: parts[1]})
+			} else {
+				v, err := strconv.ParseFloat(parts[1], 64)
+				if err != nil {
+					return Rule{}, fmt.Errorf("condition %q: %w", f, err)
+				}
+				rule.Nums = append(rule.Nums, Condition{Feature: parts[0], Op: OpEQ, Value: v})
+			}
+		default:
+			return Rule{}, fmt.Errorf("unparseable condition %q", f)
+		}
+	}
+	if rule.Class < 0 {
+		return Rule{}, fmt.Errorf("rule %d: missing class=", rule.ID)
+	}
+	return rule, nil
+}
+
+type alertHeader struct {
+	id   int
+	tail string
+}
+
+func splitAlertHeader(text string) (alertHeader, string, error) {
+	if !strings.HasPrefix(text, "alert ") {
+		return alertHeader{}, "", fmt.Errorf("rule must start with \"alert\"")
+	}
+	text = strings.TrimPrefix(text, "alert ")
+	sp := strings.IndexByte(text, ' ')
+	if sp < 0 {
+		return alertHeader{}, "", fmt.Errorf("missing rule id")
+	}
+	id, err := strconv.Atoi(text[:sp])
+	if err != nil {
+		return alertHeader{}, "", fmt.Errorf("rule id: %w", err)
+	}
+	text = strings.TrimSpace(text[sp:])
+	if !strings.HasPrefix(text, `"`) {
+		return alertHeader{}, "", fmt.Errorf("missing quoted message")
+	}
+	end := strings.IndexByte(text[1:], '"')
+	if end < 0 {
+		return alertHeader{}, "", fmt.Errorf("unterminated message")
+	}
+	msg := text[1 : 1+end]
+	return alertHeader{id: id, tail: text[end+2:]}, msg, nil
+}
+
+func parseNum(f, sep string, op CmpOp) (Condition, error) {
+	parts := strings.SplitN(f, sep, 2)
+	v, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return Condition{}, fmt.Errorf("condition %q: %w", f, err)
+	}
+	return Condition{Feature: parts[0], Op: op, Value: v}, nil
+}
+
+// MineRules derives signatures from labeled traffic: for each attack
+// class, it finds the numeric features that best separate the class from
+// normal traffic and emits a rule with thresholds at the class's quantile
+// band. This models how signature databases encode *known* attacks — and
+// why they miss variants that shift outside the band.
+func MineRules(ds *data.Dataset, perClass int) ([]Rule, error) {
+	k := ds.Schema.NumClasses()
+	nn := ds.Schema.NumNumeric()
+	if perClass < 1 {
+		perClass = 2
+	}
+
+	// Collect per-class numeric samples.
+	byClass := make([][][]float64, k)
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		byClass[r.Label] = append(byClass[r.Label], r.Numeric)
+	}
+	if len(byClass[0]) == 0 {
+		return nil, fmt.Errorf("signature: no normal traffic to mine against")
+	}
+	normalMean, normalStd := columnStats(byClass[0], nn)
+
+	var rules []Rule
+	id := 1000
+	for c := 1; c < k; c++ {
+		if len(byClass[c]) < 5 {
+			continue // too rare to characterize
+		}
+		mean, _ := columnStats(byClass[c], nn)
+		// Rank features by standardized mean shift from normal.
+		type shift struct {
+			idx int
+			z   float64
+		}
+		shifts := make([]shift, nn)
+		for j := 0; j < nn; j++ {
+			z := (mean[j] - normalMean[j]) / (normalStd[j] + 1e-9)
+			shifts[j] = shift{idx: j, z: z}
+		}
+		sort.Slice(shifts, func(a, b int) bool {
+			return math.Abs(shifts[a].z) > math.Abs(shifts[b].z)
+		})
+		rule := Rule{ID: id, Msg: "mined signature: " + ds.Schema.ClassNames[c], Class: c}
+		id++
+		for _, s := range shifts[:minInt(perClass, len(shifts))] {
+			vals := column(byClass[c], s.idx)
+			sort.Float64s(vals)
+			if s.z > 0 {
+				// Class sits above normal: threshold at its 25th pct.
+				rule.Nums = append(rule.Nums, Condition{
+					Feature: ds.Schema.NumericNames[s.idx], Op: OpGE, Value: quantile(vals, 0.25),
+				})
+			} else {
+				rule.Nums = append(rule.Nums, Condition{
+					Feature: ds.Schema.NumericNames[s.idx], Op: OpLE, Value: quantile(vals, 0.75),
+				})
+			}
+		}
+		rules = append(rules, rule)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("signature: no attack class had enough samples to mine")
+	}
+	return rules, nil
+}
+
+func columnStats(rows [][]float64, n int) (mean, std []float64) {
+	mean = make([]float64, n)
+	std = make([]float64, n)
+	if len(rows) == 0 {
+		for j := range std {
+			std[j] = 1
+		}
+		return mean, std
+	}
+	for _, r := range rows {
+		for j := 0; j < n; j++ {
+			mean[j] += r[j]
+		}
+	}
+	inv := 1.0 / float64(len(rows))
+	for j := range mean {
+		mean[j] *= inv
+	}
+	for _, r := range rows {
+		for j := 0; j < n; j++ {
+			d := r[j] - mean[j]
+			std[j] += d * d
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] * inv)
+	}
+	return mean, std
+}
+
+func column(rows [][]float64, j int) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = r[j]
+	}
+	return out
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// FormatRule renders a rule back into the DSL.
+func FormatRule(r Rule, schema data.Schema) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "alert %d %q", r.ID, r.Msg)
+	for _, c := range r.Cats {
+		fmt.Fprintf(&b, " %s=%s", c.Feature, c.Value)
+	}
+	for _, c := range r.Nums {
+		op := c.Op.String()
+		if c.Op == OpEQ {
+			op = "="
+		}
+		fmt.Fprintf(&b, " %s%s%g", c.Feature, op, c.Value)
+	}
+	fmt.Fprintf(&b, " class=%s", schema.ClassNames[r.Class])
+	return b.String()
+}

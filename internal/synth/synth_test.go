@@ -1,0 +1,289 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestNSLKDDEncodedWidthIs121(t *testing.T) {
+	g := MustNew(NSLKDDConfig())
+	if w := g.Schema().EncodedWidth(); w != 121 {
+		t.Fatalf("NSL-KDD encoded width %d, want 121 (paper §V-C)", w)
+	}
+	if k := g.Schema().NumClasses(); k != 5 {
+		t.Fatalf("NSL-KDD classes %d, want 5", k)
+	}
+}
+
+func TestUNSWEncodedWidthIs196(t *testing.T) {
+	g := MustNew(UNSWNB15Config())
+	if w := g.Schema().EncodedWidth(); w != 196 {
+		t.Fatalf("UNSW-NB15 encoded width %d, want 196 (paper §V-C)", w)
+	}
+	if k := g.Schema().NumClasses(); k != 10 {
+		t.Fatalf("UNSW-NB15 classes %d, want 10", k)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := MustNew(NSLKDDConfig())
+	a := g.Generate(200, 42)
+	b := g.Generate(200, 42)
+	for i := range a.Records {
+		ra, rb := a.Records[i], b.Records[i]
+		if ra.Label != rb.Label {
+			t.Fatalf("record %d label differs across identical seeds", i)
+		}
+		for j := range ra.Numeric {
+			if ra.Numeric[j] != rb.Numeric[j] {
+				t.Fatalf("record %d numeric %d differs across identical seeds", i, j)
+			}
+		}
+		for j := range ra.Categorical {
+			if ra.Categorical[j] != rb.Categorical[j] {
+				t.Fatalf("record %d categorical %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	g := MustNew(NSLKDDConfig())
+	a := g.Generate(100, 1)
+	b := g.Generate(100, 2)
+	same := 0
+	for i := range a.Records {
+		if a.Records[i].Numeric[0] == b.Records[i].Numeric[0] {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("%d/100 identical records across different seeds", same)
+	}
+}
+
+func TestGeneratedDatasetValidates(t *testing.T) {
+	for _, cfg := range []Config{NSLKDDConfig(), UNSWNB15Config()} {
+		g := MustNew(cfg)
+		ds := g.Generate(500, 7)
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("%s: generated dataset invalid: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestClassMixApproximatesWeights(t *testing.T) {
+	cfg := NSLKDDConfig()
+	cfg.LabelNoise = 0
+	g := MustNew(cfg)
+	ds := g.Generate(40000, 11)
+	counts := ds.ClassCounts()
+	total := float64(ds.Len())
+	wantFrac := []float64{0.517, 0.358, 0.089, 0.033, 0.003}
+	for i, w := range wantFrac {
+		got := float64(counts[i]) / total
+		if math.Abs(got-w) > 0.02 {
+			t.Fatalf("class %d fraction %v, want ≈%v", i, got, w)
+		}
+	}
+	// Rare class must still exist.
+	if counts[4] == 0 {
+		t.Fatal("rarest class (u2r) absent from 40k draw")
+	}
+}
+
+func TestLabelNoiseRate(t *testing.T) {
+	cfg := NSLKDDConfig()
+	cfg.LabelNoise = 0.5 // exaggerate for measurement
+	g := MustNew(cfg)
+	// With 50% label noise, classes become much more uniform than the
+	// configured skew; compare normal-class share against the noiseless
+	// generator.
+	noisy := g.Generate(20000, 3).ClassCounts()
+	cfg.LabelNoise = 0
+	clean := MustNew(cfg).Generate(20000, 3).ClassCounts()
+	if !(float64(noisy[0]) < 0.8*float64(clean[0])) {
+		t.Fatalf("label noise did not perturb class mix: noisy=%v clean=%v", noisy, clean)
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// A nearest-centroid classifier on the encoded features must beat the
+	// majority-class baseline by a wide margin on NSL-KDD-synth: the
+	// classes carry real signal.
+	g := MustNew(NSLKDDConfig())
+	train := g.Generate(4000, 21)
+	test := g.Generate(1000, 22)
+
+	enc := data.NewEncoder(g.Schema())
+	xTr, yTr := enc.Encode(train)
+	sc := data.FitScaler(xTr)
+	sc.Transform(xTr)
+	xTe, yTe := enc.Encode(test)
+	sc.Transform(xTe)
+
+	k := g.Schema().NumClasses()
+	w := enc.Width()
+	centroids := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range centroids {
+		centroids[i] = make([]float64, w)
+	}
+	for r := 0; r < xTr.Dim(0); r++ {
+		y := yTr[r]
+		counts[y]++
+		row := xTr.Row(r)
+		for c, v := range row {
+			centroids[y][c] += v
+		}
+	}
+	for i := range centroids {
+		if counts[i] > 0 {
+			for c := range centroids[i] {
+				centroids[i][c] /= float64(counts[i])
+			}
+		}
+	}
+	correct := 0
+	for r := 0; r < xTe.Dim(0); r++ {
+		row := xTe.Row(r)
+		best, bestD := -1, math.Inf(1)
+		for ci := range centroids {
+			d := 0.0
+			for c, v := range row {
+				diff := v - centroids[ci][c]
+				d += diff * diff
+			}
+			if d < bestD {
+				bestD, best = d, ci
+			}
+		}
+		if best == yTe[r] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(yTe))
+	if acc < 0.70 {
+		t.Fatalf("nearest-centroid accuracy %.3f; classes not separable enough", acc)
+	}
+}
+
+func TestUNSWHarderThanNSL(t *testing.T) {
+	// The UNSW-like generator must be measurably harder (more overlap +
+	// label noise) than the NSL-like one under the same simple classifier.
+	acc := func(cfg Config) float64 {
+		g := MustNew(cfg)
+		train := g.Generate(4000, 31)
+		test := g.Generate(1000, 32)
+		enc := data.NewEncoder(g.Schema())
+		xTr, yTr := enc.Encode(train)
+		sc := data.FitScaler(xTr)
+		sc.Transform(xTr)
+		xTe, yTe := enc.Encode(test)
+		sc.Transform(xTe)
+		k := g.Schema().NumClasses()
+		w := enc.Width()
+		cents := make([][]float64, k)
+		counts := make([]int, k)
+		for i := range cents {
+			cents[i] = make([]float64, w)
+		}
+		for r := 0; r < xTr.Dim(0); r++ {
+			counts[yTr[r]]++
+			for c, v := range xTr.Row(r) {
+				cents[yTr[r]][c] += v
+			}
+		}
+		for i := range cents {
+			if counts[i] > 0 {
+				for c := range cents[i] {
+					cents[i][c] /= float64(counts[i])
+				}
+			}
+		}
+		correct := 0
+		for r := 0; r < xTe.Dim(0); r++ {
+			best, bestD := -1, math.Inf(1)
+			for ci := range cents {
+				d := 0.0
+				for c, v := range xTe.Row(r) {
+					diff := v - cents[ci][c]
+					d += diff * diff
+				}
+				if d < bestD {
+					bestD, best = d, ci
+				}
+			}
+			if best == yTe[r] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(yTe))
+	}
+	nsl := acc(NSLKDDConfig())
+	unsw := acc(UNSWNB15Config())
+	if unsw >= nsl {
+		t.Fatalf("UNSW-synth (%.3f) should be harder than NSL-synth (%.3f)", unsw, nsl)
+	}
+}
+
+func TestSampleClassProducesRequestedClass(t *testing.T) {
+	g := MustNew(UNSWNB15Config())
+	rng := rand.New(rand.NewSource(5))
+	for class := 0; class < g.Schema().NumClasses(); class++ {
+		r := g.SampleClass(rng, class)
+		if r.Label != class {
+			t.Fatalf("SampleClass(%d) labelled %d", class, r.Label)
+		}
+		if len(r.Numeric) != g.Schema().NumNumeric() {
+			t.Fatalf("wrong numeric width %d", len(r.Numeric))
+		}
+	}
+}
+
+func TestPaperRecordCount(t *testing.T) {
+	n, err := PaperRecordCount("nsl-kdd-synth")
+	if err != nil || n != 148516 {
+		t.Fatalf("nsl count = %d, %v", n, err)
+	}
+	n, err = PaperRecordCount("unsw-nb15")
+	if err != nil || n != 257673 {
+		t.Fatalf("unsw count = %d, %v", n, err)
+	}
+	if _, err := PaperRecordCount("bogus"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	cfg := NSLKDDConfig()
+	cfg.LatentDim = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("LatentDim 0 accepted")
+	}
+	cfg = NSLKDDConfig()
+	cfg.Classes = cfg.Classes[:1]
+	if _, err := New(cfg); err == nil {
+		t.Fatal("single class accepted")
+	}
+	cfg = NSLKDDConfig()
+	cfg.Classes[0].Weight = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestNumericFeaturesAreFinite(t *testing.T) {
+	g := MustNew(UNSWNB15Config())
+	ds := g.Generate(2000, 13)
+	for i, r := range ds.Records {
+		for j, v := range r.Numeric {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("record %d feature %d is %v", i, j, v)
+			}
+		}
+	}
+}

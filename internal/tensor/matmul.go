@@ -1,0 +1,203 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the approximate number of multiply-adds below which
+// GEMM runs single-threaded; spawning goroutines for tiny products costs
+// more than it saves.
+const parallelThreshold = 1 << 16
+
+// MatMulInto computes dst = a @ b for rank-2 tensors a (m×k) and b (k×n),
+// writing into dst (m×n). dst must not alias a or b. Large products are
+// split across a goroutine per row-band.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k, n := checkMatMul("MatMulInto", dst, a, b, false, false)
+	mulKernel(dst.data, a.data, b.data, m, k, n)
+}
+
+// MatMul returns a @ b as a new m×n tensor.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 tensors, got %v @ %v", a.shape, b.shape))
+	}
+	dst := New(a.shape[0], b.shape[1])
+	MatMulInto(dst, a, b)
+	return dst
+}
+
+// MatMulTransAInto computes dst = aᵀ @ b where a is k×m and b is k×n,
+// producing m×n. Used by backward passes (weight gradients).
+func MatMulTransAInto(dst, a, b *Tensor) {
+	m, k, n := checkMatMul("MatMulTransAInto", dst, a, b, true, false)
+	mulKernelTransA(dst.data, a.data, b.data, m, k, n)
+}
+
+// MatMulTransBInto computes dst = a @ bᵀ where a is m×k and b is n×k,
+// producing m×n. Used by backward passes (input gradients).
+func MatMulTransBInto(dst, a, b *Tensor) {
+	m, k, n := checkMatMul("MatMulTransBInto", dst, a, b, false, true)
+	mulKernelTransB(dst.data, a.data, b.data, m, k, n)
+}
+
+// checkMatMul validates shapes and returns (m, k, n).
+func checkMatMul(op string, dst, a, b *Tensor, transA, transB bool) (m, k, n int) {
+	if len(a.shape) != 2 || len(b.shape) != 2 || len(dst.shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s requires rank-2 tensors, got dst=%v a=%v b=%v", op, dst.shape, a.shape, b.shape))
+	}
+	if transA {
+		k, m = a.shape[0], a.shape[1]
+	} else {
+		m, k = a.shape[0], a.shape[1]
+	}
+	var kb int
+	if transB {
+		n, kb = b.shape[0], b.shape[1]
+	} else {
+		kb, n = b.shape[0], b.shape[1]
+	}
+	if kb != k {
+		panic(fmt.Sprintf("tensor: %s inner dimension mismatch a=%v b=%v (transA=%v transB=%v)", op, a.shape, b.shape, transA, transB))
+	}
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s dst shape %v, want [%d %d]", op, dst.shape, m, n))
+	}
+	return m, k, n
+}
+
+// parallelRows splits the row range [0, m) across workers and runs fn on
+// each band concurrently when the total work justifies it.
+func parallelRows(m, workPerRow int, fn func(r0, r1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || m*workPerRow < parallelThreshold {
+		fn(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	band := (m + workers - 1) / workers
+	for r0 := 0; r0 < m; r0 += band {
+		r1 := r0 + band
+		if r1 > m {
+			r1 = m
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			fn(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// mulKernel computes dst = a @ b, a: m×k, b: k×n (row-major flat slices).
+// Inner loop is ordered j-last over b's rows for sequential memory access.
+func mulKernel(dst, a, b []float64, m, k, n int) {
+	parallelRows(m, k*n, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			drow := dst[i*n : (i+1)*n]
+			for j := range drow {
+				drow[j] = 0
+			}
+			arow := a[i*k : (i+1)*k]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// mulKernelTransA computes dst = aᵀ @ b, a: k×m, b: k×n.
+func mulKernelTransA(dst, a, b []float64, m, k, n int) {
+	// dst[i][j] = sum_p a[p][i] * b[p][j].
+	parallelRows(m, k*n, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			drow := dst[i*n : (i+1)*n]
+			for j := range drow {
+				drow[j] = 0
+			}
+			for p := 0; p < k; p++ {
+				av := a[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// mulKernelTransB computes dst = a @ bᵀ, a: m×k, b: n×k.
+func mulKernelTransB(dst, a, b []float64, m, k, n int) {
+	// dst[i][j] = dot(a_row_i, b_row_j): both rows are contiguous.
+	parallelRows(m, k*n, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			arow := a[i*k : (i+1)*k]
+			drow := dst[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b[j*k : (j+1)*k]
+				s := 0.0
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				drow[j] = s
+			}
+		}
+	})
+}
+
+// MatVecInto computes dst = a @ x for a rank-2 a (m×k) and vector x (k),
+// writing into vector dst (m).
+func MatVecInto(dst, a, x *Tensor) {
+	if len(a.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatVecInto requires rank-2 a, got %v", a.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	if len(x.data) != k || len(dst.data) != m {
+		panic(fmt.Sprintf("tensor: MatVecInto shape mismatch a=%v x=%v dst=%v", a.shape, x.shape, dst.shape))
+	}
+	for i := 0; i < m; i++ {
+		row := a.data[i*k : (i+1)*k]
+		s := 0.0
+		for p, av := range row {
+			s += av * x.data[p]
+		}
+		dst.data[i] = s
+	}
+}
+
+// Outer computes dst += alpha * x ⊗ y where x has length m, y has length n
+// and dst is m×n. Used for rank-1 gradient accumulation.
+func Outer(dst *Tensor, alpha float64, x, y *Tensor) {
+	if len(dst.shape) != 2 {
+		panic(fmt.Sprintf("tensor: Outer requires rank-2 dst, got %v", dst.shape))
+	}
+	m, n := dst.shape[0], dst.shape[1]
+	if len(x.data) != m || len(y.data) != n {
+		panic(fmt.Sprintf("tensor: Outer shape mismatch dst=%v x=%v y=%v", dst.shape, x.shape, y.shape))
+	}
+	for i := 0; i < m; i++ {
+		xv := alpha * x.data[i]
+		if xv == 0 {
+			continue
+		}
+		drow := dst.data[i*n : (i+1)*n]
+		for j, yv := range y.data {
+			drow[j] += xv * yv
+		}
+	}
+}

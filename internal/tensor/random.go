@@ -1,0 +1,69 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandUniform fills a new tensor of the given shape with samples drawn
+// uniformly from [lo, hi) using rng.
+func RandUniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	span := hi - lo
+	for i := range t.data {
+		t.data[i] = lo + span*rng.Float64()
+	}
+	return t
+}
+
+// RandNormal fills a new tensor of the given shape with samples from
+// N(mean, std²) using rng.
+func RandNormal(rng *rand.Rand, mean, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = mean + std*rng.NormFloat64()
+	}
+	return t
+}
+
+// GlorotUniform initializes a new tensor with the Glorot/Xavier uniform
+// scheme: U(-l, l) with l = sqrt(6 / (fanIn + fanOut)). This is Keras's
+// default Dense/Conv initializer, which the paper's implementation uses.
+func GlorotUniform(rng *rand.Rand, fanIn, fanOut int, shape ...int) *Tensor {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return RandUniform(rng, -limit, limit, shape...)
+}
+
+// HeNormal initializes a new tensor with He-normal: N(0, sqrt(2/fanIn)),
+// the usual choice before ReLU nonlinearities.
+func HeNormal(rng *rand.Rand, fanIn int, shape ...int) *Tensor {
+	return RandNormal(rng, 0, math.Sqrt(2.0/float64(fanIn)), shape...)
+}
+
+// Shuffle permutes the rows of a rank-2 tensor in place using rng
+// (Fisher–Yates). labels, if non-nil, is permuted identically so rows and
+// labels stay aligned.
+func Shuffle(rng *rand.Rand, t *Tensor, labels []int) {
+	if len(t.shape) != 2 {
+		panic("tensor: Shuffle requires a rank-2 tensor")
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	if labels != nil && len(labels) != rows {
+		panic("tensor: Shuffle labels length must match row count")
+	}
+	tmp := make([]float64, cols)
+	for i := rows - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		if i == j {
+			continue
+		}
+		ri := t.data[i*cols : (i+1)*cols]
+		rj := t.data[j*cols : (j+1)*cols]
+		copy(tmp, ri)
+		copy(ri, rj)
+		copy(rj, tmp)
+		if labels != nil {
+			labels[i], labels[j] = labels[j], labels[i]
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package tensor provides dense float64 tensors and the numeric kernels
+// (elementwise ops, reductions, parallel GEMM) that the nn package is built
+// on. Tensors are row-major and contiguous; Reshape shares underlying data
+// while Clone copies it.
+//
+// The package is deliberately small and allocation-conscious: all hot-path
+// operations have *Into variants that write into a caller-supplied
+// destination so training loops can reuse buffers.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Tensor is a dense, row-major, contiguous float64 tensor.
+//
+// The zero value is an empty tensor with no shape. Use New, Zeros, or
+// FromSlice to construct one.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New returns a zero-filled tensor with the given shape. It panics if any
+// dimension is negative; a tensor with zero total elements is valid.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{shape: cloneInts(shape), data: make([]float64, n)}
+}
+
+// Zeros is an alias of New, provided for readability at call sites.
+func Zeros(shape ...int) *Tensor { return New(shape...) }
+
+// Ones returns a tensor of the given shape filled with 1.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+// Full returns a tensor of the given shape with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// FromSlice wraps data in a tensor of the given shape. The tensor takes
+// ownership of the slice (no copy). It panics if len(data) does not match
+// the shape's element count.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (%d elements)", len(data), shape, n))
+	}
+	return &Tensor{shape: cloneInts(shape), data: data}
+}
+
+// checkShape validates a shape and returns its element count.
+func checkShape(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+func cloneInts(s []int) []int {
+	out := make([]int, len(s))
+	copy(out, s)
+	return out
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return cloneInts(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the underlying storage. Mutating it mutates the tensor.
+// The hot paths in nn use this to avoid per-element bounds checking through
+// method calls; external callers should prefer At/Set.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i, d := range t.shape {
+		if o.shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Reshape returns a view with the given shape sharing t's data. One
+// dimension may be -1, in which case it is inferred. It panics if the
+// element counts differ.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	shape = cloneInts(shape)
+	infer := -1
+	known := 1
+	for i, d := range shape {
+		switch {
+		case d == -1:
+			if infer >= 0 {
+				panic("tensor: Reshape with more than one -1 dimension")
+			}
+			infer = i
+		case d < 0:
+			panic(fmt.Sprintf("tensor: invalid dimension %d in Reshape", d))
+		default:
+			known *= d
+		}
+	}
+	if infer >= 0 {
+		if known == 0 || len(t.data)%known != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer dimension reshaping %v to %v", t.shape, shape))
+		}
+		shape[infer] = len(t.data) / known
+		known *= shape[infer]
+	}
+	if known != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elements) to %v (%d elements)", t.shape, len(t.data), shape, known))
+	}
+	return &Tensor{shape: shape, data: t.data}
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	data := make([]float64, len(t.data))
+	copy(data, t.data)
+	return &Tensor{shape: cloneInts(t.shape), data: data}
+}
+
+// CopyFrom copies o's data into t. Shapes must have equal element counts.
+func (t *Tensor) CopyFrom(o *Tensor) {
+	if len(t.data) != len(o.data) {
+		panic(fmt.Sprintf("tensor: CopyFrom size mismatch %v vs %v", t.shape, o.shape))
+	}
+	copy(t.data, o.data)
+}
+
+// Zero sets every element of t to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets every element of t to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// offset computes the flat index for the given multi-index.
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v has wrong rank for shape %v", idx, t.shape))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + ix
+	}
+	return off
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx)] }
+
+// Set assigns v to the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.data[t.offset(idx)] = v }
+
+// Row returns a view of row i of a rank-2 tensor as a slice (no copy).
+func (t *Tensor) Row(i int) []float64 {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: Row on rank-%d tensor", len(t.shape)))
+	}
+	c := t.shape[1]
+	return t.data[i*c : (i+1)*c]
+}
+
+// SliceRows returns a new tensor that is a copy of rows [from, to) of a
+// rank-2 tensor.
+func (t *Tensor) SliceRows(from, to int) *Tensor {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: SliceRows on rank-%d tensor", len(t.shape)))
+	}
+	if from < 0 || to > t.shape[0] || from > to {
+		panic(fmt.Sprintf("tensor: SliceRows[%d:%d] out of range for %v", from, to, t.shape))
+	}
+	c := t.shape[1]
+	out := New(to-from, c)
+	copy(out.data, t.data[from*c:to*c])
+	return out
+}
+
+// String renders small tensors fully and large ones abbreviated.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	b.WriteString("Tensor")
+	b.WriteString(fmt.Sprintf("%v", t.shape))
+	b.WriteByte('[')
+	limit := len(t.data)
+	const maxShown = 16
+	if limit > maxShown {
+		limit = maxShown
+	}
+	for i := 0; i < limit; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.FormatFloat(t.data[i], 'g', 5, 64))
+	}
+	if len(t.data) > maxShown {
+		b.WriteString(" ...")
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// AllFinite reports whether every element is finite (no NaN / ±Inf).
+func (t *Tensor) AllFinite() bool {
+	for _, v := range t.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbs returns the maximum absolute value of any element (0 for empty).
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
