@@ -1,0 +1,62 @@
+package repro_test
+
+import (
+	"runtime"
+	"testing"
+)
+
+// The steady-state hot path runs entirely on reused layer buffers and
+// workspace checkouts: once warm, a forward pass and a train step measure
+// 0 allocs/run single-threaded. The budgets below leave headroom for
+// incidental runtime allocations only; the pre-optimization baseline was
+// ~1229 allocs per forward and ~3256 per train step (see PERF.md), so any
+// broken reuse path blows through them immediately.
+//
+// GOMAXPROCS is pinned to 1 for the measurement because the multicore GEMM
+// dispatch path intentionally allocates a closure and WaitGroup per large
+// product — a few dozen bytes that don't scale with model size.
+const (
+	forwardAllocBudget   = 16
+	trainStepAllocBudget = 48
+)
+
+// TestPelicanForwardAllocBudget pins the allocation-free steady state of
+// the inference hot path with testing.AllocsPerRun.
+func TestPelicanForwardAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is slow at full network width")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	net, x, _ := pelicanAtPaperWidth(t)
+	// Warm every reuse buffer and workspace bucket.
+	for i := 0; i < 2; i++ {
+		net.Predict(x)
+	}
+	avg := testing.AllocsPerRun(3, func() {
+		net.Predict(x)
+	})
+	if avg > forwardAllocBudget {
+		t.Fatalf("steady-state Pelican forward pass allocates %.1f objects/run, budget %d", avg, forwardAllocBudget)
+	}
+	t.Logf("steady-state forward pass: %.1f allocs/run (budget %d)", avg, forwardAllocBudget)
+}
+
+// TestPelicanTrainStepAllocBudget does the same for a full train step
+// (forward + backward + RMSprop update).
+func TestPelicanTrainStepAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is slow at full network width")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	net, x, y := pelicanAtPaperWidth(t)
+	for i := 0; i < 2; i++ {
+		net.TrainBatch(x, y)
+	}
+	avg := testing.AllocsPerRun(3, func() {
+		net.TrainBatch(x, y)
+	})
+	if avg > trainStepAllocBudget {
+		t.Fatalf("steady-state train step allocates %.1f objects/run, budget %d", avg, trainStepAllocBudget)
+	}
+	t.Logf("steady-state train step: %.1f allocs/run (budget %d)", avg, trainStepAllocBudget)
+}

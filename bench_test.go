@@ -187,8 +187,8 @@ func BenchmarkTable5ExtendedBaselines(b *testing.B) {
 
 // pelicanAtPaperWidth builds Pelican at the UNSW feature width (196) for
 // layer-cost measurement.
-func pelicanAtPaperWidth(b *testing.B) (*nn.Network, *tensor.Tensor, []int) {
-	b.Helper()
+func pelicanAtPaperWidth(tb testing.TB) (*nn.Network, *tensor.Tensor, []int) {
+	tb.Helper()
 	rng := rand.New(rand.NewSource(1))
 	const features, classes, batch = 196, 10, 64
 	stack := models.BuildPelican(rng, rand.New(rand.NewSource(2)),
@@ -206,6 +206,7 @@ func pelicanAtPaperWidth(b *testing.B) (*nn.Network, *tensor.Tensor, []int) {
 // Residual-41 network at the paper's UNSW width (batch 64).
 func BenchmarkPelicanForward(b *testing.B) {
 	net, x, _ := pelicanAtPaperWidth(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.Predict(x)
@@ -216,6 +217,7 @@ func BenchmarkPelicanForward(b *testing.B) {
 // backward, RMSprop update) of Residual-41 at the paper's UNSW width.
 func BenchmarkPelicanTrainStep(b *testing.B) {
 	net, x, y := pelicanAtPaperWidth(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.TrainBatch(x, y)
@@ -228,6 +230,7 @@ func BenchmarkResidualBlockForward(b *testing.B) {
 	blk := models.NewResidualBlock(rng, rand.New(rand.NewSource(4)),
 		models.PaperBlockConfig(196))
 	x := tensor.RandNormal(rng, 0, 1, 64, 1, 196)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		blk.Forward(x, true)
@@ -239,6 +242,7 @@ func BenchmarkGRUForward(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	gru := nn.NewGRU(rng, 196, 196, true)
 	x := tensor.RandNormal(rng, 0, 1, 64, 1, 196)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		gru.Forward(x, true)
@@ -251,6 +255,7 @@ func BenchmarkConv1DForward(b *testing.B) {
 	rng := rand.New(rand.NewSource(6))
 	conv := nn.NewConv1D(rng, 196, 196, 10, nn.PaddingSame)
 	x := tensor.RandNormal(rng, 0, 1, 64, 1, 196)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		conv.Forward(x, true)
@@ -260,6 +265,7 @@ func BenchmarkConv1DForward(b *testing.B) {
 // BenchmarkSyntheticGeneration measures dataset generation throughput.
 func BenchmarkSyntheticGeneration(b *testing.B) {
 	gen := synth.MustNew(synth.UNSWNB15Config())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		gen.Generate(1000, int64(i))

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -31,15 +33,41 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pelican-bench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment id: table1..table5, table5x, fig2, fig5a..fig5d, ext-*, all")
-		profile = fs.String("profile", "default", "workload profile: paper, default, smoke")
-		records = fs.Int("records", 0, "override records per dataset (0 = profile default)")
-		epochs  = fs.Int("epochs", 0, "override training epochs (0 = profile default)")
-		seed    = fs.Int64("seed", 0, "override random seed (0 = profile default)")
-		verbose = fs.Bool("v", false, "log per-epoch training progress to stderr")
+		exp        = fs.String("exp", "all", "experiment id: table1..table5, table5x, fig2, fig5a..fig5d, ext-*, all")
+		profile    = fs.String("profile", "default", "workload profile: paper, default, smoke")
+		records    = fs.Int("records", 0, "override records per dataset (0 = profile default)")
+		epochs     = fs.Int("epochs", 0, "override training epochs (0 = profile default)")
+		seed       = fs.Int64("seed", 0, "override random seed (0 = profile default)")
+		verbose    = fs.Bool("v", false, "log per-epoch training progress to stderr")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("create cpu profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("create mem profile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // flush dead objects so the profile shows live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pelican-bench: write mem profile:", err)
+			}
+			f.Close()
+		}()
 	}
 	p, err := experiments.ProfileByName(*profile)
 	if err != nil {

@@ -171,11 +171,20 @@ func Preprocess(d *Dataset) (*tensor.Tensor, []int, *Pipeline) {
 	return x, y, &Pipeline{Enc: enc, Scaler: sc}
 }
 
+// Width returns the encoded feature width the pipeline produces.
+func (p *Pipeline) Width() int { return p.Enc.Width() }
+
 // Apply preprocesses a single record with the fitted pipeline, returning
 // its standardized feature vector.
 func (p *Pipeline) Apply(r *Record) []float64 {
 	row := make([]float64, p.Enc.Width())
+	p.ApplyInto(r, row)
+	return row
+}
+
+// ApplyInto preprocesses r into row (length Width) without allocating —
+// the hot-path variant used by batched scoring.
+func (p *Pipeline) ApplyInto(r *Record, row []float64) {
 	p.Enc.EncodeRecord(r, row)
 	p.Scaler.TransformRecord(row)
-	return row
 }

@@ -60,9 +60,9 @@ func prepare(p Profile, id DatasetID) (*prepared, error) {
 func gather(x *tensor.Tensor, y []int, idx []int) (*tensor.Tensor, []int) {
 	f := x.Dim(1)
 	out := tensor.New(len(idx), f)
+	tensor.GatherRowsInto(out, x, idx)
 	labels := make([]int, len(idx))
 	for i, j := range idx {
-		copy(out.Row(i), x.Row(j))
 		labels[i] = y[j]
 	}
 	return out.Reshape(len(idx), 1, f), labels

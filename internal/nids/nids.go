@@ -6,7 +6,9 @@
 // can be measured on identical traffic.
 //
 // The pipeline is a bounded-channel goroutine graph with clean shutdown:
-// Source → [workers × (preprocess + detect)] → alert collector.
+// Source → [workers × (preprocess + detect)] → alert collector. Workers
+// score flows in micro-batches (Config.MicroBatch) so batch-capable
+// detectors amortize one network pass over several queued flows.
 package nids
 
 import (
@@ -42,25 +44,71 @@ type Detector interface {
 	Detect(rec *data.Record) Verdict
 }
 
+// BatchDetector is implemented by detectors that can amortize work over a
+// small batch of flows — one GEMM per batch instead of one matvec per flow.
+// DetectBatch writes verdicts[i] for recs[i]; len(verdicts) == len(recs).
+type BatchDetector interface {
+	Detector
+	DetectBatch(recs []*data.Record, verdicts []Verdict)
+}
+
 // ModelDetector wraps a trained network plus its preprocessing pipeline.
+// Its methods are safe for concurrent use: the underlying network reuses
+// internal buffers, so scoring is serialized behind a mutex — workers
+// should therefore prefer DetectBatch, which amortizes one network pass
+// (and one lock acquisition) over a whole flow batch.
 type ModelDetector struct {
 	ModelName string
 	Net       *nn.Network
 	Pipe      *data.Pipeline
+
+	mu    sync.Mutex
+	xbuf  *tensor.Tensor // reused (B, F) input slab, resized per batch
+	xview *tensor.Tensor // reused (B, 1, F) view header over xbuf
 }
 
-var _ Detector = (*ModelDetector)(nil)
+var _ BatchDetector = (*ModelDetector)(nil)
 
 // Name implements Detector.
 func (d *ModelDetector) Name() string { return d.ModelName }
 
 // Detect implements Detector: preprocess, run the network, argmax.
 func (d *ModelDetector) Detect(rec *data.Record) Verdict {
-	row := d.Pipe.Apply(rec)
-	x := tensor.FromSlice(row, 1, 1, len(row))
-	logits := d.Net.Predict(x)
-	cls := logits.ArgmaxRow()[0]
-	return Verdict{IsAttack: cls != 0, Class: cls, Score: logits.At(0, cls)}
+	var v [1]Verdict
+	d.DetectBatch([]*data.Record{rec}, v[:])
+	return v[0]
+}
+
+// DetectBatch implements BatchDetector: the batch's feature rows are packed
+// into one contiguous tensor and scored in a single network pass.
+func (d *ModelDetector) DetectBatch(recs []*data.Record, verdicts []Verdict) {
+	rows := len(recs)
+	if rows == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.Pipe.Width()
+	if d.xbuf == nil {
+		d.xbuf = tensor.New(rows, f)
+	} else {
+		d.xbuf.Resize(rows, f)
+	}
+	for i, rec := range recs {
+		d.Pipe.ApplyInto(rec, d.xbuf.Row(i))
+	}
+	d.xview = d.xbuf.ReshapeInto(d.xview, rows, 1, f)
+	logits := d.Net.Predict(d.xview)
+	for i := 0; i < rows; i++ {
+		row := logits.Row(i)
+		cls := 0
+		for c := 1; c < len(row); c++ {
+			if row[c] > row[cls] {
+				cls = c
+			}
+		}
+		verdicts[i] = Verdict{IsAttack: cls != 0, Class: cls, Score: row[cls]}
+	}
 }
 
 // SignatureDetector wraps the Snort-style engine.
@@ -170,6 +218,12 @@ type Config struct {
 	// QueueDepth bounds the alert queue (default 1; alerts block when the
 	// security team falls behind, which is deliberate backpressure).
 	QueueDepth int
+	// MicroBatch caps how many queued flows a worker drains into one
+	// detector call. Batching amortizes one network pass (one GEMM) over
+	// the batch instead of a per-flow matvec; the first flow of a batch is
+	// never delayed — workers only gather flows that are already waiting.
+	// Defaults to 8 for detectors implementing BatchDetector, 1 otherwise.
+	MicroBatch int
 }
 
 // Pipeline is a running NIDS instance.
@@ -186,6 +240,13 @@ func New(det Detector, cfg Config) *Pipeline {
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1
+	}
+	if cfg.MicroBatch <= 0 {
+		if _, ok := det.(BatchDetector); ok {
+			cfg.MicroBatch = 8
+		} else {
+			cfg.MicroBatch = 1
+		}
 	}
 	return &Pipeline{det: det, cfg: cfg}
 }
@@ -207,13 +268,32 @@ func (p *Pipeline) Run(ctx context.Context, in <-chan flow.Flow, onAlert func(Al
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Worker-owned scoring buffers, reused across batches.
+			var ws workerScratch
+			batch := make([]flow.Flow, 0, p.cfg.MicroBatch)
 			for {
 				select {
 				case f, ok := <-in:
 					if !ok {
 						return
 					}
-					p.handle(ctx, f, alerts)
+					batch = append(batch[:0], f)
+					// Gather flows that are already queued — never wait
+					// for traffic to fill a batch.
+				gather:
+					for len(batch) < p.cfg.MicroBatch {
+						select {
+						case f2, ok := <-in:
+							if !ok {
+								p.handleBatch(ctx, batch, &ws, alerts)
+								return
+							}
+							batch = append(batch, f2)
+						default:
+							break gather
+						}
+					}
+					p.handleBatch(ctx, batch, &ws, alerts)
 				case <-ctx.Done():
 					return
 				}
@@ -237,9 +317,39 @@ func (p *Pipeline) Run(ctx context.Context, in <-chan flow.Flow, onAlert func(Al
 	return ctx.Err()
 }
 
-// handle scores one flow and updates the counters.
-func (p *Pipeline) handle(ctx context.Context, f flow.Flow, alerts chan<- Alert) {
-	v := p.det.Detect(&f.Record)
+// workerScratch holds one worker's reusable scoring buffers.
+type workerScratch struct {
+	recs     []*data.Record
+	verdicts []Verdict
+}
+
+// handleBatch scores a batch of flows — one detector call when the
+// detector supports batching, per-flow calls otherwise — and updates the
+// counters.
+func (p *Pipeline) handleBatch(ctx context.Context, batch []flow.Flow, ws *workerScratch, alerts chan<- Alert) {
+	bd, ok := p.det.(BatchDetector)
+	if !ok || len(batch) == 1 {
+		for i := range batch {
+			p.record(ctx, &batch[i], p.det.Detect(&batch[i].Record), alerts)
+		}
+		return
+	}
+	ws.recs = ws.recs[:0]
+	for i := range batch {
+		ws.recs = append(ws.recs, &batch[i].Record)
+	}
+	if cap(ws.verdicts) < len(batch) {
+		ws.verdicts = make([]Verdict, len(batch))
+	}
+	verdicts := ws.verdicts[:len(batch)]
+	bd.DetectBatch(ws.recs, verdicts)
+	for i := range batch {
+		p.record(ctx, &batch[i], verdicts[i], alerts)
+	}
+}
+
+// record updates the counters for one scored flow and enqueues its alert.
+func (p *Pipeline) record(ctx context.Context, f *flow.Flow, v Verdict, alerts chan<- Alert) {
 	p.stats.processed.Add(1)
 	actualAttack := f.TrueClass != 0
 	switch {
@@ -255,7 +365,7 @@ func (p *Pipeline) handle(ctx context.Context, f flow.Flow, alerts chan<- Alert)
 	if v.IsAttack {
 		p.stats.alerts.Add(1)
 		select {
-		case alerts <- Alert{Flow: f, Verdict: v, At: f.Timestamp}:
+		case alerts <- Alert{Flow: *f, Verdict: v, At: f.Timestamp}:
 		case <-ctx.Done():
 		}
 	}

@@ -90,6 +90,89 @@ func TestModelDetectorOnPipeline(t *testing.T) {
 	}
 }
 
+// TestDetectBatchMatchesDetect proves micro-batched scoring and per-flow
+// scoring agree verdict-for-verdict.
+func TestDetectBatchMatchesDetect(t *testing.T) {
+	g := tinyGen(t)
+	det := trainTinyModel(t, g)
+	ds := g.Generate(64, 75)
+
+	recs := make([]*data.Record, len(ds.Records))
+	for i := range ds.Records {
+		recs[i] = &ds.Records[i]
+	}
+	batched := make([]Verdict, len(recs))
+	det.DetectBatch(recs, batched)
+	for i, rec := range recs {
+		single := det.Detect(rec)
+		if single != batched[i] {
+			t.Fatalf("record %d: batch verdict %+v != single verdict %+v", i, batched[i], single)
+		}
+	}
+}
+
+// TestDetectBatchConcurrent hammers a shared ModelDetector from several
+// goroutines (meaningful under -race): the internal mutex must serialize
+// access to the reused network buffers without corrupting verdicts.
+func TestDetectBatchConcurrent(t *testing.T) {
+	g := tinyGen(t)
+	det := trainTinyModel(t, g)
+	ds := g.Generate(32, 76)
+	recs := make([]*data.Record, len(ds.Records))
+	for i := range ds.Records {
+		recs[i] = &ds.Records[i]
+	}
+	want := make([]Verdict, len(recs))
+	det.DetectBatch(recs, want)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := make([]Verdict, len(recs))
+			for it := 0; it < 10; it++ {
+				det.DetectBatch(recs, got)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("concurrent DetectBatch diverged at record %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestModelDetectorMicroBatchPipeline runs the full pipeline with an
+// explicit micro-batch size and checks the counters stay exact.
+func TestModelDetectorMicroBatchPipeline(t *testing.T) {
+	g := tinyGen(t)
+	det := trainTinyModel(t, g)
+
+	src, err := flow.NewSource(g, flow.DefaultSourceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(det, Config{Workers: 2, MicroBatch: 16})
+	flows := make(chan flow.Flow, 64) // deep queue so batches actually form
+	go src.Run(context.Background(), flows, 500)
+	if err := p.Run(context.Background(), flows, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Processed != 500 {
+		t.Fatalf("processed %d flows, want 500", st.Processed)
+	}
+	if st.TruePos+st.FalseAlarms+st.Missed+st.TrueNeg != st.Processed {
+		t.Fatalf("counters inconsistent: %+v", st)
+	}
+	if st.DR() < 0.5 {
+		t.Fatalf("micro-batched detector DR %.2f < 0.5", st.DR())
+	}
+}
+
 func TestSignatureDetectorOnPipeline(t *testing.T) {
 	g := tinyGen(t)
 	train := g.Generate(2500, 72)

@@ -9,6 +9,9 @@ import (
 // ReLU is the rectified linear activation max(0, x).
 type ReLU struct {
 	mask []bool // true where input > 0 in the last forward pass
+
+	out *tensor.Tensor // reused output buffer (valid until next Forward)
+	dx  *tensor.Tensor // reused gradient buffer
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -18,7 +21,7 @@ var _ Layer = (*ReLU)(nil)
 
 // Forward implements Layer.
 func (l *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	out := ensureLike(&l.out, x)
 	if cap(l.mask) < x.Len() {
 		l.mask = make([]bool, x.Len())
 	}
@@ -38,11 +41,13 @@ func (l *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(grad.Shape()...)
+	out := ensureLike(&l.dx, grad)
 	gd, od := grad.Data(), out.Data()
 	for i, g := range gd {
 		if l.mask[i] {
 			od[i] = g
+		} else {
+			od[i] = 0
 		}
 	}
 	return out
@@ -56,7 +61,8 @@ func (l *ReLU) LayerName() string { return "ReLU" }
 
 // Tanh is the hyperbolic-tangent activation.
 type Tanh struct {
-	out *tensor.Tensor
+	out *tensor.Tensor // reused output, also the backward cache
+	dx  *tensor.Tensor
 }
 
 // NewTanh returns a Tanh activation layer.
@@ -66,13 +72,17 @@ var _ Layer = (*Tanh)(nil)
 
 // Forward implements Layer.
 func (l *Tanh) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	l.out = x.Map(math.Tanh)
-	return l.out
+	out := ensureLike(&l.out, x)
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		od[i] = math.Tanh(v)
+	}
+	return out
 }
 
 // Backward implements Layer.
 func (l *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(grad.Shape()...)
+	out := ensureLike(&l.dx, grad)
 	gd, od, yd := grad.Data(), out.Data(), l.out.Data()
 	for i, g := range gd {
 		od[i] = g * (1 - yd[i]*yd[i])
@@ -88,7 +98,8 @@ func (l *Tanh) LayerName() string { return "Tanh" }
 
 // Sigmoid is the logistic activation 1/(1+e^-x).
 type Sigmoid struct {
-	out *tensor.Tensor
+	out *tensor.Tensor // reused output, also the backward cache
+	dx  *tensor.Tensor
 }
 
 // NewSigmoid returns a Sigmoid activation layer.
@@ -100,13 +111,17 @@ func sigmoid(v float64) float64 { return 1.0 / (1.0 + math.Exp(-v)) }
 
 // Forward implements Layer.
 func (l *Sigmoid) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	l.out = x.Map(sigmoid)
-	return l.out
+	out := ensureLike(&l.out, x)
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		od[i] = sigmoid(v)
+	}
+	return out
 }
 
 // Backward implements Layer.
 func (l *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(grad.Shape()...)
+	out := ensureLike(&l.dx, grad)
 	gd, od, yd := grad.Data(), out.Data(), l.out.Data()
 	for i, g := range gd {
 		od[i] = g * yd[i] * (1 - yd[i])
@@ -124,7 +139,9 @@ func (l *Sigmoid) LayerName() string { return "Sigmoid" }
 // max(0, min(1, 0.2x + 0.5)) — the recurrent activation the paper's GRU
 // uses.
 type HardSigmoid struct {
-	in *tensor.Tensor
+	in  *tensor.Tensor
+	out *tensor.Tensor
+	dx  *tensor.Tensor
 }
 
 // NewHardSigmoid returns a HardSigmoid activation layer.
@@ -155,12 +172,17 @@ func hardSigmoidGrad(v float64) float64 {
 // Forward implements Layer.
 func (l *HardSigmoid) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	l.in = x
-	return x.Map(hardSigmoid)
+	out := ensureLike(&l.out, x)
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		od[i] = hardSigmoid(v)
+	}
+	return out
 }
 
 // Backward implements Layer.
 func (l *HardSigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(grad.Shape()...)
+	out := ensureLike(&l.dx, grad)
 	gd, od, xd := grad.Data(), out.Data(), l.in.Data()
 	for i, g := range gd {
 		od[i] = g * hardSigmoidGrad(xd[i])
@@ -180,7 +202,8 @@ func (l *HardSigmoid) LayerName() string { return "HardSigmoid" }
 // inference-time probability output and for models that need explicit
 // probabilities mid-network.
 type Softmax struct {
-	out *tensor.Tensor
+	out *tensor.Tensor // reused output, also the backward cache
+	dx  *tensor.Tensor
 }
 
 // NewSoftmax returns a Softmax layer.
@@ -191,14 +214,14 @@ var _ Layer = (*Softmax)(nil)
 // Forward implements Layer.
 func (l *Softmax) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	mustRank("Softmax", x, 2)
-	out := x.Clone()
+	out := ensureLike(&l.out, x)
+	out.CopyFrom(x)
 	rows, cols := out.Dim(0), out.Dim(1)
 	od := out.Data()
 	for r := 0; r < rows; r++ {
 		row := od[r*cols : (r+1)*cols]
 		softmaxRow(row)
 	}
-	l.out = out
 	return out
 }
 
@@ -224,7 +247,7 @@ func softmaxRow(row []float64) {
 // Backward implements Layer.
 func (l *Softmax) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// dx_i = y_i * (g_i - sum_j g_j y_j) per row.
-	out := tensor.New(grad.Shape()...)
+	out := ensureLike(&l.dx, grad)
 	rows, cols := grad.Dim(0), grad.Dim(1)
 	gd, od, yd := grad.Data(), out.Data(), l.out.Data()
 	for r := 0; r < rows; r++ {

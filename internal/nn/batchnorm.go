@@ -26,11 +26,14 @@ type BatchNorm struct {
 
 	// Cached from the forward pass for Backward.
 	xhat    *tensor.Tensor // normalized input, flattened (N, C); train mode
-	evalX   *tensor.Tensor // raw input, flattened (N, C); eval mode
+	evalX   *tensor.Tensor // raw input; eval mode
 	invStd  []float64      // 1/sqrt(var+eps) per channel
 	n       int            // rows normalized over (batch×time)
-	inShape []int
-	trained bool // whether the last forward used batch statistics
+	trained bool           // whether the last forward used batch statistics
+
+	out   *tensor.Tensor // reused output buffer (valid until next Forward)
+	dx    *tensor.Tensor // reused gradient buffer
+	chBuf []float64      // per-channel scratch: means, then scale/shift pairs
 }
 
 // NewBatchNorm constructs a BatchNorm over c channels with Keras defaults
@@ -49,91 +52,123 @@ func NewBatchNorm(c int) *BatchNorm {
 
 var _ Layer = (*BatchNorm)(nil)
 
-// flatten2 views x as (N, C) rows regardless of rank-2/rank-3 input.
-func (l *BatchNorm) flatten2(x *tensor.Tensor) *tensor.Tensor {
+// rows validates x's channel axis and returns the number of (batch×time)
+// rows it normalizes over.
+func (l *BatchNorm) rows(x *tensor.Tensor) int {
 	switch x.Rank() {
-	case 2:
-		if x.Dim(1) != l.C {
+	case 2, 3:
+		if x.Dim(x.Rank()-1) != l.C {
 			panic(fmt.Sprintf("nn: BatchNorm expects %d channels, got shape %v", l.C, x.Shape()))
 		}
-		return x
-	case 3:
-		if x.Dim(2) != l.C {
-			panic(fmt.Sprintf("nn: BatchNorm expects %d channels, got shape %v", l.C, x.Shape()))
-		}
-		return x.Reshape(x.Dim(0)*x.Dim(1), l.C)
+		return x.Len() / l.C
 	default:
 		panic(fmt.Sprintf("nn: BatchNorm expects rank-2 or rank-3 input, got shape %v", x.Shape()))
 	}
 }
 
-// Forward implements Layer.
+// scratch returns two per-channel float64 slices backed by one reusable
+// allocation.
+func (l *BatchNorm) scratch() (s0, s1 []float64) {
+	s0, s1, _ = l.scratch3()
+	return s0, s1
+}
+
+// scratch3 returns three per-channel float64 slices backed by one reusable
+// allocation.
+func (l *BatchNorm) scratch3() (s0, s1, s2 []float64) {
+	if cap(l.chBuf) < 3*l.C {
+		l.chBuf = make([]float64, 3*l.C)
+	}
+	l.chBuf = l.chBuf[:3*l.C]
+	return l.chBuf[:l.C], l.chBuf[l.C : 2*l.C], l.chBuf[2*l.C : 3*l.C]
+}
+
+// Forward implements Layer. All passes are row-major so the input streams
+// through cache once per pass instead of once per channel.
 func (l *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	l.inShape = x.Shape()
-	x2 := l.flatten2(x)
-	n, c := x2.Dim(0), l.C
-	out2 := tensor.New(n, c)
-	xd, od := x2.Data(), out2.Data()
+	n, c := l.rows(x), l.C
+	out := ensureLike(&l.out, x)
+	xd, od := x.Data(), out.Data()
 	g, b := l.gamma.Value.Data(), l.beta.Value.Data()
 
 	if !train {
 		l.trained = false
-		l.evalX = x2
+		l.evalX = x
 		rm, rv := l.runMean.Data(), l.runVar.Data()
+		scale, shift := l.scratch()
 		for ci := 0; ci < c; ci++ {
 			inv := 1.0 / math.Sqrt(rv[ci]+l.Eps)
-			mean := rm[ci]
-			gi, bi := g[ci], b[ci]
-			for r := 0; r < n; r++ {
-				od[r*c+ci] = (xd[r*c+ci]-mean)*inv*gi + bi
+			scale[ci] = inv * g[ci]
+			shift[ci] = b[ci] - rm[ci]*inv*g[ci]
+		}
+		for r := 0; r < n; r++ {
+			xrow, orow := xd[r*c:(r+1)*c], od[r*c:(r+1)*c]
+			for ci, v := range xrow {
+				orow[ci] = v*scale[ci] + shift[ci]
 			}
 		}
-		return out2.Reshape(l.inShape...)
+		return out
 	}
 
 	l.trained = true
 	l.n = n
-	if l.invStd == nil || len(l.invStd) != c {
+	if cap(l.invStd) < c {
 		l.invStd = make([]float64, c)
 	}
-	l.xhat = tensor.New(n, c)
-	xh := l.xhat.Data()
+	l.invStd = l.invStd[:c]
+	xhat := ensure(&l.xhat, n, c)
+	xh := xhat.Data()
 	rm, rv := l.runMean.Data(), l.runVar.Data()
 	invN := 1.0 / float64(n)
-	for ci := 0; ci < c; ci++ {
-		mean := 0.0
-		for r := 0; r < n; r++ {
-			mean += xd[r*c+ci]
-		}
-		mean *= invN
-		variance := 0.0
-		for r := 0; r < n; r++ {
-			d := xd[r*c+ci] - mean
-			variance += d * d
-		}
-		variance *= invN // biased variance, as Keras uses in normalization
-		inv := 1.0 / math.Sqrt(variance+l.Eps)
-		l.invStd[ci] = inv
-		gi, bi := g[ci], b[ci]
-		for r := 0; r < n; r++ {
-			h := (xd[r*c+ci] - mean) * inv
-			xh[r*c+ci] = h
-			od[r*c+ci] = h*gi + bi
-		}
-		rm[ci] = l.Momentum*rm[ci] + (1-l.Momentum)*mean
-		rv[ci] = l.Momentum*rv[ci] + (1-l.Momentum)*variance
+
+	mean, variance := l.scratch()
+	for ci := range mean {
+		mean[ci], variance[ci] = 0, 0
 	}
-	return out2.Reshape(l.inShape...)
+	for r := 0; r < n; r++ {
+		xrow := xd[r*c : (r+1)*c]
+		for ci, v := range xrow {
+			mean[ci] += v
+		}
+	}
+	for ci := range mean {
+		mean[ci] *= invN
+	}
+	for r := 0; r < n; r++ {
+		xrow := xd[r*c : (r+1)*c]
+		for ci, v := range xrow {
+			d := v - mean[ci]
+			variance[ci] += d * d
+		}
+	}
+	for ci := range variance {
+		variance[ci] *= invN // biased variance, as Keras uses in normalization
+		l.invStd[ci] = 1.0 / math.Sqrt(variance[ci]+l.Eps)
+	}
+	for r := 0; r < n; r++ {
+		xrow := xd[r*c : (r+1)*c]
+		hrow := xh[r*c : (r+1)*c]
+		orow := od[r*c : (r+1)*c]
+		for ci, v := range xrow {
+			h := (v - mean[ci]) * l.invStd[ci]
+			hrow[ci] = h
+			orow[ci] = h*g[ci] + b[ci]
+		}
+	}
+	for ci := 0; ci < c; ci++ {
+		rm[ci] = l.Momentum*rm[ci] + (1-l.Momentum)*mean[ci]
+		rv[ci] = l.Momentum*rv[ci] + (1-l.Momentum)*variance[ci]
+	}
+	return out
 }
 
 // Backward implements Layer. It assumes the preceding Forward ran in
 // training mode (batch statistics); inference-mode backward treats the
 // moments as constants.
 func (l *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	g2 := l.flatten2(grad)
-	n, c := g2.Dim(0), l.C
-	dx2 := tensor.New(n, c)
-	gd, dxd := g2.Data(), dx2.Data()
+	n, c := l.rows(grad), l.C
+	dx := ensureLike(&l.dx, grad)
+	gd, dxd := grad.Data(), dx.Data()
 	gamma := l.gamma.Value.Data()
 	dgamma := l.gamma.Grad.Data()
 	dbeta := l.beta.Grad.Data()
@@ -143,38 +178,51 @@ func (l *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		// constants, but γ and β still receive gradients.
 		rm, rv := l.runMean.Data(), l.runVar.Data()
 		xd := l.evalX.Data()
+		inv, _ := l.scratch()
 		for ci := 0; ci < c; ci++ {
-			inv := 1.0 / math.Sqrt(rv[ci]+l.Eps)
-			for r := 0; r < n; r++ {
-				dy := gd[r*c+ci]
-				xh := (xd[r*c+ci] - rm[ci]) * inv
-				dgamma[ci] += dy * xh
+			inv[ci] = 1.0 / math.Sqrt(rv[ci]+l.Eps)
+		}
+		for r := 0; r < n; r++ {
+			grow := gd[r*c : (r+1)*c]
+			xrow := xd[r*c : (r+1)*c]
+			drow := dxd[r*c : (r+1)*c]
+			for ci, dy := range grow {
+				dgamma[ci] += dy * (xrow[ci] - rm[ci]) * inv[ci]
 				dbeta[ci] += dy
-				dxd[r*c+ci] = dy * gamma[ci] * inv
+				drow[ci] = dy * gamma[ci] * inv[ci]
 			}
 		}
-		return dx2.Reshape(l.inShape...)
+		return dx
 	}
 
 	xh := l.xhat.Data()
 	invN := 1.0 / float64(n)
+	sumDy, sumDyXh, k := l.scratch3()
 	for ci := 0; ci < c; ci++ {
-		// Accumulate per-channel sums needed by the BN backward formula.
-		sumDy, sumDyXh := 0.0, 0.0
-		for r := 0; r < n; r++ {
-			dy := gd[r*c+ci]
-			sumDy += dy
-			sumDyXh += dy * xh[r*c+ci]
-		}
-		dgamma[ci] += sumDyXh
-		dbeta[ci] += sumDy
-		k := gamma[ci] * l.invStd[ci]
-		for r := 0; r < n; r++ {
-			dy := gd[r*c+ci]
-			dxd[r*c+ci] = k * (dy - invN*sumDy - xh[r*c+ci]*invN*sumDyXh)
+		sumDy[ci], sumDyXh[ci] = 0, 0
+	}
+	for r := 0; r < n; r++ {
+		grow := gd[r*c : (r+1)*c]
+		hrow := xh[r*c : (r+1)*c]
+		for ci, dy := range grow {
+			sumDy[ci] += dy
+			sumDyXh[ci] += dy * hrow[ci]
 		}
 	}
-	return dx2.Reshape(l.inShape...)
+	for ci := 0; ci < c; ci++ {
+		dgamma[ci] += sumDyXh[ci]
+		dbeta[ci] += sumDy[ci]
+		k[ci] = gamma[ci] * l.invStd[ci]
+	}
+	for r := 0; r < n; r++ {
+		grow := gd[r*c : (r+1)*c]
+		hrow := xh[r*c : (r+1)*c]
+		drow := dxd[r*c : (r+1)*c]
+		for ci, dy := range grow {
+			drow[ci] = k[ci] * (dy - invN*sumDy[ci] - hrow[ci]*invN*sumDyXh[ci])
+		}
+	}
+	return dx
 }
 
 // Params implements Layer.

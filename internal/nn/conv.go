@@ -29,6 +29,14 @@ type Conv1D struct {
 	b *Param // (outC)
 
 	x *tensor.Tensor // cached input (B, T, inC)
+
+	out *tensor.Tensor // reused output buffer (valid until next Forward)
+	dx  *tensor.Tensor // reused gradient buffer
+
+	// Reused view headers for the flattened-GEMM paths.
+	wview, gwview *tensor.Tensor // kernel tap views (value / grad)
+	xview, oview  *tensor.Tensor
+	gview, dxview *tensor.Tensor
 }
 
 // NewConv1D constructs a Conv1D layer with Glorot-uniform weights
@@ -68,10 +76,34 @@ func (l *Conv1D) leftPad() int {
 	return 0
 }
 
-// wSlab returns tap k of the kernel as an (inC, outC) matrix view.
-func (l *Conv1D) wSlab(val *tensor.Tensor, k int) *tensor.Tensor {
+// wSlab returns tap k of kernel tensor val as an (inC, outC) matrix view,
+// reusing the header at *hdr across calls.
+func (l *Conv1D) wSlab(hdr **tensor.Tensor, val *tensor.Tensor, k int) *tensor.Tensor {
 	sz := l.InC * l.OutC
-	return tensor.FromSlice(val.Data()[k*sz:(k+1)*sz], l.InC, l.OutC)
+	*hdr = tensor.BindView(*hdr, val.Data()[k*sz:(k+1)*sz], l.InC, l.OutC)
+	return *hdr
+}
+
+// fullTap reports whether tap k is the only contributing tap and covers
+// the entire output and input ranges, so the tap's GEMM can read x and
+// write out directly with no gather/scatter. This is always the case for
+// the paper's T=1 inputs (one tap survives the padding arithmetic).
+func (l *Conv1D) fullTap(t, to, pad int) (tap int, ok bool) {
+	tap = -1
+	for k := 0; k < l.K; k++ {
+		t0lo, t0hi := validOutRange(to, t, k, pad)
+		if t0lo >= t0hi {
+			continue
+		}
+		if tap >= 0 {
+			return -1, false // more than one contributing tap
+		}
+		if t0lo != 0 || t0hi != to || t0hi-t0lo != t {
+			return -1, false // partial coverage
+		}
+		tap = k
+	}
+	return tap, tap >= 0
 }
 
 // Forward implements Layer.
@@ -80,7 +112,8 @@ func (l *Conv1D) wSlab(val *tensor.Tensor, k int) *tensor.Tensor {
 // out[:, t, :] += x[:, t+k-pad, :] @ W[k]. For each tap the contributing
 // rows of every batch item are gathered into one contiguous matrix so the
 // whole batch runs through a single parallel GEMM (per-item micro-GEMMs
-// are far too small to parallelize).
+// are far too small to parallelize). When exactly one tap contributes and
+// it spans the full sequence, the GEMM reads x and writes out directly.
 func (l *Conv1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	mustRank("Conv1D", x, 3)
 	if x.Dim(2) != l.InC {
@@ -89,11 +122,20 @@ func (l *Conv1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	l.x = x
 	b, t := x.Dim(0), x.Dim(1)
 	to := l.outLen(t)
-	out := tensor.New(b, to, l.OutC)
+	out := ensure(&l.out, b, to, l.OutC)
 	pad := l.leftPad()
 
 	xd := x.Data()
 	od := out.Data()
+	if tap, ok := l.fullTap(t, to, pad); ok {
+		l.xview = tensor.BindView(l.xview, xd, b*t, l.InC)
+		l.oview = tensor.BindView(l.oview, od, b*to, l.OutC)
+		tensor.MatMulInto(l.oview, l.xview, l.wSlab(&l.wview, l.w.Value, tap))
+		l.oview.AddRowVec(l.b.Value)
+		return out
+	}
+
+	out.Zero()
 	for k := 0; k < l.K; k++ {
 		t0lo, t0hi := validOutRange(to, t, k, pad)
 		if t0lo >= t0hi {
@@ -101,16 +143,16 @@ func (l *Conv1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 		}
 		rows := t0hi - t0lo
 		tiLo := t0lo + k - pad
-		wk := l.wSlab(l.w.Value, k)
+		wk := l.wSlab(&l.wview, l.w.Value, k)
 
 		// Gather the contributing input rows of all batch items.
-		xin := tensor.New(b*rows, l.InC)
+		xin := tensor.Scratch.Get(b*rows, l.InC)
 		xind := xin.Data()
 		for bi := 0; bi < b; bi++ {
 			copy(xind[bi*rows*l.InC:(bi+1)*rows*l.InC],
 				xd[(bi*t+tiLo)*l.InC:(bi*t+tiLo+rows)*l.InC])
 		}
-		part := tensor.New(b*rows, l.OutC)
+		part := tensor.Scratch.Get(b*rows, l.OutC)
 		tensor.MatMulInto(part, xin, wk)
 		// Scatter-add into the output band of each batch item.
 		pd := part.Data()
@@ -121,8 +163,11 @@ func (l *Conv1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 				dst[i] += v
 			}
 		}
+		tensor.Scratch.Put(part)
+		tensor.Scratch.Put(xin)
 	}
-	out.Reshape(b*to, l.OutC).AddRowVec(l.b.Value)
+	l.oview = tensor.BindView(l.oview, od, b*to, l.OutC)
+	l.oview.AddRowVec(l.b.Value)
 	return out
 }
 
@@ -149,14 +194,33 @@ func (l *Conv1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Conv1D.Backward grad shape %v, want [%d %d %d]", grad.Shape(), b, to, l.OutC))
 	}
 	pad := l.leftPad()
-	dx := tensor.New(b, t, l.InC)
-
-	// Bias gradient: sum over batch and time.
-	db := tensor.New(l.OutC)
-	tensor.SumRowsInto(db, grad.Reshape(b*to, l.OutC))
-	l.b.Grad.Axpy(1, db)
+	dx := ensure(&l.dx, b, t, l.InC)
 
 	xd, gd, dxd := l.x.Data(), grad.Data(), dx.Data()
+
+	// Bias gradient: sum over batch and time.
+	l.gview = tensor.BindView(l.gview, gd, b*to, l.OutC)
+	db := tensor.Scratch.Get(l.OutC)
+	tensor.SumRowsInto(db, l.gview)
+	l.b.Grad.Axpy(1, db)
+	tensor.Scratch.Put(db)
+
+	if tap, ok := l.fullTap(t, to, pad); ok {
+		l.xview = tensor.BindView(l.xview, xd, b*t, l.InC)
+		l.dxview = tensor.BindView(l.dxview, dxd, b*t, l.InC)
+
+		// dW[tap] += xᵀ @ grad
+		dwPart := tensor.Scratch.Get(l.InC, l.OutC)
+		tensor.MatMulTransAInto(dwPart, l.xview, l.gview)
+		l.wSlab(&l.gwview, l.w.Grad, tap).Axpy(1, dwPart)
+		tensor.Scratch.Put(dwPart)
+
+		// dx = grad @ W[tap]ᵀ, written directly (full coverage).
+		tensor.MatMulTransBInto(l.dxview, l.gview, l.wSlab(&l.wview, l.w.Value, tap))
+		return dx
+	}
+
+	dx.Zero()
 	for k := 0; k < l.K; k++ {
 		t0lo, t0hi := validOutRange(to, t, k, pad)
 		if t0lo >= t0hi {
@@ -164,12 +228,12 @@ func (l *Conv1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 		rows := t0hi - t0lo
 		tiLo := t0lo + k - pad
-		wk := l.wSlab(l.w.Value, k)
-		dwk := l.wSlab(l.w.Grad, k)
+		wk := l.wSlab(&l.wview, l.w.Value, k)
+		dwk := l.wSlab(&l.gwview, l.w.Grad, k)
 
 		// Gather contributing input rows and gradient rows batch-wide.
-		xin := tensor.New(b*rows, l.InC)
-		gslab := tensor.New(b*rows, l.OutC)
+		xin := tensor.Scratch.Get(b*rows, l.InC)
+		gslab := tensor.Scratch.Get(b*rows, l.OutC)
 		xind, gsd := xin.Data(), gslab.Data()
 		for bi := 0; bi < b; bi++ {
 			copy(xind[bi*rows*l.InC:(bi+1)*rows*l.InC],
@@ -179,12 +243,13 @@ func (l *Conv1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 
 		// dW[k] += xinᵀ @ gslab
-		dwPart := tensor.New(l.InC, l.OutC)
+		dwPart := tensor.Scratch.Get(l.InC, l.OutC)
 		tensor.MatMulTransAInto(dwPart, xin, gslab)
 		dwk.Axpy(1, dwPart)
+		tensor.Scratch.Put(dwPart)
 
 		// dx bands += gslab @ W[k]ᵀ
-		dxPart := tensor.New(b*rows, l.InC)
+		dxPart := tensor.Scratch.Get(b*rows, l.InC)
 		tensor.MatMulTransBInto(dxPart, gslab, wk)
 		dpd := dxPart.Data()
 		for bi := 0; bi < b; bi++ {
@@ -194,6 +259,9 @@ func (l *Conv1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 				dst[i] += v
 			}
 		}
+		tensor.Scratch.Put(dxPart)
+		tensor.Scratch.Put(gslab)
+		tensor.Scratch.Put(xin)
 	}
 	return dx
 }
@@ -218,6 +286,9 @@ type MaxPool1D struct {
 	inB    int
 	inT    int
 	inC    int
+
+	out *tensor.Tensor // reused output buffer (valid until next Forward)
+	dx  *tensor.Tensor // reused gradient buffer
 }
 
 // NewMaxPool1D constructs a MaxPool1D layer with the given window size.
@@ -239,7 +310,7 @@ func (l *MaxPool1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	b, t, c := x.Dim(0), x.Dim(1), x.Dim(2)
 	to := l.outLen(t)
 	l.inB, l.inT, l.inC = b, t, c
-	out := tensor.New(b, to, c)
+	out := ensure(&l.out, b, to, c)
 	if cap(l.argmax) < out.Len() {
 		l.argmax = make([]int, out.Len())
 	}
@@ -273,7 +344,7 @@ func (l *MaxPool1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (l *MaxPool1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(l.inB, l.inT, l.inC)
+	dx := ensureZeroed(&l.dx, l.inB, l.inT, l.inC)
 	dxd, gd := dx.Data(), grad.Data()
 	for oi, g := range gd {
 		dxd[l.argmax[oi]] += g
@@ -293,6 +364,9 @@ type GlobalAvgPool1D struct {
 	inT int
 	inB int
 	inC int
+
+	out *tensor.Tensor // reused output buffer (valid until next Forward)
+	dx  *tensor.Tensor // reused gradient buffer
 }
 
 // NewGlobalAvgPool1D constructs a GlobalAvgPool1D layer.
@@ -305,7 +379,7 @@ func (l *GlobalAvgPool1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	mustRank("GlobalAvgPool1D", x, 3)
 	b, t, c := x.Dim(0), x.Dim(1), x.Dim(2)
 	l.inB, l.inT, l.inC = b, t, c
-	out := tensor.New(b, c)
+	out := ensureZeroed(&l.out, b, c)
 	xd, od := x.Data(), out.Data()
 	inv := 1.0 / float64(t)
 	for bi := 0; bi < b; bi++ {
@@ -323,7 +397,7 @@ func (l *GlobalAvgPool1D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 // Backward implements Layer.
 func (l *GlobalAvgPool1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	mustRank("GlobalAvgPool1D.Backward", grad, 2)
-	dx := tensor.New(l.inB, l.inT, l.inC)
+	dx := ensure(&l.dx, l.inB, l.inT, l.inC)
 	gd, dxd := grad.Data(), dx.Data()
 	inv := 1.0 / float64(l.inT)
 	for bi := 0; bi < l.inB; bi++ {

@@ -15,7 +15,9 @@ type Dense struct {
 	b       *Param // (out)
 	useBias bool
 
-	x *tensor.Tensor // cached input
+	x   *tensor.Tensor // cached input
+	out *tensor.Tensor // reused output buffer (valid until next Forward)
+	dx  *tensor.Tensor // reused input-gradient buffer
 }
 
 // NewDense constructs a Dense layer with Glorot-uniform weights and zero
@@ -45,7 +47,8 @@ func (l *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Dense expects %d input features, got shape %v", l.In, x.Shape()))
 	}
 	l.x = x
-	out := tensor.MatMul(x, l.w.Value)
+	out := ensure(&l.out, x.Dim(0), l.Out)
+	tensor.MatMulInto(out, x, l.w.Value)
 	if l.useBias {
 		out.AddRowVec(l.b.Value)
 	}
@@ -56,16 +59,18 @@ func (l *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 func (l *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	mustRank("Dense.Backward", grad, 2)
 	// dW += xᵀ @ grad
-	dw := tensor.New(l.In, l.Out)
+	dw := tensor.Scratch.Get(l.In, l.Out)
 	tensor.MatMulTransAInto(dw, l.x, grad)
 	l.w.Grad.Axpy(1, dw)
+	tensor.Scratch.Put(dw)
 	if l.useBias {
-		db := tensor.New(l.Out)
+		db := tensor.Scratch.Get(l.Out)
 		tensor.SumRowsInto(db, grad)
 		l.b.Grad.Axpy(1, db)
+		tensor.Scratch.Put(db)
 	}
 	// dx = grad @ Wᵀ
-	dx := tensor.New(grad.Dim(0), l.In)
+	dx := ensure(&l.dx, grad.Dim(0), l.In)
 	tensor.MatMulTransBInto(dx, grad, l.w.Value)
 	return dx
 }

@@ -21,6 +21,9 @@ type Dropout struct {
 	// passes are deterministic. Used by gradient-checking tests only.
 	PinMask bool
 	pinned  bool
+
+	out *tensor.Tensor // reused output buffer (valid until next Forward)
+	dx  *tensor.Tensor // reused gradient buffer
 }
 
 // NewDropout constructs a Dropout layer with the given drop rate in [0, 1).
@@ -58,7 +61,7 @@ func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 		l.pinned = l.PinMask
 	}
-	out := tensor.New(x.Shape()...)
+	out := ensureLike(&l.out, x)
 	xd, od := x.Data(), out.Data()
 	for i, v := range xd {
 		od[i] = v * l.mask[i]
@@ -71,7 +74,7 @@ func (l *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if !l.lastLive {
 		return grad
 	}
-	out := tensor.New(grad.Shape()...)
+	out := ensureLike(&l.dx, grad)
 	gd, od := grad.Data(), out.Data()
 	for i, g := range gd {
 		od[i] = g * l.mask[i]
@@ -93,7 +96,10 @@ type Reshape struct {
 	// be -1 to be inferred.
 	Dims []int
 
-	inShape []int
+	inShape  []int
+	outShape []int          // reused [batch, Dims...] scratch
+	view     *tensor.Tensor // reused forward view header
+	gview    *tensor.Tensor // reused backward view header
 }
 
 // NewReshape constructs a Reshape to (batch, dims...).
@@ -107,16 +113,16 @@ var _ Layer = (*Reshape)(nil)
 
 // Forward implements Layer.
 func (l *Reshape) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	l.inShape = x.Shape()
-	shape := make([]int, 0, len(l.Dims)+1)
-	shape = append(shape, x.Dim(0))
-	shape = append(shape, l.Dims...)
-	return x.Reshape(shape...)
+	l.inShape = appendShape(l.inShape[:0], x)
+	l.outShape = append(append(l.outShape[:0], x.Dim(0)), l.Dims...)
+	l.view = x.ReshapeInto(l.view, l.outShape...)
+	return l.view
 }
 
 // Backward implements Layer.
 func (l *Reshape) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(l.inShape...)
+	l.gview = grad.ReshapeInto(l.gview, l.inShape...)
+	return l.gview
 }
 
 // Params implements Layer.
@@ -128,6 +134,8 @@ func (l *Reshape) LayerName() string { return fmt.Sprintf("Reshape%v", l.Dims) }
 // Flatten collapses (batch, ...) to (batch, features).
 type Flatten struct {
 	inShape []int
+	view    *tensor.Tensor // reused forward view header
+	gview   *tensor.Tensor // reused backward view header
 }
 
 // NewFlatten constructs a Flatten layer.
@@ -137,13 +145,15 @@ var _ Layer = (*Flatten)(nil)
 
 // Forward implements Layer.
 func (l *Flatten) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	l.inShape = x.Shape()
-	return x.Reshape(x.Dim(0), -1)
+	l.inShape = appendShape(l.inShape[:0], x)
+	l.view = x.ReshapeInto(l.view, x.Dim(0), -1)
+	return l.view
 }
 
 // Backward implements Layer.
 func (l *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(l.inShape...)
+	l.gview = grad.ReshapeInto(l.gview, l.inShape...)
+	return l.gview
 }
 
 // Params implements Layer.

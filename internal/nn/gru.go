@@ -49,7 +49,9 @@ func orthogonalSquare(rng *rand.Rand, n int, gain float64) *tensor.Tensor {
 }
 
 // gruStep caches one timestep's intermediate values for backpropagation
-// through time.
+// through time. All tensors are workspace checkouts owned by the layer;
+// they stay valid through the matching Backward and are reclaimed at the
+// start of the next Forward.
 type gruStep struct {
 	hPrev *tensor.Tensor // (B, H)
 	z     *tensor.Tensor // update gate output
@@ -79,6 +81,11 @@ type GRU struct {
 
 	x     *tensor.Tensor
 	steps []gruStep
+
+	outSeq *tensor.Tensor // reused sequence output (valid until next Forward)
+	dx     *tensor.Tensor // reused gradient buffer
+	uh     *tensor.Tensor // gate-2 recurrent kernel, materialized per pass
+	uzr    *tensor.Tensor // gate-0/1 recurrent kernels, materialized per pass
 }
 
 // NewGRU constructs a GRU with Glorot-uniform input kernel, orthogonal
@@ -101,31 +108,75 @@ func NewGRU(rng *rand.Rand, inC, h int, returnSequences bool) *GRU {
 
 var _ Layer = (*GRU)(nil)
 
-// cols returns a (B, H) copy of columns [g*H, (g+1)*H) of a (B, 3H) matrix.
-func gateCols(m *tensor.Tensor, g, h int) *tensor.Tensor {
+// gateColsInto copies columns [g*H, (g+1)*H) of a (B, 3H) matrix into dst
+// (B, H).
+func gateColsInto(dst, m *tensor.Tensor, g, h int) {
 	b := m.Dim(0)
-	out := tensor.New(b, h)
-	md, od := m.Data(), out.Data()
+	md, od := m.Data(), dst.Data()
 	w := m.Dim(1)
 	for r := 0; r < b; r++ {
 		copy(od[r*h:(r+1)*h], md[r*w+g*h:r*w+(g+1)*h])
 	}
-	return out
 }
 
-// addGateCols accumulates src (B, H) into columns [g*H, (g+1)*H) of dst
-// (B, 3H).
-func addGateCols(dst *tensor.Tensor, src *tensor.Tensor, g, h int) {
+// gateColsSumInto writes dst = a_gate + p_gate where dst is (B, H) and a
+// and p are gate-blocked matrices of possibly different widths (a is
+// (B, 3H); p is (B, 2H), holding only the z and r blocks) — the fused
+// per-gate pre-activation assembly.
+func gateColsSumInto(dst, a, p *tensor.Tensor, g, h int) {
+	b := a.Dim(0)
+	wa, wp := a.Dim(1), p.Dim(1)
+	ad, pd, od := a.Data(), p.Data(), dst.Data()
+	for r := 0; r < b; r++ {
+		arow := ad[r*wa+g*h : r*wa+(g+1)*h]
+		prow := pd[r*wp+g*h : r*wp+(g+1)*h]
+		orow := od[r*h : (r+1)*h]
+		for i := range orow {
+			orow[i] = arow[i] + prow[i]
+		}
+	}
+}
+
+// setGateCols overwrites columns [g*H, (g+1)*H) of dst (B, 3H) with src
+// (B, H).
+func setGateCols(dst *tensor.Tensor, src *tensor.Tensor, g, h int) {
 	b := dst.Dim(0)
 	w := dst.Dim(1)
 	dd, sd := dst.Data(), src.Data()
 	for r := 0; r < b; r++ {
-		drow := dd[r*w+g*h : r*w+(g+1)*h]
-		srow := sd[r*h : (r+1)*h]
-		for i, v := range srow {
-			drow[i] += v
-		}
+		copy(dd[r*w+g*h:r*w+(g+1)*h], sd[r*h:(r+1)*h])
 	}
+}
+
+// reclaimSteps returns the previous pass's step caches to the workspace.
+// Each step owns its gate tensors and its output h; hPrev of step i aliases
+// h of step i−1, so only step 0's initial state is returned separately.
+func (l *GRU) reclaimSteps() {
+	for i := range l.steps {
+		st := &l.steps[i]
+		if i == 0 {
+			tensor.Scratch.Put(st.hPrev)
+		}
+		tensor.Scratch.Put(st.z)
+		tensor.Scratch.Put(st.r)
+		tensor.Scratch.Put(st.hc)
+		tensor.Scratch.Put(st.az)
+		tensor.Scratch.Put(st.ar)
+		tensor.Scratch.Put(st.rh)
+		tensor.Scratch.Put(st.h)
+	}
+	l.steps = l.steps[:0]
+}
+
+// uGateInto materializes gate g's recurrent kernel as a contiguous (H, H)
+// matrix in dst.
+func (l *GRU) uGateInto(dst *tensor.Tensor, g int) *tensor.Tensor {
+	h := l.H
+	ud, od := l.u.Value.Data(), dst.Data()
+	for i := 0; i < h; i++ {
+		copy(od[i*h:(i+1)*h], ud[i*3*h+g*h:i*3*h+(g+1)*h])
+	}
+	return dst
 }
 
 // Forward implements Layer.
@@ -137,50 +188,80 @@ func (l *GRU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	l.x = x
 	b, t := x.Dim(0), x.Dim(1)
 	h := l.H
-	l.steps = make([]gruStep, t)
+	l.reclaimSteps()
+	if cap(l.steps) < t {
+		l.steps = make([]gruStep, 0, t)
+	}
 
-	hPrev := tensor.New(b, h)
+	// The candidate's recurrent kernel is used every timestep; materialize
+	// it once per pass instead of once per step. The z/r gate blocks are
+	// the leading 2H columns of each recurrent-kernel row, materialized as
+	// one (H, 2H) matrix so the per-step recurrent GEMM skips the unused
+	// candidate block (its recurrent path goes through rh @ U_h instead).
+	uh := l.uGateInto(ensure(&l.uh, h, h), 2)
+	uzr := ensure(&l.uzr, h, 2*h)
+	ud, uzrd := l.u.Value.Data(), uzr.Data()
+	for i := 0; i < h; i++ {
+		copy(uzrd[i*2*h:(i+1)*2*h], ud[i*3*h:i*3*h+2*h])
+	}
+
+	hPrev := tensor.Scratch.GetZeroed(b, h)
 	var outSeq *tensor.Tensor
 	if l.ReturnSequences {
-		outSeq = tensor.New(b, t, h)
+		outSeq = ensure(&l.outSeq, b, t, h)
 	}
+
+	// Step-scoped temporaries, reused across timesteps.
+	xt := tensor.Scratch.Get(b, l.InC)
+	a := tensor.Scratch.Get(b, 3*h)
+	p := tensor.Scratch.Get(b, 2*h)
+	ah := tensor.Scratch.Get(b, h)
+	ahRec := tensor.Scratch.Get(b, h)
 
 	xd := x.Data()
 	for ti := 0; ti < t; ti++ {
 		// xt is a strided view: rows are b slices at stride t*inC. Copy into
 		// a contiguous (B, inC) matrix for GEMM.
-		xt := tensor.New(b, l.InC)
 		for bi := 0; bi < b; bi++ {
 			copy(xt.Row(bi), xd[(bi*t+ti)*l.InC:(bi*t+ti+1)*l.InC])
 		}
-		a := tensor.MatMul(xt, l.w.Value) // (B, 3H)
+		tensor.MatMulInto(a, xt, l.w.Value) // (B, 3H)
 		a.AddRowVec(l.b.Value)
-		p := tensor.MatMul(hPrev, l.u.Value) // (B, 3H)
+		tensor.MatMulInto(p, hPrev, uzr) // (B, 2H): z and r gates only
 
-		az := gateCols(a, 0, h)
-		az.Axpy(1, gateCols(p, 0, h))
-		ar := gateCols(a, 1, h)
-		ar.Axpy(1, gateCols(p, 1, h))
+		az := tensor.Scratch.Get(b, h)
+		gateColsSumInto(az, a, p, 0, h)
+		ar := tensor.Scratch.Get(b, h)
+		gateColsSumInto(ar, a, p, 1, h)
 
-		z := az.Map(hardSigmoid)
-		r := ar.Map(hardSigmoid)
+		z := tensor.Scratch.Get(b, h)
+		r := tensor.Scratch.Get(b, h)
+		azd, ard, zd, rd := az.Data(), ar.Data(), z.Data(), r.Data()
+		for i := range zd {
+			zd[i] = hardSigmoid(azd[i])
+			rd[i] = hardSigmoid(ard[i])
+		}
 
-		rh := tensor.Mul(r, hPrev)
-		ah := gateCols(a, 2, h)
+		rh := tensor.Scratch.Get(b, h)
+		tensor.MulInto(rh, r, hPrev)
+		gateColsInto(ah, a, 2, h)
 		// (r⊙hPrev) @ U_h: U_h is the last gate block of the recurrent kernel.
-		ahRec := tensor.New(b, h)
-		tensor.MatMulInto(ahRec, rh, l.uGate(2))
+		tensor.MatMulInto(ahRec, rh, uh)
 		ah.Axpy(1, ahRec)
-		hc := ah.Map(math.Tanh)
+		hc := tensor.Scratch.Get(b, h)
+		ahd, hcd := ah.Data(), hc.Data()
+		for i := range hcd {
+			hcd[i] = math.Tanh(ahd[i])
+		}
 
 		// h = z⊙hPrev + (1−z)⊙hc
-		hNew := tensor.New(b, h)
-		hd, zd, hpd, hcd := hNew.Data(), z.Data(), hPrev.Data(), hc.Data()
+		hNew := tensor.Scratch.Get(b, h)
+		hd, hpd := hNew.Data(), hPrev.Data()
 		for i := range hd {
 			hd[i] = zd[i]*hpd[i] + (1-zd[i])*hcd[i]
 		}
 
-		l.steps[ti] = gruStep{hPrev: hPrev, z: z, r: r, hc: hc, az: az, ar: ar, rh: rh, h: hNew}
+		l.steps = append(l.steps, gruStep{hPrev: hPrev, z: z, r: r, hc: hc, az: az, ar: ar, rh: rh, h: hNew})
 		if l.ReturnSequences {
 			od := outSeq.Data()
 			for bi := 0; bi < b; bi++ {
@@ -189,21 +270,15 @@ func (l *GRU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 		}
 		hPrev = hNew
 	}
+	tensor.Scratch.Put(xt)
+	tensor.Scratch.Put(a)
+	tensor.Scratch.Put(p)
+	tensor.Scratch.Put(ah)
+	tensor.Scratch.Put(ahRec)
 	if l.ReturnSequences {
 		return outSeq
 	}
 	return hPrev
-}
-
-// uGate returns gate g's recurrent kernel as a contiguous (H, H) matrix.
-func (l *GRU) uGate(g int) *tensor.Tensor {
-	h := l.H
-	out := tensor.New(h, h)
-	ud, od := l.u.Value.Data(), out.Data()
-	for i := 0; i < h; i++ {
-		copy(od[i*h:(i+1)*h], ud[i*3*h+g*h:i*3*h+(g+1)*h])
-	}
-	return out
 }
 
 // addUGateGrad accumulates a (H, H) gradient into gate g's block of the
@@ -224,8 +299,30 @@ func (l *GRU) addUGateGrad(g int, dU *tensor.Tensor) {
 func (l *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	b, t := l.x.Dim(0), l.x.Dim(1)
 	h := l.H
-	dx := tensor.New(b, t, l.InC)
-	dh := tensor.New(b, h) // carry into step ti (dL/dh_ti from future steps)
+	dx := ensure(&l.dx, b, t, l.InC)
+	dh := tensor.Scratch.GetZeroed(b, h) // carry into step ti (dL/dh_ti from future steps)
+	dhPrev := tensor.Scratch.Get(b, h)
+
+	// Materialized per-gate recurrent kernels, refreshed once per pass.
+	uz := l.uGateInto(tensor.Scratch.Get(h, h), 0)
+	ur := l.uGateInto(tensor.Scratch.Get(h, h), 1)
+	uh := l.uGateInto(ensure(&l.uh, h, h), 2)
+
+	// Step-scoped temporaries, reused across timesteps.
+	dz := tensor.Scratch.Get(b, h)
+	dhc := tensor.Scratch.Get(b, h)
+	dah := tensor.Scratch.Get(b, h)
+	drh := tensor.Scratch.Get(b, h)
+	dr := tensor.Scratch.Get(b, h)
+	daz := tensor.Scratch.Get(b, h)
+	dar := tensor.Scratch.Get(b, h)
+	rec := tensor.Scratch.Get(b, h)
+	da := tensor.Scratch.Get(b, 3*h)
+	dU := tensor.Scratch.Get(h, h)
+	dW := tensor.Scratch.Get(l.InC, 3*h)
+	dbVec := tensor.Scratch.Get(3 * h)
+	xt := tensor.Scratch.Get(b, l.InC)
+	dxt := tensor.Scratch.Get(b, l.InC)
 
 	gd := grad.Data()
 	xd, dxd := l.x.Data(), dx.Data()
@@ -247,9 +344,6 @@ func (l *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 
 		// Gate gradients.
-		dz := tensor.New(b, h)
-		dhc := tensor.New(b, h)
-		dhPrev := tensor.New(b, h)
 		dzd, dhcd, dhpd := dz.Data(), dhc.Data(), dhPrev.Data()
 		dhd, zd, hpd, hcd := dh.Data(), st.z.Data(), st.hPrev.Data(), st.hc.Data()
 		for i := range dhd {
@@ -259,19 +353,16 @@ func (l *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 
 		// Candidate pre-activation.
-		dah := tensor.New(b, h)
 		dahd := dah.Data()
 		for i := range dahd {
 			dahd[i] = dhcd[i] * (1 - hcd[i]*hcd[i])
 		}
 		// drh = dah @ U_hᵀ ; dU_h += rhᵀ @ dah
-		drh := tensor.New(b, h)
-		tensor.MatMulTransBInto(drh, dah, l.uGate(2))
-		dUh := tensor.New(h, h)
-		tensor.MatMulTransAInto(dUh, st.rh, dah)
-		l.addUGateGrad(2, dUh)
+		tensor.MatMulTransBInto(drh, dah, uh)
+		tensor.MatMulTransAInto(dU, st.rh, dah)
+		l.addUGateGrad(2, dU)
 
-		dr := tensor.Mul(drh, st.hPrev)
+		tensor.MulInto(dr, drh, st.hPrev)
 		// dhPrev += drh ⊙ r
 		drhd, rd := drh.Data(), st.r.Data()
 		for i := range dhpd {
@@ -279,8 +370,6 @@ func (l *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 
 		// Gate pre-activations through hard sigmoid.
-		daz := tensor.New(b, h)
-		dar := tensor.New(b, h)
 		dazd, dard := daz.Data(), dar.Data()
 		azd, ard, drd := st.az.Data(), st.ar.Data(), dr.Data()
 		for i := range dazd {
@@ -289,24 +378,19 @@ func (l *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 
 		// Assemble (B, 3H) pre-activation gradient da = [daz | dar | dah].
-		da := tensor.New(b, 3*h)
-		addGateCols(da, daz, 0, h)
-		addGateCols(da, dar, 1, h)
-		addGateCols(da, dah, 2, h)
+		setGateCols(da, daz, 0, h)
+		setGateCols(da, dar, 1, h)
+		setGateCols(da, dah, 2, h)
 
 		// Input kernel and bias gradients; dx_t = da @ Wᵀ.
-		xt := tensor.New(b, l.InC)
 		for bi := 0; bi < b; bi++ {
 			copy(xt.Row(bi), xd[(bi*t+ti)*l.InC:(bi*t+ti+1)*l.InC])
 		}
-		dW := tensor.New(l.InC, 3*h)
 		tensor.MatMulTransAInto(dW, xt, da)
 		l.w.Grad.Axpy(1, dW)
-		dbVec := tensor.New(3 * h)
 		tensor.SumRowsInto(dbVec, da)
 		l.b.Grad.Axpy(1, dbVec)
 
-		dxt := tensor.New(b, l.InC)
 		tensor.MatMulTransBInto(dxt, da, l.w.Value)
 		for bi := 0; bi < b; bi++ {
 			copy(dxd[(bi*t+ti)*l.InC:(bi*t+ti+1)*l.InC], dxt.Row(bi))
@@ -315,22 +399,37 @@ func (l *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		// Recurrent contributions to dhPrev from the z and r gates, and
 		// recurrent kernel gradients for those gates. Note the candidate
 		// gate's recurrent path went through rh (handled above).
-		dazRec := tensor.New(b, h)
-		tensor.MatMulTransBInto(dazRec, daz, l.uGate(0))
-		dhPrev.Axpy(1, dazRec)
-		dUz := tensor.New(h, h)
-		tensor.MatMulTransAInto(dUz, st.hPrev, daz)
-		l.addUGateGrad(0, dUz)
+		tensor.MatMulTransBInto(rec, daz, uz)
+		dhPrev.Axpy(1, rec)
+		tensor.MatMulTransAInto(dU, st.hPrev, daz)
+		l.addUGateGrad(0, dU)
 
-		darRec := tensor.New(b, h)
-		tensor.MatMulTransBInto(darRec, dar, l.uGate(1))
-		dhPrev.Axpy(1, darRec)
-		dUr := tensor.New(h, h)
-		tensor.MatMulTransAInto(dUr, st.hPrev, dar)
-		l.addUGateGrad(1, dUr)
+		tensor.MatMulTransBInto(rec, dar, ur)
+		dhPrev.Axpy(1, rec)
+		tensor.MatMulTransAInto(dU, st.hPrev, dar)
+		l.addUGateGrad(1, dU)
 
-		dh = dhPrev
+		dh, dhPrev = dhPrev, dh
 	}
+
+	tensor.Scratch.Put(dh)
+	tensor.Scratch.Put(dhPrev)
+	tensor.Scratch.Put(uz)
+	tensor.Scratch.Put(ur)
+	tensor.Scratch.Put(dz)
+	tensor.Scratch.Put(dhc)
+	tensor.Scratch.Put(dah)
+	tensor.Scratch.Put(drh)
+	tensor.Scratch.Put(dr)
+	tensor.Scratch.Put(daz)
+	tensor.Scratch.Put(dar)
+	tensor.Scratch.Put(rec)
+	tensor.Scratch.Put(da)
+	tensor.Scratch.Put(dU)
+	tensor.Scratch.Put(dW)
+	tensor.Scratch.Put(dbVec)
+	tensor.Scratch.Put(xt)
+	tensor.Scratch.Put(dxt)
 	return dx
 }
 

@@ -21,7 +21,8 @@ type Loss interface {
 // cross-entropy, yielding the numerically-stable gradient
 // (softmax(x) − onehot(y)) / batch.
 type SoftmaxCrossEntropy struct {
-	probs  *tensor.Tensor
+	probs  *tensor.Tensor // reused probability buffer (valid until next Forward)
+	grad   *tensor.Tensor // reused gradient buffer
 	labels []int
 }
 
@@ -37,9 +38,10 @@ func (l *SoftmaxCrossEntropy) Forward(pred *tensor.Tensor, labels []int) float64
 	if len(labels) != rows {
 		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy got %d labels for batch %d", len(labels), rows))
 	}
-	l.probs = pred.Clone()
+	probs := ensureLike(&l.probs, pred)
+	probs.CopyFrom(pred)
 	l.labels = labels
-	pd := l.probs.Data()
+	pd := probs.Data()
 	loss := 0.0
 	for r := 0; r < rows; r++ {
 		row := pd[r*cols : (r+1)*cols]
@@ -60,7 +62,8 @@ func (l *SoftmaxCrossEntropy) Forward(pred *tensor.Tensor, labels []int) float64
 // Backward implements Loss.
 func (l *SoftmaxCrossEntropy) Backward() *tensor.Tensor {
 	rows, cols := l.probs.Dim(0), l.probs.Dim(1)
-	grad := l.probs.Clone()
+	grad := ensureLike(&l.grad, l.probs)
+	grad.CopyFrom(l.probs)
 	gd := grad.Data()
 	inv := 1.0 / float64(rows)
 	for r := 0; r < rows; r++ {
@@ -80,7 +83,8 @@ func (l *SoftmaxCrossEntropy) Probs() *tensor.Tensor { return l.probs }
 // regression-style experiments and for testing layers against a smooth
 // objective.
 type MSE struct {
-	diff *tensor.Tensor
+	diff *tensor.Tensor // reused residual buffer (valid until next Forward)
+	grad *tensor.Tensor // reused gradient buffer
 	n    int
 }
 
@@ -89,7 +93,8 @@ func NewMSE() *MSE { return &MSE{} }
 
 // ForwardDense computes mean((pred-target)²) over all elements.
 func (l *MSE) ForwardDense(pred, target *tensor.Tensor) float64 {
-	l.diff = tensor.Sub(pred, target)
+	diff := ensureLike(&l.diff, pred)
+	tensor.SubInto(diff, pred, target)
 	l.n = pred.Len()
 	s := 0.0
 	for _, d := range l.diff.Data() {
@@ -101,18 +106,21 @@ func (l *MSE) ForwardDense(pred, target *tensor.Tensor) float64 {
 // Forward implements Loss by one-hot encoding the labels.
 func (l *MSE) Forward(pred *tensor.Tensor, labels []int) float64 {
 	mustRank("MSE", pred, 2)
-	target := tensor.New(pred.Shape()...)
 	cols := pred.Dim(1)
+	target := tensor.Scratch.GetZeroed(pred.Dim(0), cols)
+	td := target.Data()
 	for r, y := range labels {
-		target.Set(1, r, y)
+		td[r*cols+y] = 1
 	}
-	_ = cols
-	return l.ForwardDense(pred, target)
+	loss := l.ForwardDense(pred, target)
+	tensor.Scratch.Put(target)
+	return loss
 }
 
 // Backward implements Loss.
 func (l *MSE) Backward() *tensor.Tensor {
-	grad := l.diff.Clone()
+	grad := ensureLike(&l.grad, l.diff)
+	grad.CopyFrom(l.diff)
 	grad.Scale(2.0 / float64(l.n))
 	return grad
 }

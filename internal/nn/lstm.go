@@ -9,7 +9,9 @@ import (
 )
 
 // lstmStep caches one timestep's intermediates for backpropagation through
-// time.
+// time. All tensors are workspace checkouts owned by the layer; they stay
+// valid through the matching Backward and are reclaimed at the start of the
+// next Forward.
 type lstmStep struct {
 	hPrev *tensor.Tensor
 	cPrev *tensor.Tensor
@@ -38,6 +40,10 @@ type LSTM struct {
 
 	x     *tensor.Tensor
 	steps []lstmStep
+	lastH *tensor.Tensor // final hidden state of the last pass (workspace)
+
+	outSeq *tensor.Tensor // reused sequence output (valid until next Forward)
+	dx     *tensor.Tensor // reused gradient buffer
 }
 
 // NewLSTM constructs an LSTM with Glorot-uniform input kernel, orthogonal
@@ -64,17 +70,6 @@ func NewLSTM(rng *rand.Rand, inC, h int, returnSequences bool) *LSTM {
 
 var _ Layer = (*LSTM)(nil)
 
-// uGate returns gate g's recurrent kernel as a contiguous (H, H) matrix.
-func (l *LSTM) uGate(g int) *tensor.Tensor {
-	h := l.H
-	out := tensor.New(h, h)
-	ud, od := l.u.Value.Data(), out.Data()
-	for i := 0; i < h; i++ {
-		copy(od[i*h:(i+1)*h], ud[i*4*h+g*h:i*4*h+(g+1)*h])
-	}
-	return out
-}
-
 func (l *LSTM) addUGateGrad(g int, dU *tensor.Tensor) {
 	h := l.H
 	gd, dd := l.u.Grad.Data(), dU.Data()
@@ -87,28 +82,32 @@ func (l *LSTM) addUGateGrad(g int, dU *tensor.Tensor) {
 	}
 }
 
-// gateCols4 returns a (B, H) copy of gate g's columns from a (B, 4H) matrix.
-func gateCols4(m *tensor.Tensor, g, h int) *tensor.Tensor {
-	b := m.Dim(0)
-	out := tensor.New(b, h)
-	md, od := m.Data(), out.Data()
-	w := m.Dim(1)
-	for r := 0; r < b; r++ {
-		copy(od[r*h:(r+1)*h], md[r*w+g*h:r*w+(g+1)*h])
-	}
-	return out
-}
+// The gate-column helpers (gateColsInto, setGateCols) are shared with the
+// GRU: they read the gate count from the matrix width at runtime.
 
-func addGateCols4(dst *tensor.Tensor, src *tensor.Tensor, g, h int) {
-	b := dst.Dim(0)
-	w := dst.Dim(1)
-	dd, sd := dst.Data(), src.Data()
-	for r := 0; r < b; r++ {
-		drow := dd[r*w+g*h : r*w+(g+1)*h]
-		srow := sd[r*h : (r+1)*h]
-		for i, v := range srow {
-			drow[i] += v
+// reclaimSteps returns the previous pass's step caches to the workspace.
+// hPrev/cPrev of step i alias h/c of step i−1, so only step 0's initial
+// states and the final hidden state are returned separately.
+func (l *LSTM) reclaimSteps() {
+	for i := range l.steps {
+		st := &l.steps[i]
+		if i == 0 {
+			tensor.Scratch.Put(st.hPrev)
+			tensor.Scratch.Put(st.cPrev)
+		} else {
+			tensor.Scratch.Put(st.hPrev) // h of step i−1
 		}
+		tensor.Scratch.Put(st.i)
+		tensor.Scratch.Put(st.f)
+		tensor.Scratch.Put(st.g)
+		tensor.Scratch.Put(st.o)
+		tensor.Scratch.Put(st.c)
+		tensor.Scratch.Put(st.tc)
+	}
+	l.steps = l.steps[:0]
+	if l.lastH != nil {
+		tensor.Scratch.Put(l.lastH)
+		l.lastH = nil
 	}
 }
 
@@ -121,40 +120,60 @@ func (l *LSTM) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	l.x = x
 	b, t := x.Dim(0), x.Dim(1)
 	h := l.H
-	l.steps = make([]lstmStep, t)
+	l.reclaimSteps()
+	if cap(l.steps) < t {
+		l.steps = make([]lstmStep, 0, t)
+	}
 
-	hPrev := tensor.New(b, h)
-	cPrev := tensor.New(b, h)
+	hPrev := tensor.Scratch.GetZeroed(b, h)
+	cPrev := tensor.Scratch.GetZeroed(b, h)
 	var outSeq *tensor.Tensor
 	if l.ReturnSequences {
-		outSeq = tensor.New(b, t, h)
+		outSeq = ensure(&l.outSeq, b, t, h)
 	}
+
+	// Step-scoped temporaries, reused across timesteps.
+	xt := tensor.Scratch.Get(b, l.InC)
+	a := tensor.Scratch.Get(b, 4*h)
+	p := tensor.Scratch.Get(b, 4*h)
 
 	xd := x.Data()
 	for ti := 0; ti < t; ti++ {
-		xt := tensor.New(b, l.InC)
 		for bi := 0; bi < b; bi++ {
 			copy(xt.Row(bi), xd[(bi*t+ti)*l.InC:(bi*t+ti+1)*l.InC])
 		}
-		a := tensor.MatMul(xt, l.w.Value) // (B, 4H)
+		tensor.MatMulInto(a, xt, l.w.Value) // (B, 4H)
 		a.AddRowVec(l.b.Value)
-		p := tensor.MatMul(hPrev, l.u.Value)
+		tensor.MatMulInto(p, hPrev, l.u.Value)
 		a.Axpy(1, p)
 
-		ig := gateCols4(a, 0, h).Apply(sigmoid)
-		fg := gateCols4(a, 1, h).Apply(sigmoid)
-		gg := gateCols4(a, 2, h).Apply(math.Tanh)
-		og := gateCols4(a, 3, h).Apply(sigmoid)
+		ig := tensor.Scratch.Get(b, h)
+		fg := tensor.Scratch.Get(b, h)
+		gg := tensor.Scratch.Get(b, h)
+		og := tensor.Scratch.Get(b, h)
+		gateColsInto(ig, a, 0, h)
+		gateColsInto(fg, a, 1, h)
+		gateColsInto(gg, a, 2, h)
+		gateColsInto(og, a, 3, h)
+		ig.Apply(sigmoid)
+		fg.Apply(sigmoid)
+		gg.Apply(math.Tanh)
+		og.Apply(sigmoid)
 
-		c := tensor.New(b, h)
+		c := tensor.Scratch.Get(b, h)
 		cd, fd, cpd, id, gd2 := c.Data(), fg.Data(), cPrev.Data(), ig.Data(), gg.Data()
 		for i := range cd {
 			cd[i] = fd[i]*cpd[i] + id[i]*gd2[i]
 		}
-		tc := c.Map(math.Tanh)
-		hNew := tensor.Mul(og, tc)
+		tc := tensor.Scratch.Get(b, h)
+		tcd := tc.Data()
+		for i := range tcd {
+			tcd[i] = math.Tanh(cd[i])
+		}
+		hNew := tensor.Scratch.Get(b, h)
+		tensor.MulInto(hNew, og, tc)
 
-		l.steps[ti] = lstmStep{hPrev: hPrev, cPrev: cPrev, i: ig, f: fg, g: gg, o: og, c: c, tc: tc}
+		l.steps = append(l.steps, lstmStep{hPrev: hPrev, cPrev: cPrev, i: ig, f: fg, g: gg, o: og, c: c, tc: tc})
 		if l.ReturnSequences {
 			od := outSeq.Data()
 			hd := hNew.Data()
@@ -164,6 +183,10 @@ func (l *LSTM) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 		}
 		hPrev, cPrev = hNew, c
 	}
+	tensor.Scratch.Put(xt)
+	tensor.Scratch.Put(a)
+	tensor.Scratch.Put(p)
+	l.lastH = hPrev
 	if l.ReturnSequences {
 		return outSeq
 	}
@@ -174,9 +197,27 @@ func (l *LSTM) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	b, t := l.x.Dim(0), l.x.Dim(1)
 	h := l.H
-	dx := tensor.New(b, t, l.InC)
-	dh := tensor.New(b, h)
-	dc := tensor.New(b, h)
+	dx := ensure(&l.dx, b, t, l.InC)
+	dh := tensor.Scratch.GetZeroed(b, h)
+	dc := tensor.Scratch.GetZeroed(b, h)
+	dhPrev := tensor.Scratch.Get(b, h)
+	dcPrev := tensor.Scratch.Get(b, h)
+
+	// Step-scoped temporaries, reused across timesteps.
+	do := tensor.Scratch.Get(b, h)
+	di := tensor.Scratch.Get(b, h)
+	df := tensor.Scratch.Get(b, h)
+	dg := tensor.Scratch.Get(b, h)
+	dai := tensor.Scratch.Get(b, h)
+	daf := tensor.Scratch.Get(b, h)
+	dag := tensor.Scratch.Get(b, h)
+	dao := tensor.Scratch.Get(b, h)
+	da := tensor.Scratch.Get(b, 4*h)
+	dW := tensor.Scratch.Get(l.InC, 4*h)
+	dU := tensor.Scratch.Get(h, 4*h)
+	dbVec := tensor.Scratch.Get(4 * h)
+	xt := tensor.Scratch.Get(b, l.InC)
+	dxt := tensor.Scratch.Get(b, l.InC)
 
 	gd := grad.Data()
 	xd, dxd := l.x.Data(), dx.Data()
@@ -197,23 +238,19 @@ func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 
 		// h = o ⊙ tanh(c)
-		do := tensor.Mul(dh, st.tc)
+		tensor.MulInto(do, dh, st.tc)
 		dhd, od2, tcd, dcd := dh.Data(), st.o.Data(), st.tc.Data(), dc.Data()
 		for i := range dcd {
 			dcd[i] += dhd[i] * od2[i] * (1 - tcd[i]*tcd[i])
 		}
 
 		// c = f ⊙ cPrev + i ⊙ g
-		di := tensor.Mul(dc, st.g)
-		df := tensor.Mul(dc, st.cPrev)
-		dg := tensor.Mul(dc, st.i)
-		dcPrev := tensor.Mul(dc, st.f)
+		tensor.MulInto(di, dc, st.g)
+		tensor.MulInto(df, dc, st.cPrev)
+		tensor.MulInto(dg, dc, st.i)
+		tensor.MulInto(dcPrev, dc, st.f)
 
 		// Through gate nonlinearities to pre-activations.
-		dai := tensor.New(b, h)
-		daf := tensor.New(b, h)
-		dag := tensor.New(b, h)
-		dao := tensor.New(b, h)
 		id, fd, gd2, dod := st.i.Data(), st.f.Data(), st.g.Data(), do.Data()
 		daid, dafd, dagd, daod := dai.Data(), daf.Data(), dag.Data(), dao.Data()
 		did, dfd, dgd := di.Data(), df.Data(), dg.Data()
@@ -224,37 +261,49 @@ func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			daod[i] = dod[i] * od2[i] * (1 - od2[i])
 		}
 
-		da := tensor.New(b, 4*h)
-		addGateCols4(da, dai, 0, h)
-		addGateCols4(da, daf, 1, h)
-		addGateCols4(da, dag, 2, h)
-		addGateCols4(da, dao, 3, h)
+		setGateCols(da, dai, 0, h)
+		setGateCols(da, daf, 1, h)
+		setGateCols(da, dag, 2, h)
+		setGateCols(da, dao, 3, h)
 
-		xt := tensor.New(b, l.InC)
 		for bi := 0; bi < b; bi++ {
 			copy(xt.Row(bi), xd[(bi*t+ti)*l.InC:(bi*t+ti+1)*l.InC])
 		}
-		dW := tensor.New(l.InC, 4*h)
 		tensor.MatMulTransAInto(dW, xt, da)
 		l.w.Grad.Axpy(1, dW)
-		dU := tensor.New(h, 4*h)
 		tensor.MatMulTransAInto(dU, st.hPrev, da)
 		l.u.Grad.Axpy(1, dU)
-		dbVec := tensor.New(4 * h)
 		tensor.SumRowsInto(dbVec, da)
 		l.b.Grad.Axpy(1, dbVec)
 
-		dxt := tensor.New(b, l.InC)
 		tensor.MatMulTransBInto(dxt, da, l.w.Value)
 		for bi := 0; bi < b; bi++ {
 			copy(dxd[(bi*t+ti)*l.InC:(bi*t+ti+1)*l.InC], dxt.Row(bi))
 		}
 
-		dhPrev := tensor.New(b, h)
 		tensor.MatMulTransBInto(dhPrev, da, l.u.Value)
-		dh = dhPrev
-		dc = dcPrev
+		dh, dhPrev = dhPrev, dh
+		dc, dcPrev = dcPrev, dc
 	}
+
+	tensor.Scratch.Put(dh)
+	tensor.Scratch.Put(dc)
+	tensor.Scratch.Put(dhPrev)
+	tensor.Scratch.Put(dcPrev)
+	tensor.Scratch.Put(do)
+	tensor.Scratch.Put(di)
+	tensor.Scratch.Put(df)
+	tensor.Scratch.Put(dg)
+	tensor.Scratch.Put(dai)
+	tensor.Scratch.Put(daf)
+	tensor.Scratch.Put(dag)
+	tensor.Scratch.Put(dao)
+	tensor.Scratch.Put(da)
+	tensor.Scratch.Put(dW)
+	tensor.Scratch.Put(dU)
+	tensor.Scratch.Put(dbVec)
+	tensor.Scratch.Put(xt)
+	tensor.Scratch.Put(dxt)
 	return dx
 }
 

@@ -16,6 +16,9 @@ type Network struct {
 	Stack *Sequential
 	Loss  Loss
 	Opt   Optimizer
+
+	params        []*Param // cached parameter list; Params() walks the tree once
+	paramsVersion int      // Stack.Version() the cache was built at
 }
 
 // NewNetwork constructs a Network.
@@ -23,12 +26,24 @@ func NewNetwork(stack *Sequential, loss Loss, opt Optimizer) *Network {
 	return &Network{Stack: stack, Loss: loss, Opt: opt}
 }
 
+// Params returns the stack's parameters, cached so the per-step optimizer
+// update does not rebuild the slice tree. The cache tracks top-level
+// Stack.Add calls; mutating nested containers mid-training is not
+// supported.
+func (n *Network) Params() []*Param {
+	if n.params == nil || n.paramsVersion != n.Stack.Version() {
+		n.params = n.Stack.Params()
+		n.paramsVersion = n.Stack.Version()
+	}
+	return n.params
+}
+
 // TrainBatch runs one optimization step on a batch and returns its loss.
 func (n *Network) TrainBatch(x *tensor.Tensor, labels []int) float64 {
 	out := n.Stack.Forward(x, true)
 	loss := n.Loss.Forward(out, labels)
 	n.Stack.Backward(n.Loss.Backward())
-	n.Opt.Step(n.Stack.Params())
+	n.Opt.Step(n.Params())
 	return loss
 }
 
@@ -39,6 +54,10 @@ func (n *Network) EvalLoss(x *tensor.Tensor, labels []int) float64 {
 }
 
 // Predict returns the raw network output (logits) in inference mode.
+//
+// The returned tensor is a reused layer buffer: it stays valid until the
+// next call into this network (Predict, EvalLoss, TrainBatch, ...). Clone
+// it to hold the values longer.
 func (n *Network) Predict(x *tensor.Tensor) *tensor.Tensor {
 	return n.Stack.Forward(x, false)
 }
@@ -63,15 +82,15 @@ func (n *Network) PredictClasses(x *tensor.Tensor, batchSize int) []int {
 	return out
 }
 
-// sliceBatch copies rows [lo, hi) of a rank-2 or rank-3 tensor.
+// sliceBatch returns a zero-copy view of rows [lo, hi) of a rank-2 or
+// rank-3 tensor. Batch rows are contiguous along the leading axis, so
+// evaluation loops can feed chunks straight from the dataset tensor with no
+// gather. Layers only read their inputs, so sharing storage with the
+// dataset is safe; TestPredictClassesDoesNotMutateInput pins that contract.
 func sliceBatch(x *tensor.Tensor, lo, hi int) *tensor.Tensor {
 	switch x.Rank() {
-	case 2:
-		return x.SliceRows(lo, hi)
-	case 3:
-		t, c := x.Dim(1), x.Dim(2)
-		flat := x.Reshape(x.Dim(0), t*c).SliceRows(lo, hi)
-		return flat.Reshape(hi-lo, t, c)
+	case 2, 3:
+		return x.ViewRows(lo, hi)
 	default:
 		panic(fmt.Sprintf("nn: sliceBatch on rank-%d tensor", x.Rank()))
 	}
@@ -138,6 +157,10 @@ func (n *Network) Fit(x *tensor.Tensor, labels []int, cfg FitConfig) []EpochStat
 	stats := make([]EpochStats, 0, cfg.Epochs)
 	bestTestLoss := math.Inf(1)
 	sinceBest := 0
+	// Per-batch gather buffers and view header, reused across batches and
+	// epochs.
+	var bx, feedHdr *tensor.Tensor
+	by := make([]int, 0, cfg.BatchSize)
 	for ep := 1; ep <= cfg.Epochs; ep++ {
 		if cfg.Schedule != nil {
 			if s, ok := n.Opt.(scalable); ok {
@@ -153,11 +176,13 @@ func (n *Network) Fit(x *tensor.Tensor, labels []int, cfg FitConfig) []EpochStat
 			if hi > rows {
 				hi = rows
 			}
-			bx, by := gatherBatch(flat, labels, order[lo:hi])
+			by = gatherBatchInto(&bx, by[:0], flat, labels, order[lo:hi])
+			feed := bx
 			if rank3 {
-				bx = bx.Reshape(hi-lo, t, c)
+				feedHdr = bx.ReshapeInto(feedHdr, hi-lo, t, c)
+				feed = feedHdr
 			}
-			totalLoss += n.TrainBatch(bx, by)
+			totalLoss += n.TrainBatch(feed, by)
 			batches++
 		}
 		st := EpochStats{Epoch: ep, TrainLoss: totalLoss / float64(batches)}
@@ -231,16 +256,17 @@ func shuffleOrder(rng *rand.Rand, order []int) {
 	}
 }
 
-// gatherBatch copies the selected rows (and labels) into fresh tensors.
-func gatherBatch(flat *tensor.Tensor, labels []int, idx []int) (*tensor.Tensor, []int) {
+// gatherBatchInto copies the selected rows (and labels) into reusable
+// buffers: *bx is grown/resized in place, and the gathered labels are
+// appended to by and returned (callers must use the returned slice).
+func gatherBatchInto(bx **tensor.Tensor, by []int, flat *tensor.Tensor, labels []int, idx []int) []int {
 	cols := flat.Dim(1)
-	bx := tensor.New(len(idx), cols)
-	by := make([]int, len(idx))
-	for i, r := range idx {
-		copy(bx.Row(i), flat.Row(r))
-		by[i] = labels[r]
+	dst := ensure(bx, len(idx), cols)
+	tensor.GatherRowsInto(dst, flat, idx)
+	for _, r := range idx {
+		by = append(by, labels[r])
 	}
-	return bx, by
+	return by
 }
 
 // checkpoint is the gob wire format for saved weights.

@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// aliasNet builds a small but representative stack (BN + Conv1D + GRU +
+// Dense) whose layers all exercise the buffer-reuse paths.
+func aliasNet(rng *rand.Rand, f, classes int) *Network {
+	stack := NewSequential(
+		NewBatchNorm(f),
+		NewConv1D(rng, f, f, 3, PaddingSame),
+		NewReLU(),
+		NewGRU(rng, f, f, true),
+		NewFlatten(),
+		NewDense(rng, f, classes),
+	)
+	return NewNetwork(stack, NewSoftmaxCrossEntropy(), NewSGD(0.05, 0))
+}
+
+// TestSliceBatchIsView pins the zero-copy contract: sliceBatch must share
+// storage with its source for both rank-2 and rank-3 tensors.
+func TestSliceBatchIsView(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x2 := tensor.RandNormal(rng, 0, 1, 10, 4)
+	v2 := sliceBatch(x2, 2, 5)
+	v2.Set(42, 0, 0)
+	if x2.At(2, 0) != 42 {
+		t.Fatal("rank-2 sliceBatch copied instead of viewing")
+	}
+
+	x3 := tensor.RandNormal(rng, 0, 1, 6, 3, 2)
+	v3 := sliceBatch(x3, 4, 6)
+	if v3.Dim(0) != 2 || v3.Dim(1) != 3 || v3.Dim(2) != 2 {
+		t.Fatalf("rank-3 sliceBatch shape = %v", v3.Shape())
+	}
+	v3.Set(7, 0, 0, 0)
+	if x3.At(4, 0, 0) != 7 {
+		t.Fatal("rank-3 sliceBatch copied instead of viewing")
+	}
+}
+
+// TestPredictClassesDoesNotMutateInput proves the zero-copy batching has no
+// aliasing bugs: chunked evaluation must leave the dataset tensor untouched
+// and agree exactly with single-chunk evaluation.
+func TestPredictClassesDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, f, classes = 23, 6, 4
+	net := aliasNet(rng, f, classes)
+	x := tensor.RandNormal(rng, 0, 1, n, 1, f)
+	before := x.Clone()
+
+	// Train a step first so BatchNorm has non-trivial running stats and
+	// every reuse buffer is warm.
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % classes
+	}
+	net.TrainBatch(x, labels)
+	if !tensor.ApproxEqual(x, before, 0) {
+		t.Fatal("TrainBatch mutated its input tensor")
+	}
+
+	whole := net.PredictClasses(x, 0)
+	chunked := net.PredictClasses(x, 5) // odd chunk size: 23 = 4×5 + 3
+	if !tensor.ApproxEqual(x, before, 0) {
+		t.Fatal("PredictClasses mutated the dataset it was viewing")
+	}
+	for i := range whole {
+		if whole[i] != chunked[i] {
+			t.Fatalf("row %d: chunked prediction %d != whole-batch prediction %d", i, chunked[i], whole[i])
+		}
+	}
+}
+
+// TestFitReusedGatherBuffers checks that training through Fit (which now
+// reuses one gather buffer across batches) matches per-call behaviour: the
+// network must still learn separable data to high accuracy.
+func TestFitReusedGatherBuffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, f = 120, 5
+	x := tensor.New(n, 1, f)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		labels[i] = cls
+		for j := 0; j < f; j++ {
+			v := rng.NormFloat64()*0.3 + float64(cls*4-2)
+			x.Set(v, i, 0, j)
+		}
+	}
+	net := aliasNet(rng, f, 2)
+	net.Fit(x, labels, FitConfig{Epochs: 8, BatchSize: 16, Shuffle: true, RNG: rng})
+	acc := accuracyOf(net.PredictClasses(x, 32), labels)
+	if acc < 0.95 {
+		t.Fatalf("accuracy after Fit = %.3f, want ≥ 0.95", acc)
+	}
+}

@@ -1,0 +1,53 @@
+package nn
+
+import "repro/internal/tensor"
+
+// This file holds the buffer-reuse helpers behind the allocation-free
+// steady-state hot path. Two idioms are used throughout the package:
+//
+//   - ensure/ensureLike manage a layer-owned, grow-only buffer stored in a
+//     struct field. They are for tensors whose lifetime extends beyond the
+//     current call (layer outputs, backward caches): the buffer stays valid
+//     until the layer's next call of the same kind overwrites it.
+//   - tensor.Scratch.Get/Put manage call-scoped temporaries (gather slabs,
+//     gradient partials) and the variable-count BPTT step caches, which the
+//     recurrent layers reclaim at the start of their next Forward.
+//
+// See PERF.md for the ownership contract.
+
+// ensure returns a tensor of the given shape stored at *buf, reusing its
+// backing array when capacity allows. Contents are unspecified; callers
+// either overwrite every element or use ensureZeroed.
+func ensure(buf **tensor.Tensor, shape ...int) *tensor.Tensor {
+	if *buf == nil {
+		*buf = tensor.New(shape...)
+		return *buf
+	}
+	return (*buf).Resize(shape...)
+}
+
+// ensureZeroed is ensure followed by zero-filling.
+func ensureZeroed(buf **tensor.Tensor, shape ...int) *tensor.Tensor {
+	t := ensure(buf, shape...)
+	t.Zero()
+	return t
+}
+
+// ensureLike is ensure with the shape of like; it avoids the variadic
+// shape-slice allocation on the common same-rank path.
+func ensureLike(buf **tensor.Tensor, like *tensor.Tensor) *tensor.Tensor {
+	if *buf == nil {
+		*buf = tensor.New(like.Shape()...)
+		return *buf
+	}
+	return (*buf).ResizeLike(like)
+}
+
+// appendShape appends t's dimensions to dst without the copy that
+// t.Shape() would allocate.
+func appendShape(dst []int, t *tensor.Tensor) []int {
+	for i := 0; i < t.Rank(); i++ {
+		dst = append(dst, t.Dim(i))
+	}
+	return dst
+}

@@ -11,6 +11,9 @@ import (
 // reverse.
 type Sequential struct {
 	layers []Layer
+	// version increments on Add so parameter-list caches (Network.Params)
+	// know to rebuild after the stack is mutated.
+	version int
 }
 
 // NewSequential constructs a Sequential container over the given layers.
@@ -20,8 +23,15 @@ func NewSequential(layers ...Layer) *Sequential {
 
 var _ Layer = (*Sequential)(nil)
 
-// Add appends a layer.
-func (s *Sequential) Add(l Layer) { s.layers = append(s.layers, l) }
+// Add appends a layer and invalidates parameter-list caches.
+func (s *Sequential) Add(l Layer) {
+	s.layers = append(s.layers, l)
+	s.version++
+}
+
+// Version returns a counter that changes whenever the top-level layer list
+// is mutated via Add. Mutating nested containers directly is not tracked.
+func (s *Sequential) Version() int { return s.version }
 
 // Layers returns the contained layers (shared slice; do not mutate).
 func (s *Sequential) Layers() []Layer { return s.layers }
@@ -77,6 +87,9 @@ func (s *Sequential) Summary() string {
 // paper sets filters = recurrent units = feature count (§V-C).
 type Residual struct {
 	Body Layer
+
+	out *tensor.Tensor // reused output buffer (valid until next Forward)
+	dx  *tensor.Tensor // reused gradient buffer
 }
 
 // NewResidual constructs a Residual wrapper around body.
@@ -90,14 +103,18 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !out.SameShape(x) {
 		panic(fmt.Sprintf("nn: Residual body changed shape %v → %v; shortcut add impossible", x.Shape(), out.Shape()))
 	}
-	return tensor.Add(out, x)
+	sum := ensureLike(&r.out, out)
+	tensor.AddInto(sum, out, x)
+	return sum
 }
 
 // Backward implements Layer.
 func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	dBody := r.Body.Backward(grad)
 	// Shortcut contributes the upstream gradient unchanged.
-	return tensor.Add(dBody, grad)
+	dx := ensureLike(&r.dx, grad)
+	tensor.AddInto(dx, dBody, grad)
+	return dx
 }
 
 // Params implements Layer.

@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -98,6 +99,109 @@ func TestMatMulTransB(t *testing.T) {
 	want := naiveMatMul(a, b.Transpose2D())
 	if !ApproxEqual(dst, want, 1e-9) {
 		t.Fatal("MatMulTransBInto mismatch")
+	}
+}
+
+// oddDims are deliberately awkward sizes that exercise every remainder path
+// of the 4×4/2×4 register tiles (single rows, tails mod 4, tile-aligned).
+var oddDims = []int{1, 3, 17, 64, 127}
+
+// TestTiledKernelsMatchNaiveOddShapes cross-checks all three tiled kernels
+// against the naive reference over every (m, k, n) combination of oddDims.
+func TestTiledKernelsMatchNaiveOddShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, m := range oddDims {
+		for _, k := range oddDims {
+			for _, n := range oddDims {
+				a := RandNormal(rng, 0, 1, m, k)
+				b := RandNormal(rng, 0, 1, k, n)
+				want := naiveMatMul(a, b)
+
+				got := New(m, n)
+				MatMulInto(got, a, b)
+				if !ApproxEqual(got, want, 1e-9) {
+					t.Fatalf("MatMulInto mismatch at m=%d k=%d n=%d", m, k, n)
+				}
+
+				MatMulTransAInto(got, a.Transpose2D(), b)
+				if !ApproxEqual(got, want, 1e-9) {
+					t.Fatalf("MatMulTransAInto mismatch at m=%d k=%d n=%d", m, k, n)
+				}
+
+				MatMulTransBInto(got, a, b.Transpose2D())
+				if !ApproxEqual(got, want, 1e-9) {
+					t.Fatalf("MatMulTransBInto mismatch at m=%d k=%d n=%d", m, k, n)
+				}
+			}
+		}
+	}
+}
+
+// TestTiledKernelsZeroBlocks checks the all-zero block shortcut: sparse
+// operands (zero rows/blocks interleaved) must still produce exact results.
+func TestTiledKernelsZeroBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := RandNormal(rng, 0, 1, 13, 9)
+	b := RandNormal(rng, 0, 1, 9, 11)
+	ad := a.Data()
+	for i := 0; i < a.Len(); i++ {
+		if i%3 != 0 {
+			ad[i] = 0
+		}
+	}
+	for r := 4; r < 8; r++ { // a full zero row band
+		for c := 0; c < 9; c++ {
+			a.Set(0, r, c)
+		}
+	}
+	want := naiveMatMul(a, b)
+
+	got := New(13, 11)
+	MatMulInto(got, a, b)
+	if !ApproxEqual(got, want, 1e-12) {
+		t.Fatal("sparse MatMulInto mismatch vs naive")
+	}
+	MatMulTransAInto(got, a.Transpose2D(), b)
+	if !ApproxEqual(got, want, 1e-12) {
+		t.Fatal("sparse MatMulTransAInto mismatch vs naive")
+	}
+	MatMulTransBInto(got, a, b.Transpose2D())
+	if !ApproxEqual(got, want, 1e-12) {
+		t.Fatal("sparse MatMulTransBInto mismatch vs naive")
+	}
+}
+
+// TestMatMulConcurrent hammers the shared worker pool from many goroutines
+// with distinct destinations; run under -race it proves MatMulInto is safe
+// for concurrent use.
+func TestMatMulConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	// Big enough that m*k*n exceeds parallelThreshold, forcing pool use
+	// whenever GOMAXPROCS > 1.
+	a := RandNormal(rng, 0, 1, 96, 64)
+	b := RandNormal(rng, 0, 1, 64, 48)
+	want := naiveMatMul(a, b)
+
+	const goroutines = 8
+	const iters = 20
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			dst := New(96, 48)
+			for it := 0; it < iters; it++ {
+				MatMulInto(dst, a, b)
+				if !ApproxEqual(dst, want, 1e-9) {
+					errs <- fmt.Errorf("concurrent MatMulInto diverged")
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
@@ -238,6 +342,7 @@ func BenchmarkMatMul128(b *testing.B) {
 	x := RandNormal(rng, 0, 1, 128, 128)
 	y := RandNormal(rng, 0, 1, 128, 128)
 	dst := New(128, 128)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MatMulInto(dst, x, y)
@@ -249,6 +354,7 @@ func BenchmarkMatMul512(b *testing.B) {
 	x := RandNormal(rng, 0, 1, 512, 512)
 	y := RandNormal(rng, 0, 1, 512, 512)
 	dst := New(512, 512)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MatMulInto(dst, x, y)

@@ -52,17 +52,20 @@ func Full(v float64, shape ...int) *Tensor {
 func FromSlice(data []float64, shape ...int) *Tensor {
 	n := checkShape(shape)
 	if len(data) != n {
-		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (%d elements)", len(data), shape, n))
+		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (%d elements)", len(data), cloneInts(shape), n))
 	}
 	return &Tensor{shape: cloneInts(shape), data: data}
 }
 
-// checkShape validates a shape and returns its element count.
+// checkShape validates a shape and returns its element count. The panic
+// path formats a clone so the shape argument itself provably does not
+// escape — this keeps variadic shape slices on callers' stacks across the
+// whole hot path.
 func checkShape(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", cloneInts(shape)))
 		}
 		n *= d
 	}
@@ -136,6 +139,152 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elements) to %v (%d elements)", t.shape, len(t.data), shape, known))
 	}
 	return &Tensor{shape: shape, data: t.data}
+}
+
+// Resize reshapes t in place to the given shape, reusing the backing array
+// when its capacity suffices and reallocating otherwise. The contents after
+// a Resize are unspecified — callers treat the result as uninitialized
+// scratch and overwrite (or Zero) it.
+//
+// Resize must only be used on tensors the caller exclusively owns (layer
+// scratch buffers, workspace checkouts) — resizing a tensor that shares
+// storage with a view corrupts the view's bounds. It returns t.
+func (t *Tensor) Resize(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if cap(t.shape) >= len(shape) {
+		t.shape = t.shape[:len(shape)]
+		copy(t.shape, shape)
+	} else {
+		t.shape = cloneInts(shape)
+	}
+	if n <= cap(t.data) {
+		t.data = t.data[:n]
+	} else {
+		t.data = make([]float64, n)
+	}
+	return t
+}
+
+// ResizeLike is Resize to o's shape without allocating a shape slice when
+// the ranks already match.
+func (t *Tensor) ResizeLike(o *Tensor) *Tensor {
+	if cap(t.shape) >= len(o.shape) {
+		t.shape = t.shape[:len(o.shape)]
+		copy(t.shape, o.shape)
+	} else {
+		t.shape = cloneInts(o.shape)
+	}
+	n := len(o.data)
+	if n <= cap(t.data) {
+		t.data = t.data[:n]
+	} else {
+		t.data = make([]float64, n)
+	}
+	return t
+}
+
+// ViewRows returns a view of rows [from, to) along the leading axis,
+// sharing t's storage (no copy). It works for any rank ≥ 1: the result has
+// shape [to-from, t.shape[1:]...]. Mutating the view mutates t.
+func (t *Tensor) ViewRows(from, to int) *Tensor {
+	if len(t.shape) < 1 {
+		panic("tensor: ViewRows on rank-0 tensor")
+	}
+	if from < 0 || to > t.shape[0] || from > to {
+		panic(fmt.Sprintf("tensor: ViewRows[%d:%d] out of range for %v", from, to, t.shape))
+	}
+	rowSize := 1
+	for _, d := range t.shape[1:] {
+		rowSize *= d
+	}
+	shape := cloneInts(t.shape)
+	shape[0] = to - from
+	return &Tensor{shape: shape, data: t.data[from*rowSize : to*rowSize : to*rowSize]}
+}
+
+// GatherRowsInto copies the rows of src selected by idx into consecutive
+// rows of dst. Both tensors must be rank-2 with equal column counts, and
+// dst must have len(idx) rows. Used by minibatch gathers so training loops
+// can reuse one destination buffer across batches.
+func GatherRowsInto(dst, src *Tensor, idx []int) {
+	if len(dst.shape) != 2 || len(src.shape) != 2 {
+		panic(fmt.Sprintf("tensor: GatherRowsInto requires rank-2 tensors, got dst=%v src=%v", dst.shape, src.shape))
+	}
+	cols := src.shape[1]
+	if dst.shape[1] != cols || dst.shape[0] != len(idx) {
+		panic(fmt.Sprintf("tensor: GatherRowsInto dst shape %v, want [%d %d]", dst.shape, len(idx), cols))
+	}
+	for i, r := range idx {
+		if r < 0 || r >= src.shape[0] {
+			panic(fmt.Sprintf("tensor: GatherRowsInto row index %d out of range for %v", r, src.shape))
+		}
+		copy(dst.data[i*cols:(i+1)*cols], src.data[r*cols:(r+1)*cols])
+	}
+}
+
+// BindView rebinds view (allocating a header when view is nil) to data
+// with the given shape, without copying — the reusable-header alternative
+// to FromSlice for hot paths that view the same storage every call.
+func BindView(view *Tensor, data []float64, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: BindView data length %d does not match shape %v (%d elements)", len(data), cloneInts(shape), n))
+	}
+	if view == nil {
+		return &Tensor{shape: cloneInts(shape), data: data}
+	}
+	if cap(view.shape) >= len(shape) {
+		view.shape = view.shape[:len(shape)]
+		copy(view.shape, shape)
+	} else {
+		view.shape = cloneInts(shape)
+	}
+	view.data = data
+	return view
+}
+
+// ReshapeInto is Reshape writing into a caller-owned view header instead
+// of allocating one: view is rebound to t's storage with the given shape
+// (one dimension may be -1) and returned. Hot paths keep one header per
+// call site so repeated reshapes allocate nothing. Passing view == nil
+// falls back to Reshape.
+func (t *Tensor) ReshapeInto(view *Tensor, shape ...int) *Tensor {
+	if view == nil {
+		return t.Reshape(shape...)
+	}
+	infer := -1
+	known := 1
+	for i, d := range shape {
+		switch {
+		case d == -1:
+			if infer >= 0 {
+				panic("tensor: ReshapeInto with more than one -1 dimension")
+			}
+			infer = i
+		case d < 0:
+			panic(fmt.Sprintf("tensor: invalid dimension %d in ReshapeInto", d))
+		default:
+			known *= d
+		}
+	}
+	if cap(view.shape) >= len(shape) {
+		view.shape = view.shape[:len(shape)]
+		copy(view.shape, shape)
+	} else {
+		view.shape = cloneInts(shape)
+	}
+	if infer >= 0 {
+		if known == 0 || len(t.data)%known != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer dimension reshaping %v to %v", t.shape, cloneInts(shape)))
+		}
+		view.shape[infer] = len(t.data) / known
+		known *= view.shape[infer]
+	}
+	if known != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elements) to %v (%d elements)", t.shape, len(t.data), cloneInts(shape), known))
+	}
+	view.data = t.data
+	return view
 }
 
 // Clone returns a deep copy of t.
