@@ -1,0 +1,275 @@
+// Command pelican-serve hosts a trained model artifact as an HTTP/JSON
+// scoring service with dynamic micro-batching, sharded replicas, hot
+// reload, and Prometheus metrics — or, with -loadgen, drives such a
+// service and reports achieved QPS and latency percentiles.
+//
+// Usage:
+//
+//	pelican-serve -model model.plcn -addr 127.0.0.1:8080 -replicas 2
+//	pelican-serve -loadgen -target http://127.0.0.1:8080 -duration 5s -concurrency 8 -batch 8
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pelican-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pelican-serve", flag.ContinueOnError)
+	var (
+		model    = fs.String("model", "", "model artifact to serve (written by pelican-train -save)")
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		replicas = fs.Int("replicas", 2, "detector replicas (scoring shards)")
+		maxBatch = fs.Int("max-batch", 32, "dynamic batcher flush size")
+		maxWait  = fs.Duration("max-wait", 2*time.Millisecond, "dynamic batcher flush deadline")
+		queue    = fs.Int("queue", 1024, "batcher queue depth (requests block when full)")
+
+		loadgen     = fs.Bool("loadgen", false, "run as load generator instead of server")
+		target      = fs.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
+		duration    = fs.Duration("duration", 5*time.Second, "loadgen: how long to drive load")
+		concurrency = fs.Int("concurrency", 8, "loadgen: concurrent client connections")
+		batch       = fs.Int("batch", 8, "loadgen: records per /v1/detect-batch request")
+		dataset     = fs.String("dataset", "nsl-kdd", "loadgen: dataset shape for generated flows (unsw-nb15 or nsl-kdd)")
+		records     = fs.Int("records", 512, "loadgen: distinct records generated and cycled")
+		seed        = fs.Int64("seed", 1, "loadgen: record generation seed")
+		minAttacks  = fs.Int("min-attacks", 0, "loadgen: fail unless at least this many attack verdicts came back")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *loadgen {
+		return runLoadgen(out, loadgenConfig{
+			target: *target, duration: *duration, concurrency: *concurrency,
+			batch: *batch, dataset: *dataset, records: *records, seed: *seed,
+			minAttacks: *minAttacks,
+		})
+	}
+	return runServer(out, *model, *addr, serve.Config{
+		Replicas: *replicas, MaxBatch: *maxBatch, MaxWait: *maxWait, QueueDepth: *queue,
+	})
+}
+
+func runServer(out io.Writer, model, addr string, cfg serve.Config) error {
+	if model == "" {
+		return fmt.Errorf("-model is required (train one with: pelican-train -save model.plcn)")
+	}
+	a, err := serve.LoadArtifactFile(model)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(a, cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	info := srv.Info()
+	fmt.Fprintf(out, "serving %s (version %s, %d features, %d classes) on http://%s\n",
+		info.Model, info.Version, info.Features, info.Classes, ln.Addr())
+	fmt.Fprintf(out, "replicas=%d max-batch=%d max-wait=%s\n", info.Replicas, info.MaxBatch, cfg.MaxWait)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: reject new scoring requests, let in-flight handlers
+	// finish, then drain the batcher and workers.
+	fmt.Fprintln(out, "shutting down: draining in-flight requests...")
+	srv.BeginDrain()
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	srv.Close()
+	fmt.Fprintln(out, "shutdown complete")
+	return nil
+}
+
+type loadgenConfig struct {
+	target      string
+	duration    time.Duration
+	concurrency int
+	batch       int
+	dataset     string
+	records     int
+	seed        int64
+	minAttacks  int
+}
+
+type workerResult struct {
+	requests  int
+	records   int
+	attacks   int
+	errors    int
+	latencies []time.Duration
+}
+
+func runLoadgen(out io.Writer, cfg loadgenConfig) error {
+	if cfg.batch < 1 {
+		return fmt.Errorf("-batch must be >= 1")
+	}
+	var synthCfg synth.Config
+	switch cfg.dataset {
+	case "unsw-nb15":
+		synthCfg = synth.UNSWNB15Config()
+	case "nsl-kdd":
+		synthCfg = synth.NSLKDDConfig()
+	default:
+		return fmt.Errorf("unknown dataset %q", cfg.dataset)
+	}
+	gen, err := synth.New(synthCfg)
+	if err != nil {
+		return err
+	}
+
+	// Sanity-check the target model against the dataset shape before
+	// hammering it.
+	var info serve.ModelInfo
+	resp, err := http.Get(cfg.target + "/v1/model")
+	if err != nil {
+		return fmt.Errorf("query %s/v1/model: %w", cfg.target, err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		resp.Body.Close()
+		return fmt.Errorf("decode /v1/model: %w", err)
+	}
+	resp.Body.Close()
+	if want := gen.Schema().EncodedWidth(); info.Features != want {
+		return fmt.Errorf("server model %s expects %d features, dataset %s encodes %d — use the matching -dataset",
+			info.Model, info.Features, cfg.dataset, want)
+	}
+	fmt.Fprintf(out, "target %s: model %s version %s\n", cfg.target, info.Model, info.Version)
+
+	// Pre-generate and pre-marshal the request bodies so the hot loop
+	// measures the server, not the client's JSON encoder.
+	ds := gen.Generate(cfg.records, cfg.seed)
+	type prebuilt struct {
+		body []byte
+		n    int
+	}
+	bodies := make([]prebuilt, 0, (len(ds.Records)+cfg.batch-1)/cfg.batch)
+	for lo := 0; lo < len(ds.Records); lo += cfg.batch {
+		hi := lo + cfg.batch
+		if hi > len(ds.Records) {
+			hi = len(ds.Records)
+		}
+		var req struct {
+			Records []serve.RecordJSON `json:"records"`
+		}
+		for _, r := range ds.Records[lo:hi] {
+			req.Records = append(req.Records, serve.RecordJSON{Numeric: r.Numeric, Categorical: r.Categorical})
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		bodies = append(bodies, prebuilt{body: b, n: hi - lo})
+	}
+
+	fmt.Fprintf(out, "driving %d clients x %d-record batches for %s...\n", cfg.concurrency, cfg.batch, cfg.duration)
+	deadline := time.Now().Add(cfg.duration)
+	results := make([]workerResult, cfg.concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{}
+			res := &results[w]
+			for i := w; time.Now().Before(deadline); i++ {
+				b := bodies[i%len(bodies)]
+				start := time.Now()
+				resp, err := client.Post(cfg.target+"/v1/detect-batch", "application/json", bytes.NewReader(b.body))
+				if err != nil {
+					res.errors++
+					continue
+				}
+				var br struct {
+					Verdicts []serve.VerdictJSON `json:"verdicts"`
+				}
+				decErr := json.NewDecoder(resp.Body).Decode(&br)
+				resp.Body.Close()
+				if decErr != nil || resp.StatusCode != http.StatusOK || len(br.Verdicts) != b.n {
+					res.errors++
+					continue
+				}
+				res.latencies = append(res.latencies, time.Since(start))
+				res.requests++
+				res.records += len(br.Verdicts)
+				for _, v := range br.Verdicts {
+					if v.IsAttack {
+						res.attacks++
+					}
+				}
+			}
+		}(w)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed > cfg.duration {
+		elapsed = cfg.duration // straggler requests don't inflate the window
+	}
+
+	var total workerResult
+	for _, r := range results {
+		total.requests += r.requests
+		total.records += r.records
+		total.attacks += r.attacks
+		total.errors += r.errors
+		total.latencies = append(total.latencies, r.latencies...)
+	}
+	if total.requests == 0 {
+		return fmt.Errorf("no successful requests (%d errors)", total.errors)
+	}
+	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(total.latencies)-1))
+		return total.latencies[i]
+	}
+	fmt.Fprintf(out, "requests=%d records=%d errors=%d attacks=%d\n",
+		total.requests, total.records, total.errors, total.attacks)
+	fmt.Fprintf(out, "throughput: %.0f records/s (%.0f req/s)\n",
+		float64(total.records)/elapsed.Seconds(), float64(total.requests)/elapsed.Seconds())
+	fmt.Fprintf(out, "latency: p50=%s p95=%s p99=%s max=%s\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), total.latencies[len(total.latencies)-1].Round(time.Microsecond))
+	if total.attacks < cfg.minAttacks {
+		return fmt.Errorf("only %d attack verdicts, -min-attacks requires %d", total.attacks, cfg.minAttacks)
+	}
+	return nil
+}

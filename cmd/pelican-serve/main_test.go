@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+func TestServeRequiresModel(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil || !strings.Contains(err.Error(), "-model") {
+		t.Fatalf("missing -model not rejected: %v", err)
+	}
+}
+
+func TestServeRejectsMissingArtifact(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", "/nonexistent/model.plcn"}, &out); err == nil {
+		t.Fatal("nonexistent artifact accepted")
+	}
+}
+
+func TestLoadgenRejectsUnknownDataset(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-loadgen", "-dataset", "cicids"}, &out); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestLoadgenRejectsUnreachableTarget(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-loadgen", "-target", "http://127.0.0.1:1", "-duration", "100ms"}, &out)
+	if err == nil {
+		t.Fatal("unreachable target accepted")
+	}
+}
+
+// TestLoadgenAgainstLiveServer drives the loadgen client against an
+// in-process scoring server and checks the report shape: non-zero
+// throughput, latency percentiles, and the -min-attacks assertion.
+func TestLoadgenAgainstLiveServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	gen, err := synth.New(synth.NSLKDDConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.Generate(600, 1)
+	x, y, pipe := data.Preprocess(ds)
+	features := gen.Schema().EncodedWidth()
+	classes := gen.Schema().NumClasses()
+	rng := rand.New(rand.NewSource(1))
+	stack := models.BuildMLP(rng, rand.New(rand.NewSource(2)), features, classes)
+	opt := nn.NewRMSprop(0.01)
+	opt.MaxNorm = 5
+	net := nn.NewNetwork(stack, nn.NewSoftmaxCrossEntropy(), opt)
+	net.Fit(x.Reshape(x.Dim(0), 1, x.Dim(1)), y, nn.FitConfig{Epochs: 3, BatchSize: 128, Shuffle: true, RNG: rng})
+	a, err := serve.NewArtifact("mlp", models.PaperBlockConfig(features), gen.Schema(), pipe, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(a, serve.Config{Replicas: 2, MaxBatch: 16, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-loadgen", "-target", ts.URL, "-dataset", "nsl-kdd",
+		"-duration", "500ms", "-concurrency", "4", "-batch", "8",
+		"-records", "128", "-min-attacks", "1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"throughput:", "records/s", "latency: p50=", "attacks="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("loadgen report missing %q:\n%s", want, s)
+		}
+	}
+}

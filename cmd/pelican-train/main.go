@@ -1,9 +1,10 @@
 // Command pelican-train trains any registered model on either synthetic
-// dataset and optionally saves a checkpoint loadable by pelican-nids.
+// dataset and optionally saves a self-contained model artifact servable by
+// pelican-serve (architecture spec + fitted preprocessing + weights).
 //
 // Usage:
 //
-//	pelican-train -model pelican -dataset unsw-nb15 -records 5000 -epochs 10 -save pelican.ckpt
+//	pelican-train -model pelican -dataset unsw-nb15 -records 5000 -epochs 10 -save pelican.plcn
 //	pelican-train -model lunet -dataset nsl-kdd -v
 package main
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/serve"
 	"repro/internal/synth"
 	"repro/internal/tensor"
 )
@@ -43,7 +45,7 @@ func run(args []string, out io.Writer) error {
 		kernel   = fs.Int("kernel", 10, "conv kernel size")
 		testFrac = fs.Float64("test", 0.2, "held-out test fraction")
 		seed     = fs.Int64("seed", 1, "random seed")
-		save     = fs.String("save", "", "write checkpoint to this path after training")
+		save     = fs.String("save", "", "write a pelican-serve model artifact to this path after training")
 		verbose  = fs.Bool("v", false, "per-epoch logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -70,7 +72,7 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "generating %d %s records...\n", *records, cfg.Name)
 	ds := gen.Generate(*records, *seed)
-	x, y, _ := data.Preprocess(ds)
+	x, y, pipe := data.Preprocess(ds)
 	features := gen.Schema().EncodedWidth()
 	classes := gen.Schema().NumClasses()
 
@@ -106,15 +108,14 @@ func run(args []string, out io.Writer) error {
 		s.DR, s.ACC, s.FAR, s.TP, s.FP, conf.Total())
 
 	if *save != "" {
-		f, err := os.Create(*save)
+		artifact, err := serve.NewArtifact(*model, blockCfg, gen.Schema(), pipe, net)
 		if err != nil {
-			return err
+			return fmt.Errorf("build artifact: %w", err)
 		}
-		defer f.Close()
-		if err := net.Save(f); err != nil {
-			return fmt.Errorf("save checkpoint: %w", err)
+		if err := serve.SaveArtifactFile(*save, artifact); err != nil {
+			return fmt.Errorf("save artifact: %w", err)
 		}
-		fmt.Fprintf(out, "checkpoint written to %s\n", *save)
+		fmt.Fprintf(out, "model artifact written to %s (version %s)\n", *save, artifact.Version())
 	}
 	return nil
 }

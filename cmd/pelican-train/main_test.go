@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/serve"
 )
 
 func TestTrainMLPQuick(t *testing.T) {
@@ -27,11 +29,11 @@ func TestTrainMLPQuick(t *testing.T) {
 	}
 }
 
-func TestTrainSavesCheckpoint(t *testing.T) {
+func TestTrainSavesArtifact(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training test")
 	}
-	path := filepath.Join(t.TempDir(), "m.ckpt")
+	path := filepath.Join(t.TempDir(), "m.plcn")
 	var out bytes.Buffer
 	err := run([]string{
 		"-model", "cnn", "-dataset", "nsl-kdd",
@@ -41,8 +43,19 @@ func TestTrainSavesCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if !strings.Contains(out.String(), "checkpoint written") {
-		t.Fatalf("no checkpoint confirmation:\n%s", out.String())
+	if !strings.Contains(out.String(), "model artifact written") {
+		t.Fatalf("no artifact confirmation:\n%s", out.String())
+	}
+	// The saved file must load back into a ready-to-score detector.
+	a, err := serve.LoadArtifactFile(path)
+	if err != nil {
+		t.Fatalf("load artifact: %v", err)
+	}
+	if a.ModelName != "cnn" {
+		t.Fatalf("artifact model %q, want cnn", a.ModelName)
+	}
+	if _, err := a.NewDetector(); err != nil {
+		t.Fatalf("rebuild detector: %v", err)
 	}
 }
 

@@ -53,18 +53,26 @@ type BatchDetector interface {
 }
 
 // ModelDetector wraps a trained network plus its preprocessing pipeline.
-// Its methods are safe for concurrent use: the underlying network reuses
-// internal buffers, so scoring is serialized behind a mutex — workers
-// should therefore prefer DetectBatch, which amortizes one network pass
-// (and one lock acquisition) over a whole flow batch.
+// Its methods are safe for concurrent use: per-record feature encoding runs
+// on pooled caller-owned slabs outside any lock (so it scales with the
+// number of calling workers), and only the network pass itself — whose
+// layer buffers are shared — is serialized behind a mutex. Workers should
+// prefer DetectBatch, which amortizes one network pass (and one lock
+// acquisition) over a whole flow batch.
 type ModelDetector struct {
 	ModelName string
 	Net       *nn.Network
 	Pipe      *data.Pipeline
 
-	mu    sync.Mutex
-	xbuf  *tensor.Tensor // reused (B, F) input slab, resized per batch
-	xview *tensor.Tensor // reused (B, 1, F) view header over xbuf
+	mu    sync.Mutex // serializes network passes only
+	slabs sync.Pool  // *detectSlab encode buffers, one checked out per call
+}
+
+// detectSlab is one concurrent caller's encode buffer: a (B, F) input slab
+// plus the (B, 1, F) view header fed to the network.
+type detectSlab struct {
+	x    *tensor.Tensor
+	view *tensor.Tensor
 }
 
 var _ BatchDetector = (*ModelDetector)(nil)
@@ -80,25 +88,30 @@ func (d *ModelDetector) Detect(rec *data.Record) Verdict {
 }
 
 // DetectBatch implements BatchDetector: the batch's feature rows are packed
-// into one contiguous tensor and scored in a single network pass.
+// into one contiguous tensor and scored in a single network pass. Encoding
+// happens on a pooled slab before the lock is taken, so concurrent callers
+// only contend for the network pass itself.
 func (d *ModelDetector) DetectBatch(recs []*data.Record, verdicts []Verdict) {
 	rows := len(recs)
 	if rows == 0 {
 		return
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	f := d.Pipe.Width()
-	if d.xbuf == nil {
-		d.xbuf = tensor.New(rows, f)
+	s, _ := d.slabs.Get().(*detectSlab)
+	if s == nil {
+		s = &detectSlab{x: tensor.New(rows, f)}
 	} else {
-		d.xbuf.Resize(rows, f)
+		s.x.Resize(rows, f)
 	}
 	for i, rec := range recs {
-		d.Pipe.ApplyInto(rec, d.xbuf.Row(i))
+		d.Pipe.ApplyInto(rec, s.x.Row(i))
 	}
-	d.xview = d.xbuf.ReshapeInto(d.xview, rows, 1, f)
-	logits := d.Net.Predict(d.xview)
+	s.view = s.x.ReshapeInto(s.view, rows, 1, f)
+
+	d.mu.Lock()
+	logits := d.Net.Predict(s.view)
+	// The argmax readout also runs under the lock: logits is a reused layer
+	// buffer that the next Predict overwrites.
 	for i := 0; i < rows; i++ {
 		row := logits.Row(i)
 		cls := 0
@@ -109,6 +122,8 @@ func (d *ModelDetector) DetectBatch(recs []*data.Record, verdicts []Verdict) {
 		}
 		verdicts[i] = Verdict{IsAttack: cls != 0, Class: cls, Score: row[cls]}
 	}
+	d.mu.Unlock()
+	d.slabs.Put(s)
 }
 
 // SignatureDetector wraps the Snort-style engine.

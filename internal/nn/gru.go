@@ -303,10 +303,13 @@ func (l *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	dh := tensor.Scratch.GetZeroed(b, h) // carry into step ti (dL/dh_ti from future steps)
 	dhPrev := tensor.Scratch.Get(b, h)
 
-	// Materialized per-gate recurrent kernels, refreshed once per pass.
+	// Materialized per-gate recurrent kernels. The candidate kernel l.uh was
+	// filled by the preceding Forward and l.u.Value cannot have changed since
+	// (the optimizer only steps after Backward), so it is reused as-is; the
+	// z/r kernels are only needed here and are materialized per pass.
 	uz := l.uGateInto(tensor.Scratch.Get(h, h), 0)
 	ur := l.uGateInto(tensor.Scratch.Get(h, h), 1)
-	uh := l.uGateInto(ensure(&l.uh, h, h), 2)
+	uh := l.uh
 
 	// Step-scoped temporaries, reused across timesteps.
 	dz := tensor.Scratch.Get(b, h)

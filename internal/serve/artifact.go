@@ -1,0 +1,229 @@
+// Package serve turns a trained detector into a network service: a
+// self-contained model artifact format (weights + architecture spec +
+// fitted preprocessing, one file), an HTTP/JSON scoring server whose
+// request path funnels into a dynamic micro-batcher feeding sharded
+// detector replicas, Prometheus-style metrics, graceful drain, and atomic
+// hot-reload of a new artifact with no dropped requests.
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nids"
+	"repro/internal/nn"
+)
+
+// artifactMagic prefixes every artifact file so foreign files fail fast
+// with a clear error instead of a gob decode panic deep in the stack.
+const artifactMagic = "PELICANv1\n"
+
+// artifactFormatVersion is bumped on incompatible wire changes.
+const artifactFormatVersion = 1
+
+// artifactWire is the gob payload that follows the magic header.
+type artifactWire struct {
+	FormatVersion int
+	ModelName     string
+	Block         models.BlockConfig
+	Schema        data.Schema
+	ScalerMean    []float64
+	ScalerStd     []float64
+	// Checkpoint holds nn.Network.Save bytes (weights + BatchNorm stats).
+	Checkpoint []byte
+	// Checksum is CRC-32 (IEEE) over Checkpoint, a cheap integrity check
+	// against torn writes and bit rot.
+	Checksum uint32
+}
+
+// Artifact is a self-contained trained detector: everything needed to
+// reconstruct a ready-to-score nids.ModelDetector — registered model name,
+// block configuration, dataset schema (which fully determines the one-hot
+// encoder), fitted scaler moments, and network weights.
+type Artifact struct {
+	ModelName string
+	Block     models.BlockConfig
+	Schema    data.Schema
+
+	scaler     *data.Scaler
+	checkpoint []byte
+	version    string
+}
+
+// NewArtifact captures a trained network and its fitted pipeline into an
+// artifact. modelName must be a registered models.Spec name; the artifact
+// rebuilds the architecture from it at load time.
+func NewArtifact(modelName string, block models.BlockConfig, schema data.Schema, pipe *data.Pipeline, net *nn.Network) (*Artifact, error) {
+	if _, err := models.Lookup(modelName); err != nil {
+		return nil, err
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: invalid schema: %w", err)
+	}
+	if w := schema.EncodedWidth(); len(pipe.Scaler.Mean) != w {
+		return nil, fmt.Errorf("serve: scaler fitted on %d columns, schema encodes %d", len(pipe.Scaler.Mean), w)
+	}
+	var ck bytes.Buffer
+	if err := net.Save(&ck); err != nil {
+		return nil, fmt.Errorf("serve: capture checkpoint: %w", err)
+	}
+	a := &Artifact{
+		ModelName:  modelName,
+		Block:      block,
+		Schema:     schema,
+		scaler:     pipe.Scaler,
+		checkpoint: ck.Bytes(),
+	}
+	enc, err := a.encode()
+	if err != nil {
+		return nil, err
+	}
+	a.version = versionOf(enc)
+	return a, nil
+}
+
+// Version returns the artifact's content-addressed version id: the first
+// 12 hex digits of the SHA-256 of the serialized file. Two artifacts with
+// the same version are byte-identical.
+func (a *Artifact) Version() string { return a.version }
+
+// Features returns the encoded input width the model consumes.
+func (a *Artifact) Features() int { return a.Schema.EncodedWidth() }
+
+// Classes returns the number of output classes.
+func (a *Artifact) Classes() int { return a.Schema.NumClasses() }
+
+// encode serializes the artifact to its file bytes (magic + gob payload).
+func (a *Artifact) encode() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(artifactMagic)
+	wire := artifactWire{
+		FormatVersion: artifactFormatVersion,
+		ModelName:     a.ModelName,
+		Block:         a.Block,
+		Schema:        a.Schema,
+		ScalerMean:    a.scaler.Mean,
+		ScalerStd:     a.scaler.Std,
+		Checkpoint:    a.checkpoint,
+		Checksum:      crc32.ChecksumIEEE(a.checkpoint),
+	}
+	if err := gob.NewEncoder(&buf).Encode(&wire); err != nil {
+		return nil, fmt.Errorf("serve: encode artifact: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func versionOf(fileBytes []byte) string {
+	sum := sha256.Sum256(fileBytes)
+	return hex.EncodeToString(sum[:6])
+}
+
+// SaveArtifact writes the artifact to w in the single-file format that
+// LoadArtifact reads.
+func SaveArtifact(w io.Writer, a *Artifact) error {
+	enc, err := a.encode()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(enc)
+	return err
+}
+
+// SaveArtifactFile writes the artifact to path (0644).
+func SaveArtifactFile(path string, a *Artifact) error {
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, a); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// LoadArtifact reads and validates an artifact written by SaveArtifact:
+// magic header, format version, checkpoint checksum, registered model
+// name, and schema consistency all have to check out before any network
+// is built.
+func LoadArtifact(r io.Reader) (*Artifact, error) {
+	fileBytes, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("serve: read artifact: %w", err)
+	}
+	if !bytes.HasPrefix(fileBytes, []byte(artifactMagic)) {
+		return nil, fmt.Errorf("serve: not a Pelican model artifact (bad magic)")
+	}
+	var wire artifactWire
+	dec := gob.NewDecoder(bytes.NewReader(fileBytes[len(artifactMagic):]))
+	if err := dec.Decode(&wire); err != nil {
+		return nil, fmt.Errorf("serve: decode artifact (corrupt or truncated): %w", err)
+	}
+	if wire.FormatVersion != artifactFormatVersion {
+		return nil, fmt.Errorf("serve: artifact format version %d, this build reads %d", wire.FormatVersion, artifactFormatVersion)
+	}
+	if got := crc32.ChecksumIEEE(wire.Checkpoint); got != wire.Checksum {
+		return nil, fmt.Errorf("serve: checkpoint checksum mismatch (artifact corrupt): got %08x, want %08x", got, wire.Checksum)
+	}
+	if _, err := models.Lookup(wire.ModelName); err != nil {
+		return nil, fmt.Errorf("serve: artifact references unknown model: %w", err)
+	}
+	if err := wire.Schema.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: artifact schema invalid: %w", err)
+	}
+	if w := wire.Schema.EncodedWidth(); len(wire.ScalerMean) != w || len(wire.ScalerStd) != w {
+		return nil, fmt.Errorf("serve: artifact scaler has %d/%d columns, schema encodes %d",
+			len(wire.ScalerMean), len(wire.ScalerStd), w)
+	}
+	return &Artifact{
+		ModelName:  wire.ModelName,
+		Block:      wire.Block,
+		Schema:     wire.Schema,
+		scaler:     &data.Scaler{Mean: wire.ScalerMean, Std: wire.ScalerStd},
+		checkpoint: wire.Checkpoint,
+		version:    versionOf(fileBytes),
+	}, nil
+}
+
+// LoadArtifactFile reads an artifact from path.
+func LoadArtifactFile(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	a, err := LoadArtifact(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+// NewDetector builds a fresh, ready-to-score replica from the artifact.
+// Each call returns an independent detector (own network buffers, own
+// lock), so callers can shard load across several replicas; the read-only
+// scaler and schema are shared. Weight initialization is irrelevant — the
+// checkpoint overwrites every parameter — so fixed seeds are used.
+func (a *Artifact) NewDetector() (*nids.ModelDetector, error) {
+	spec, err := models.Lookup(a.ModelName)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(1))
+	dropRNG := rand.New(rand.NewSource(1))
+	stack := spec.Build(rng, dropRNG, a.Block, a.Features(), a.Classes())
+	net := nn.NewNetwork(stack, nn.NewSoftmaxCrossEntropy(), nn.NewRMSprop(0.01))
+	if err := net.Load(bytes.NewReader(a.checkpoint)); err != nil {
+		return nil, fmt.Errorf("serve: restore %s weights: %w", a.ModelName, err)
+	}
+	return &nids.ModelDetector{
+		ModelName: a.ModelName,
+		Net:       net,
+		Pipe:      &data.Pipeline{Enc: data.NewEncoder(a.Schema), Scaler: a.scaler},
+	}, nil
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nids"
+	"repro/internal/nn"
+	"repro/internal/synth"
+	"repro/internal/tensor"
+)
+
+// trainTestArtifact trains a small detector of the given registered model
+// and returns its artifact, the original in-process detector, and a batch
+// of held-back records for verdict comparison.
+func trainTestArtifact(t *testing.T, modelName string, seed int64, epochs int) (*Artifact, *nids.ModelDetector, []*data.Record) {
+	t.Helper()
+	gen, err := synth.New(synth.NSLKDDConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.Generate(500, seed)
+	x, y, pipe := data.Preprocess(ds)
+	features := gen.Schema().EncodedWidth()
+	classes := gen.Schema().NumClasses()
+	rng := rand.New(rand.NewSource(seed))
+	spec, err := models.Lookup(modelName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := models.BlockConfig{Features: features, Kernel: 10, Pool: 2, Dropout: 0.6}
+	stack := spec.Build(rng, rand.New(rand.NewSource(seed+1)), block, features, classes)
+	opt := nn.NewRMSprop(0.01)
+	opt.MaxNorm = 5
+	net := nn.NewNetwork(stack, nn.NewSoftmaxCrossEntropy(), opt)
+	x3 := x.Reshape(x.Dim(0), 1, x.Dim(1))
+	net.Fit(x3, y, nn.FitConfig{Epochs: epochs, BatchSize: 128, Shuffle: true, RNG: rng})
+
+	a, err := NewArtifact(modelName, block, gen.Schema(), pipe, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := &nids.ModelDetector{ModelName: modelName, Net: net, Pipe: pipe}
+	probe := gen.Generate(64, seed+1000)
+	recs := make([]*data.Record, len(probe.Records))
+	for i := range probe.Records {
+		recs[i] = &probe.Records[i]
+	}
+	return a, orig, recs
+}
+
+// encodeProbe converts records to the (N, 1, F) tensor PredictClasses
+// consumes.
+func encodeProbe(pipe *data.Pipeline, recs []*data.Record) *tensor.Tensor {
+	x := tensor.New(len(recs), pipe.Width())
+	for i, r := range recs {
+		pipe.ApplyInto(r, x.Row(i))
+	}
+	return x.Reshape(len(recs), 1, pipe.Width())
+}
+
+// TestArtifactRoundTripLuNet pins the headline contract: save → load of a
+// trained block network yields byte-identical PredictClasses output and
+// identical DetectBatch verdicts on a fixed-seed batch.
+func TestArtifactRoundTripLuNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, orig, recs := trainTestArtifact(t, "lunet", 1, 2)
+
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Version() != a.Version() {
+		t.Fatalf("version changed across round trip: %s -> %s", a.Version(), loaded.Version())
+	}
+	det, err := loaded.NewDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantClasses := orig.Net.PredictClasses(encodeProbe(orig.Pipe, recs), 16)
+	gotClasses := det.Net.PredictClasses(encodeProbe(det.Pipe, recs), 16)
+	for i := range wantClasses {
+		if gotClasses[i] != wantClasses[i] {
+			t.Fatalf("record %d: loaded model predicts class %d, original %d", i, gotClasses[i], wantClasses[i])
+		}
+	}
+
+	want := make([]nids.Verdict, len(recs))
+	got := make([]nids.Verdict, len(recs))
+	orig.DetectBatch(recs, want)
+	det.DetectBatch(recs, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: loaded verdict %+v, original %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestArtifactRoundTripResidual runs the same contract on a residual
+// (Pelican-style) network so BatchNorm running stats and shortcut layers
+// are covered; a 2-block net keeps it fast.
+func TestArtifactRoundTripResidual(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, orig, recs := trainTestArtifact(t, "residual-21", 3, 1)
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := loaded.NewDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]nids.Verdict, len(recs))
+	got := make([]nids.Verdict, len(recs))
+	orig.DetectBatch(recs, want)
+	det.DetectBatch(recs, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: loaded verdict %+v, original %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// mlpArtifactBytes builds a minimal valid artifact file for the error-path
+// tests (MLP trains in milliseconds).
+func mlpArtifactBytes(t *testing.T) []byte {
+	t.Helper()
+	a, _, _ := trainTestArtifact(t, "mlp", 7, 1)
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestArtifactRejectsBadMagic(t *testing.T) {
+	if _, err := LoadArtifact(bytes.NewReader([]byte("definitely not an artifact"))); err == nil {
+		t.Fatal("foreign bytes accepted")
+	}
+}
+
+func TestArtifactRejectsTruncated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	raw := mlpArtifactBytes(t)
+	for _, frac := range []int{2, 4, 10} {
+		if _, err := LoadArtifact(bytes.NewReader(raw[:len(raw)/frac])); err == nil {
+			t.Fatalf("truncated artifact (1/%d) accepted", frac)
+		}
+	}
+}
+
+func TestArtifactRejectsCorrupt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	raw := mlpArtifactBytes(t)
+	// Flip bytes at several depths; every corruption must surface as an
+	// error (gob decode failure or checkpoint checksum mismatch), never as
+	// a silently-wrong model.
+	for _, pos := range []int{len(raw) / 2, len(raw) - 100, len(raw) - 10} {
+		bad := append([]byte(nil), raw...)
+		bad[pos] ^= 0xff
+		if _, err := LoadArtifact(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corrupt artifact (byte %d flipped) accepted", pos)
+		}
+	}
+}
+
+func TestArtifactRejectsUnknownModel(t *testing.T) {
+	gen, err := synth.New(synth.NSLKDDConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := gen.Schema()
+	w := schema.EncodedWidth()
+	pipe := &data.Pipeline{
+		Enc:    data.NewEncoder(schema),
+		Scaler: &data.Scaler{Mean: make([]float64, w), Std: make([]float64, w)},
+	}
+	net := nn.NewNetwork(nn.NewSequential(), nn.NewSoftmaxCrossEntropy(), nn.NewRMSprop(0.01))
+	if _, err := NewArtifact("transformer-9000", models.BlockConfig{}, schema, pipe, net); err == nil {
+		t.Fatal("unregistered model name accepted")
+	}
+}

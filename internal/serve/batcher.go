@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/nids"
+)
+
+// item is one record awaiting a verdict. out points into the originating
+// request's verdict slice, so request↔verdict pairing is positional and
+// survives any batch boundary the dispatcher cuts; wg is the request's
+// completion barrier.
+type item struct {
+	rec *data.Record
+	out *nids.Verdict
+	wg  *sync.WaitGroup
+}
+
+// batcherConfig tunes the dynamic batcher.
+type batcherConfig struct {
+	// MaxBatch flushes a batch as soon as it holds this many records.
+	MaxBatch int
+	// MaxWait flushes a non-empty batch this long after its first record
+	// arrived, bounding the latency cost of waiting for co-travelers.
+	MaxWait time.Duration
+	// QueueDepth bounds the record queue; enqueues block when it is full
+	// (deliberate backpressure, mirroring nids.Config.QueueDepth).
+	QueueDepth int
+}
+
+// batcher groups individually-enqueued records into batches: a batch is
+// flushed when it reaches MaxBatch records or MaxWait after its first
+// record, whichever comes first. The first record of a batch is never
+// delayed beyond MaxWait, and records already queued never wait at all.
+type batcher struct {
+	cfg     batcherConfig
+	in      chan item
+	batches chan []item
+	slabs   sync.Pool // [] item backing arrays recycled across batches
+	done    chan struct{}
+}
+
+func newBatcher(cfg batcherConfig) *batcher {
+	b := &batcher{
+		cfg:     cfg,
+		in:      make(chan item, cfg.QueueDepth),
+		batches: make(chan []item, 1),
+		done:    make(chan struct{}),
+	}
+	go b.dispatch()
+	return b
+}
+
+// enqueue submits one record for scoring. It blocks when the queue is
+// full. Callers must not enqueue after close.
+func (b *batcher) enqueue(it item) { b.in <- it }
+
+// queueLen reports the current queue depth (for the /metrics gauge).
+func (b *batcher) queueLen() int { return len(b.in) }
+
+// close stops intake, flushes whatever is queued, and waits for the
+// dispatcher to exit. The batches channel is closed afterwards, which is
+// the workers' signal to drain and stop.
+func (b *batcher) close() {
+	close(b.in)
+	<-b.done
+}
+
+func (b *batcher) getSlab() []item {
+	if s, ok := b.slabs.Get().(*[]item); ok {
+		return (*s)[:0]
+	}
+	return make([]item, 0, b.cfg.MaxBatch)
+}
+
+// putSlab returns a delivered batch's backing array for reuse. Workers
+// call it after the batch's verdicts are written.
+func (b *batcher) putSlab(s []item) {
+	for i := range s {
+		s[i] = item{} // drop record/waitgroup references for the GC
+	}
+	s = s[:0]
+	b.slabs.Put(&s)
+}
+
+// dispatch is the single goroutine that cuts batches.
+func (b *batcher) dispatch() {
+	defer close(b.batches)
+	defer close(b.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		first, ok := <-b.in
+		if !ok {
+			return
+		}
+		batch := append(b.getSlab(), first)
+		timer.Reset(b.cfg.MaxWait)
+		timerFired := false
+	fill:
+		for len(batch) < b.cfg.MaxBatch {
+			select {
+			case it, ok := <-b.in:
+				if !ok {
+					b.batches <- batch
+					return
+				}
+				batch = append(batch, it)
+			case <-timer.C:
+				timerFired = true
+				break fill
+			}
+		}
+		if !timerFired && !timer.Stop() {
+			<-timer.C
+		}
+		b.batches <- batch
+	}
+}

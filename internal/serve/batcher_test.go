@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/nids"
+)
+
+func collectBatches(b *batcher, out chan<- int) {
+	for batch := range b.batches {
+		n := len(batch)
+		for i := range batch {
+			batch[i].wg.Done()
+		}
+		b.putSlab(batch)
+		out <- n
+	}
+	close(out)
+}
+
+// TestBatcherFlushesOnMaxBatch checks that a full queue cuts batches at
+// exactly MaxBatch without waiting for the deadline.
+func TestBatcherFlushesOnMaxBatch(t *testing.T) {
+	b := newBatcher(batcherConfig{MaxBatch: 4, MaxWait: time.Hour, QueueDepth: 64})
+	sizes := make(chan int, 16)
+	go collectBatches(b, sizes)
+
+	var wg sync.WaitGroup
+	rec := &data.Record{}
+	var v nids.Verdict
+	wg.Add(8)
+	for i := 0; i < 8; i++ {
+		b.enqueue(item{rec: rec, out: &v, wg: &wg})
+	}
+	// With MaxWait effectively infinite, completion proves MaxBatch flushes.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("8 records never flushed with MaxBatch=4 (MaxWait=1h)")
+	}
+	b.close()
+	total := 0
+	for n := range sizes {
+		if n > 4 {
+			t.Fatalf("batch of %d exceeds MaxBatch=4", n)
+		}
+		total += n
+	}
+	if total != 8 {
+		t.Fatalf("flushed %d records, enqueued 8", total)
+	}
+}
+
+// TestBatcherFlushesOnMaxWait checks that a lone record is flushed by the
+// deadline rather than waiting for co-travelers forever.
+func TestBatcherFlushesOnMaxWait(t *testing.T) {
+	b := newBatcher(batcherConfig{MaxBatch: 1024, MaxWait: 2 * time.Millisecond, QueueDepth: 64})
+	defer b.close()
+	sizes := make(chan int, 4)
+	go collectBatches(b, sizes)
+
+	var wg sync.WaitGroup
+	var v nids.Verdict
+	wg.Add(1)
+	start := time.Now()
+	b.enqueue(item{rec: &data.Record{}, out: &v, wg: &wg})
+	wg.Wait()
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("lone record waited %s, MaxWait is 2ms", waited)
+	}
+	if n := <-sizes; n != 1 {
+		t.Fatalf("lone record flushed in a batch of %d", n)
+	}
+}
+
+// TestBatcherCloseFlushesQueued checks the drain path: records enqueued
+// before close are all delivered.
+func TestBatcherCloseFlushesQueued(t *testing.T) {
+	b := newBatcher(batcherConfig{MaxBatch: 8, MaxWait: time.Hour, QueueDepth: 64})
+	sizes := make(chan int, 16)
+	var wg sync.WaitGroup
+	var v nids.Verdict
+	wg.Add(5)
+	for i := 0; i < 5; i++ {
+		b.enqueue(item{rec: &data.Record{}, out: &v, wg: &wg})
+	}
+	go collectBatches(b, sizes)
+	b.close()
+	wg.Wait()
+	total := 0
+	for n := range sizes {
+		total += n
+	}
+	if total != 5 {
+		t.Fatalf("drain delivered %d of 5 queued records", total)
+	}
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the request-latency histogram upper bounds in
+// seconds, spanning sub-millisecond in-process scoring to multi-second
+// overload tails. It is an array so numLatencyBuckets is a compile-time
+// constant that cannot drift from the bound list.
+var latencyBuckets = [...]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+const numLatencyBuckets = len(latencyBuckets)
+
+// histogram is a fixed-bucket Prometheus-style latency histogram with
+// lock-free observation.
+type histogram struct {
+	counts   [numLatencyBuckets + 1]atomic.Int64 // +1 for +Inf
+	sumNanos atomic.Int64
+	total    atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && sec > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNanos.Add(int64(d))
+	h.total.Add(1)
+}
+
+// serverMetrics holds the serving counters exported at /metrics.
+type serverMetrics struct {
+	detectRequests atomic.Int64
+	batchRequests  atomic.Int64
+	records        atomic.Int64
+	batches        atomic.Int64
+	batchRecords   atomic.Int64
+	attacks        atomic.Int64
+	requestErrors  atomic.Int64
+	reloads        atomic.Int64
+	latency        histogram
+}
+
+// writeProm renders the metrics in the Prometheus text exposition format.
+func (m *serverMetrics) writeProm(w io.Writer, queueDepth int, modelName, modelVersion string) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("pelican_serve_detect_requests_total", "Requests to /v1/detect.", m.detectRequests.Load())
+	counter("pelican_serve_detect_batch_requests_total", "Requests to /v1/detect-batch.", m.batchRequests.Load())
+	counter("pelican_serve_records_total", "Flow records scored.", m.records.Load())
+	counter("pelican_serve_batches_total", "Dynamic batches flushed to a replica.", m.batches.Load())
+	counter("pelican_serve_batch_records_total", "Records carried by flushed batches.", m.batchRecords.Load())
+	counter("pelican_serve_attack_verdicts_total", "Verdicts flagged as attacks.", m.attacks.Load())
+	counter("pelican_serve_request_errors_total", "Requests rejected with a 4xx/5xx status.", m.requestErrors.Load())
+	counter("pelican_serve_reloads_total", "Successful model hot-reloads.", m.reloads.Load())
+
+	fmt.Fprintf(w, "# HELP pelican_serve_queue_depth Records waiting in the batcher queue.\n")
+	fmt.Fprintf(w, "# TYPE pelican_serve_queue_depth gauge\npelican_serve_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "# HELP pelican_serve_model_info Loaded model (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE pelican_serve_model_info gauge\n")
+	fmt.Fprintf(w, "pelican_serve_model_info{model=%q,version=%q} 1\n", modelName, modelVersion)
+
+	fmt.Fprintf(w, "# HELP pelican_serve_request_seconds Scoring request latency.\n")
+	fmt.Fprintf(w, "# TYPE pelican_serve_request_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range &latencyBuckets {
+		cum += m.latency.counts[i].Load()
+		fmt.Fprintf(w, "pelican_serve_request_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	cum += m.latency.counts[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "pelican_serve_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "pelican_serve_request_seconds_sum %g\n", float64(m.latency.sumNanos.Load())/1e9)
+	fmt.Fprintf(w, "pelican_serve_request_seconds_count %d\n", m.latency.total.Load())
+}
+
+// trimFloat renders a bucket bound without trailing zeros (0.0005, 0.01, 1).
+func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }

@@ -1,0 +1,427 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/nids"
+)
+
+// Config tunes the scoring server.
+type Config struct {
+	// Replicas is the number of independent detector replicas (and scoring
+	// workers). Each replica owns its network buffers and lock, so
+	// concurrent batches never contend on one mutex. Default 2.
+	Replicas int
+	// MaxBatch is the dynamic batcher's flush size. Default 32.
+	MaxBatch int
+	// MaxWait is the dynamic batcher's flush deadline: a batch never waits
+	// longer than this for co-travelers. Default 2ms.
+	MaxWait time.Duration
+	// QueueDepth bounds the record queue; requests block (backpressure)
+	// when it fills. Default 1024.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	return c
+}
+
+// modelState is one immutable loaded-model generation: the artifact plus
+// its replica shard. Hot-reload builds a whole new state and swaps the
+// pointer; batches already dispatched keep scoring on the generation they
+// grabbed, so in-flight work finishes on the old model.
+type modelState struct {
+	artifact  *Artifact
+	detectors []*nids.ModelDetector
+	loadedAt  time.Time
+}
+
+func newModelState(a *Artifact, replicas int) (*modelState, error) {
+	st := &modelState{artifact: a, loadedAt: time.Now()}
+	for i := 0; i < replicas; i++ {
+		det, err := a.NewDetector()
+		if err != nil {
+			return nil, err
+		}
+		st.detectors = append(st.detectors, det)
+	}
+	return st, nil
+}
+
+// Server is the HTTP scoring service. Construct with New, mount Handler
+// on an http.Server, and shut down in order: stop the listener first
+// (http.Server.Shutdown / httptest.Server.Close, which wait for in-flight
+// handlers), then Close to drain the batcher and workers.
+type Server struct {
+	cfg      Config
+	state    atomic.Pointer[modelState]
+	b        *batcher
+	m        serverMetrics
+	mux      *http.ServeMux
+	workerWG sync.WaitGroup
+	draining atomic.Bool
+	reloadMu sync.Mutex
+	closed   sync.Once
+}
+
+// New builds a server around a loaded artifact and starts its scoring
+// workers.
+func New(a *Artifact, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	st, err := newModelState(a, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.state.Store(st)
+	s.b = newBatcher(batcherConfig{MaxBatch: cfg.MaxBatch, MaxWait: cfg.MaxWait, QueueDepth: cfg.QueueDepth})
+	for i := 0; i < cfg.Replicas; i++ {
+		s.workerWG.Add(1)
+		go s.worker(i)
+	}
+	s.mux.HandleFunc("/v1/detect", s.handleDetect)
+	s.mux.HandleFunc("/v1/detect-batch", s.handleDetectBatch)
+	s.mux.HandleFunc("/v1/model", s.handleModel)
+	s.mux.HandleFunc("/v1/reload", s.handleReload)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Artifact returns the currently loaded artifact.
+func (s *Server) Artifact() *Artifact { return s.state.Load().artifact }
+
+// Reload atomically swaps in a new artifact: fresh replicas are built
+// first (so a bad artifact never disturbs serving), then the state pointer
+// flips. Requests dispatched before the flip finish on the old model;
+// requests after it score on the new one. No request is ever dropped.
+//
+// The new artifact must have the running model's feature shape (same
+// numeric and categorical feature counts): records are validated at
+// accept time but may be scored by a generation loaded later, and a
+// shape-changed encoder would mis-encode or panic on such in-flight
+// records. Shape-changing upgrades need a fresh server (blue/green).
+func (s *Server) Reload(a *Artifact) error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	old := s.state.Load().artifact.Schema
+	if a.Schema.NumNumeric() != old.NumNumeric() || len(a.Schema.Categorical) != len(old.Categorical) {
+		return fmt.Errorf("serve: reload artifact has %d numeric + %d categorical features, running model has %d + %d — shape-changing reloads are not supported",
+			a.Schema.NumNumeric(), len(a.Schema.Categorical), old.NumNumeric(), len(old.Categorical))
+	}
+	st, err := newModelState(a, s.cfg.Replicas)
+	if err != nil {
+		return err
+	}
+	s.state.Store(st)
+	s.m.reloads.Add(1)
+	return nil
+}
+
+// BeginDrain makes the server answer new scoring requests with 503 while
+// in-flight ones complete — the first step of a graceful shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Close drains and stops the scoring workers. Call it only after the HTTP
+// listener has stopped accepting (so no handler can still enqueue);
+// queued records are all scored before Close returns.
+func (s *Server) Close() {
+	s.closed.Do(func() {
+		s.draining.Store(true)
+		s.b.close()
+		s.workerWG.Wait()
+	})
+}
+
+// worker is one replica's scoring loop: it pulls flushed batches, scores
+// them on its shard of the current model generation, and fans verdicts
+// back out to the originating requests.
+func (s *Server) worker(i int) {
+	defer s.workerWG.Done()
+	recs := make([]*data.Record, 0, s.cfg.MaxBatch)
+	verdicts := make([]nids.Verdict, s.cfg.MaxBatch)
+	for batch := range s.b.batches {
+		st := s.state.Load()
+		det := st.detectors[i%len(st.detectors)]
+		recs = recs[:0]
+		for j := range batch {
+			recs = append(recs, batch[j].rec)
+		}
+		if len(batch) > len(verdicts) {
+			verdicts = make([]nids.Verdict, len(batch))
+		}
+		out := verdicts[:len(batch)]
+		det.DetectBatch(recs, out)
+		attacks := int64(0)
+		for j := range batch {
+			*batch[j].out = out[j]
+			if out[j].IsAttack {
+				attacks++
+			}
+			batch[j].wg.Done()
+		}
+		s.m.batches.Add(1)
+		s.m.batchRecords.Add(int64(len(batch)))
+		s.m.attacks.Add(attacks)
+		s.b.putSlab(batch)
+	}
+}
+
+// score funnels a request's records through the batcher and blocks until
+// every verdict is written. Pairing is positional: item i carries a
+// pointer to verdicts[i], so however the dispatcher cuts batches — even
+// splitting one request across model generations mid-reload — each record
+// gets its own verdict.
+func (s *Server) score(recs []data.Record) []nids.Verdict {
+	verdicts := make([]nids.Verdict, len(recs))
+	var wg sync.WaitGroup
+	wg.Add(len(recs))
+	for i := range recs {
+		s.b.enqueue(item{rec: &recs[i], out: &verdicts[i], wg: &wg})
+	}
+	wg.Wait()
+	return verdicts
+}
+
+// RecordJSON is the wire form of one flow record.
+type RecordJSON struct {
+	Numeric     []float64 `json:"numeric"`
+	Categorical []string  `json:"categorical"`
+}
+
+// VerdictJSON is the wire form of one detector verdict.
+type VerdictJSON struct {
+	IsAttack  bool    `json:"is_attack"`
+	Class     int     `json:"class"`
+	ClassName string  `json:"class_name,omitempty"`
+	Score     float64 `json:"score"`
+}
+
+type detectBatchRequest struct {
+	Records []RecordJSON `json:"records"`
+}
+
+type detectBatchResponse struct {
+	ModelVersion string        `json:"model_version"`
+	Verdicts     []VerdictJSON `json:"verdicts"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.m.requestErrors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// toRecords validates the wire records against the schema and converts
+// them. Validation uses the generation current at accept time; scoring may
+// land on a newer generation mid-reload, which is safe because Reload
+// rejects artifacts that change the feature shape, and within a fixed
+// shape the encoder zero-fills unknown categorical values.
+func toRecords(schema data.Schema, in []RecordJSON) ([]data.Record, error) {
+	nNum, nCat := schema.NumNumeric(), len(schema.Categorical)
+	out := make([]data.Record, len(in))
+	for i, r := range in {
+		if len(r.Numeric) != nNum {
+			return nil, fmt.Errorf("record %d: %d numeric values, model expects %d", i, len(r.Numeric), nNum)
+		}
+		if len(r.Categorical) != nCat {
+			return nil, fmt.Errorf("record %d: %d categorical values, model expects %d", i, len(r.Categorical), nCat)
+		}
+		out[i] = data.Record{Numeric: r.Numeric, Categorical: r.Categorical}
+	}
+	return out, nil
+}
+
+func toVerdictsJSON(schema data.Schema, vs []nids.Verdict) []VerdictJSON {
+	out := make([]VerdictJSON, len(vs))
+	for i, v := range vs {
+		vj := VerdictJSON{IsAttack: v.IsAttack, Class: v.Class, Score: v.Score}
+		if v.Class >= 0 && v.Class < len(schema.ClassNames) {
+			vj.ClassName = schema.ClassNames[v.Class]
+		}
+		out[i] = vj
+	}
+	return out
+}
+
+// acceptScoring centralizes method/drain gating for the scoring endpoints.
+func (s *Server) acceptScoring(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		s.httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	if s.draining.Load() {
+		s.httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	if !s.acceptScoring(w, r) {
+		return
+	}
+	s.m.detectRequests.Add(1)
+	start := time.Now()
+	var rec RecordJSON
+	if err := json.NewDecoder(r.Body).Decode(&rec); err != nil {
+		s.httpError(w, http.StatusBadRequest, "decode record: %v", err)
+		return
+	}
+	st := s.state.Load()
+	recs, err := toRecords(st.artifact.Schema, []RecordJSON{rec})
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	verdicts := s.score(recs)
+	s.m.records.Add(1)
+	s.m.latency.observe(time.Since(start))
+	writeJSON(w, struct {
+		ModelVersion string      `json:"model_version"`
+		Verdict      VerdictJSON `json:"verdict"`
+	}{st.artifact.Version(), toVerdictsJSON(st.artifact.Schema, verdicts)[0]})
+}
+
+func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.acceptScoring(w, r) {
+		return
+	}
+	s.m.batchRequests.Add(1)
+	start := time.Now()
+	var req detectBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(req.Records) == 0 {
+		s.httpError(w, http.StatusBadRequest, "empty records")
+		return
+	}
+	st := s.state.Load()
+	recs, err := toRecords(st.artifact.Schema, req.Records)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	verdicts := s.score(recs)
+	s.m.records.Add(int64(len(recs)))
+	s.m.latency.observe(time.Since(start))
+	writeJSON(w, detectBatchResponse{
+		ModelVersion: st.artifact.Version(),
+		Verdicts:     toVerdictsJSON(st.artifact.Schema, verdicts),
+	})
+}
+
+// ModelInfo describes the loaded model for /v1/model.
+type ModelInfo struct {
+	Model      string   `json:"model"`
+	Version    string   `json:"version"`
+	Features   int      `json:"features"`
+	Classes    int      `json:"classes"`
+	ClassNames []string `json:"class_names"`
+	Replicas   int      `json:"replicas"`
+	MaxBatch   int      `json:"max_batch"`
+	MaxWaitMS  float64  `json:"max_wait_ms"`
+	LoadedAt   string   `json:"loaded_at"`
+}
+
+// Info returns the current model's description.
+func (s *Server) Info() ModelInfo {
+	st := s.state.Load()
+	return ModelInfo{
+		Model:      st.artifact.ModelName,
+		Version:    st.artifact.Version(),
+		Features:   st.artifact.Features(),
+		Classes:    st.artifact.Classes(),
+		ClassNames: st.artifact.Schema.ClassNames,
+		Replicas:   s.cfg.Replicas,
+		MaxBatch:   s.cfg.MaxBatch,
+		MaxWaitMS:  float64(s.cfg.MaxWait) / float64(time.Millisecond),
+		LoadedAt:   st.loadedAt.UTC().Format(time.RFC3339),
+	}
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Info())
+}
+
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req reloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Path == "" {
+		s.httpError(w, http.StatusBadRequest, "body must be {\"path\": \"artifact file\"}")
+		return
+	}
+	a, err := LoadArtifactFile(req.Path)
+	if err != nil {
+		s.httpError(w, http.StatusUnprocessableEntity, "load artifact: %v", err)
+		return
+	}
+	if err := s.Reload(a); err != nil {
+		s.httpError(w, http.StatusConflict, "reload: %v", err)
+		return
+	}
+	writeJSON(w, s.Info())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.state.Load()
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Status  string `json:"status"`
+		Model   string `json:"model"`
+		Version string `json:"version"`
+	}{status, st.artifact.ModelName, st.artifact.Version()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.state.Load()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.m.writeProm(w, s.b.queueLen(), st.artifact.ModelName, st.artifact.Version())
+}

@@ -1,0 +1,429 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nids"
+	"repro/internal/nn"
+	"repro/internal/synth"
+)
+
+// newTestServer wraps a Server in an httptest.Server with the documented
+// shutdown order registered as cleanup.
+func newTestServer(t *testing.T, a *Artifact, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close() // waits for in-flight handlers
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}
+
+func recordsJSON(recs []*data.Record) []RecordJSON {
+	out := make([]RecordJSON, len(recs))
+	for i, r := range recs {
+		out[i] = RecordJSON{Numeric: r.Numeric, Categorical: r.Categorical}
+	}
+	return out
+}
+
+// TestServerMatchesInProcessDetector pins the acceptance criterion: the
+// served verdicts equal in-process ModelDetector.DetectBatch on the same
+// records.
+func TestServerMatchesInProcessDetector(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, orig, recs := trainTestArtifact(t, "mlp", 11, 2)
+	_, ts := newTestServer(t, a, Config{Replicas: 2, MaxBatch: 8, MaxWait: time.Millisecond})
+
+	want := make([]nids.Verdict, len(recs))
+	orig.DetectBatch(recs, want)
+
+	resp, body := postJSON(t, ts.URL+"/v1/detect-batch", detectBatchRequest{Records: recordsJSON(recs)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var br detectBatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Verdicts) != len(recs) {
+		t.Fatalf("%d verdicts for %d records", len(br.Verdicts), len(recs))
+	}
+	for i, v := range br.Verdicts {
+		if v.Class != want[i].Class || v.IsAttack != want[i].IsAttack {
+			t.Fatalf("record %d: served verdict {class=%d attack=%v}, in-process {class=%d attack=%v}",
+				i, v.Class, v.IsAttack, want[i].Class, want[i].IsAttack)
+		}
+	}
+}
+
+// TestConcurrentClientsPreservePairing hammers the dynamic batcher with
+// many concurrent clients sending overlapping subsets of a known record
+// pool and verifies every response pairs each record with its own
+// precomputed verdict — under -race in CI, this also proves the batcher's
+// memory discipline.
+func TestConcurrentClientsPreservePairing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, orig, recs := trainTestArtifact(t, "mlp", 13, 2)
+	_, ts := newTestServer(t, a, Config{Replicas: 3, MaxBatch: 16, MaxWait: 500 * time.Microsecond, QueueDepth: 64})
+
+	want := make([]nids.Verdict, len(recs))
+	orig.DetectBatch(recs, want)
+
+	const clients = 8
+	const requestsPerClient = 20
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for q := 0; q < requestsPerClient; q++ {
+				// Random subset with random size: batch boundaries land
+				// everywhere, including splitting a request across batches.
+				n := 1 + rng.Intn(12)
+				idx := make([]int, n)
+				sub := make([]*data.Record, n)
+				for i := range idx {
+					idx[i] = rng.Intn(len(recs))
+					sub[i] = recs[idx[i]]
+				}
+				b, _ := json.Marshal(detectBatchRequest{Records: recordsJSON(sub)})
+				resp, err := http.Post(ts.URL+"/v1/detect-batch", "application/json", bytes.NewReader(b))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var br detectBatchResponse
+				err = json.NewDecoder(resp.Body).Decode(&br)
+				resp.Body.Close()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(br.Verdicts) != n {
+					errCh <- fmt.Errorf("client %d: %d verdicts for %d records", c, len(br.Verdicts), n)
+					return
+				}
+				for i, v := range br.Verdicts {
+					w := want[idx[i]]
+					if v.Class != w.Class || v.IsAttack != w.IsAttack {
+						errCh <- fmt.Errorf("client %d: record %d misrouted: got class %d, want %d", c, idx[i], v.Class, w.Class)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestHotReloadNeverDropsRequests fires continuous traffic while the model
+// is hot-reloaded back and forth between two generations. Every response
+// must be complete and every verdict must match one of the two
+// generations' precomputed verdicts for that exact record — no drops, no
+// misroutes, no torn models.
+func TestHotReloadNeverDropsRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	a1, orig1, recs := trainTestArtifact(t, "mlp", 17, 2)
+	a2, orig2, _ := trainTestArtifact(t, "mlp", 23, 3)
+
+	want1 := make([]nids.Verdict, len(recs))
+	want2 := make([]nids.Verdict, len(recs))
+	orig1.DetectBatch(recs, want1)
+	orig2.DetectBatch(recs, want2)
+
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "gen1.plcn")
+	p2 := filepath.Join(dir, "gen2.plcn")
+	if err := SaveArtifactFile(p1, a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveArtifactFile(p2, a2); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, ts := newTestServer(t, a1, Config{Replicas: 2, MaxBatch: 8, MaxWait: 500 * time.Microsecond})
+
+	stop := make(chan struct{})
+	var clientWG sync.WaitGroup
+	errCh := make(chan error, 4)
+	for c := 0; c < 4; c++ {
+		clientWG.Add(1)
+		go func(c int) {
+			defer clientWG.Done()
+			rng := rand.New(rand.NewSource(int64(100 + c)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := 1 + rng.Intn(8)
+				idx := make([]int, n)
+				sub := make([]*data.Record, n)
+				for i := range idx {
+					idx[i] = rng.Intn(len(recs))
+					sub[i] = recs[idx[i]]
+				}
+				b, _ := json.Marshal(detectBatchRequest{Records: recordsJSON(sub)})
+				resp, err := http.Post(ts.URL+"/v1/detect-batch", "application/json", bytes.NewReader(b))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var br detectBatchResponse
+				err = json.NewDecoder(resp.Body).Decode(&br)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("client %d: status %d err %v", c, resp.StatusCode, err)
+					return
+				}
+				if len(br.Verdicts) != n {
+					errCh <- fmt.Errorf("client %d: dropped verdicts: %d of %d", c, len(br.Verdicts), n)
+					return
+				}
+				for i, v := range br.Verdicts {
+					w1, w2 := want1[idx[i]], want2[idx[i]]
+					if (v.Class != w1.Class || v.IsAttack != w1.IsAttack) &&
+						(v.Class != w2.Class || v.IsAttack != w2.IsAttack) {
+						errCh <- fmt.Errorf("client %d: record %d verdict class %d matches neither generation (%d / %d)",
+							c, idx[i], v.Class, w1.Class, w2.Class)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+
+	// Flip between the two generations via the admin endpoint while the
+	// clients hammer away.
+	for flip := 0; flip < 10; flip++ {
+		path := p2
+		if flip%2 == 1 {
+			path = p1
+		}
+		resp, body := postJSON(t, ts.URL+"/v1/reload", reloadRequest{Path: path})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reload %d: status %d: %s", flip, resp.StatusCode, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	clientWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got := srv.Info().Version; got != a1.Version() && got != a2.Version() {
+		t.Fatalf("final version %s is neither generation", got)
+	}
+}
+
+func TestServerRejectsMalformedRecords(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, _, recs := trainTestArtifact(t, "mlp", 29, 1)
+	_, ts := newTestServer(t, a, Config{})
+
+	// Wrong numeric arity.
+	bad := RecordJSON{Numeric: []float64{1, 2}, Categorical: recs[0].Categorical}
+	resp, _ := postJSON(t, ts.URL+"/v1/detect-batch", detectBatchRequest{Records: []RecordJSON{bad}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-arity record: status %d, want 400", resp.StatusCode)
+	}
+	// Empty batch.
+	resp, _ = postJSON(t, ts.URL+"/v1/detect-batch", detectBatchRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	// Garbage body.
+	r, err := http.Post(ts.URL+"/v1/detect", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: status %d, want 400", r.StatusCode)
+	}
+	// Unknown categorical values must not error — get_dummies semantics
+	// encode them as all-zeros.
+	odd := RecordJSON{Numeric: recs[0].Numeric, Categorical: make([]string, len(recs[0].Categorical))}
+	for i := range odd.Categorical {
+		odd.Categorical[i] = "never-seen-in-training"
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/detect", odd)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unseen categorical: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestReloadRejectsShapeChange pins the reload guard: an artifact whose
+// feature shape differs from the running model's must be rejected (409),
+// because in-flight records validated under the old shape could be
+// mis-encoded — or panic the worker — under the new one.
+func TestReloadRejectsShapeChange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	a, _, _ := trainTestArtifact(t, "mlp", 41, 1)
+	srv, ts := newTestServer(t, a, Config{})
+	before := srv.Info().Version
+
+	// Build a valid artifact over the other dataset's schema (different
+	// numeric/categorical feature counts).
+	gen, err := synth.New(synth.UNSWNB15Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.Generate(300, 1)
+	x, y, pipe := data.Preprocess(ds)
+	features := gen.Schema().EncodedWidth()
+	rng := rand.New(rand.NewSource(1))
+	stack := models.BuildMLP(rng, rand.New(rand.NewSource(2)), features, gen.Schema().NumClasses())
+	net := nn.NewNetwork(stack, nn.NewSoftmaxCrossEntropy(), nn.NewRMSprop(0.01))
+	net.Fit(x.Reshape(x.Dim(0), 1, x.Dim(1)), y, nn.FitConfig{Epochs: 1, BatchSize: 128})
+	other, err := NewArtifact("mlp", models.PaperBlockConfig(features), gen.Schema(), pipe, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "other.plcn")
+	if err := SaveArtifactFile(path, other); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/reload", reloadRequest{Path: path})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("shape-changing reload: status %d, want 409: %s", resp.StatusCode, body)
+	}
+	if srv.Info().Version != before {
+		t.Fatal("rejected reload disturbed the serving model")
+	}
+}
+
+func TestServerReloadRejectsBadArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, _, _ := trainTestArtifact(t, "mlp", 31, 1)
+	srv, ts := newTestServer(t, a, Config{})
+	before := srv.Info().Version
+
+	junk := filepath.Join(t.TempDir(), "junk.plcn")
+	if err := os.WriteFile(junk, []byte("not an artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/reload", reloadRequest{Path: junk})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("junk reload: status %d, want 422", resp.StatusCode)
+	}
+	if srv.Info().Version != before {
+		t.Fatal("failed reload disturbed the serving model")
+	}
+}
+
+func TestHealthModelAndMetricsEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, _, recs := trainTestArtifact(t, "mlp", 37, 1)
+	srv, ts := newTestServer(t, a, Config{Replicas: 2, MaxBatch: 4})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	var info ModelInfo
+	resp, err = http.Get(ts.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Model != "mlp" || info.Version != a.Version() || info.Features != a.Features() {
+		t.Fatalf("model info mismatch: %+v", info)
+	}
+
+	// Score something so the counters move.
+	postJSON(t, ts.URL+"/v1/detect-batch", detectBatchRequest{Records: recordsJSON(recs[:8])})
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	prom := buf.String()
+	for _, w := range []string{
+		"pelican_serve_records_total 8",
+		"pelican_serve_batches_total",
+		"pelican_serve_request_seconds_count 1",
+		`pelican_serve_model_info{model="mlp"`,
+	} {
+		if !strings.Contains(prom, w) {
+			t.Fatalf("metrics output missing %q:\n%s", w, prom)
+		}
+	}
+
+	// Drain: scoring 503s, health reports draining.
+	srv.BeginDrain()
+	resp, _ = postJSON(t, ts.URL+"/v1/detect-batch", detectBatchRequest{Records: recordsJSON(recs[:1])})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server answered scoring with %d, want 503", resp.StatusCode)
+	}
+}
