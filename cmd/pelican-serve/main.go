@@ -45,6 +45,7 @@ func run(args []string, out io.Writer) error {
 		maxBatch = fs.Int("max-batch", 32, "dynamic batcher flush size")
 		maxWait  = fs.Duration("max-wait", 2*time.Millisecond, "dynamic batcher flush deadline")
 		queue    = fs.Int("queue", 1024, "batcher queue depth (requests block when full)")
+		maxBody  = fs.Int64("max-body", 4<<20, "request body size cap in bytes (413 beyond)")
 
 		loadgen     = fs.Bool("loadgen", false, "run as load generator instead of server")
 		target      = fs.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
@@ -68,6 +69,7 @@ func run(args []string, out io.Writer) error {
 	}
 	return runServer(out, *model, *addr, serve.Config{
 		Replicas: *replicas, MaxBatch: *maxBatch, MaxWait: *maxWait, QueueDepth: *queue,
+		MaxBodyBytes: *maxBody,
 	})
 }
 

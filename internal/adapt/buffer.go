@@ -1,0 +1,76 @@
+package adapt
+
+import (
+	"sync"
+
+	"repro/internal/data"
+)
+
+// FlowBuffer is a fixed-capacity sliding window over the most recent
+// labeled flows a pipeline has scored — the retraining corpus. When full,
+// new flows evict the oldest, so the buffer always reflects current
+// traffic. Safe for concurrent use.
+type FlowBuffer struct {
+	mu     sync.Mutex
+	recs   []data.Record
+	labels []int
+	head   int
+	n      int
+	seen   int64
+}
+
+// NewFlowBuffer builds a buffer holding at most capacity flows.
+func NewFlowBuffer(capacity int) *FlowBuffer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &FlowBuffer{
+		recs:   make([]data.Record, capacity),
+		labels: make([]int, capacity),
+	}
+}
+
+// Add appends one labeled flow record, evicting the oldest when full. The
+// record's slices are referenced, not copied — callers must hand over
+// per-flow storage (flow.Source allocates fresh records per flow).
+func (b *FlowBuffer) Add(rec data.Record, label int) {
+	b.mu.Lock()
+	b.recs[b.head] = rec
+	b.labels[b.head] = label
+	b.head = (b.head + 1) % len(b.recs)
+	if b.n < len(b.recs) {
+		b.n++
+	}
+	b.seen++
+	b.mu.Unlock()
+}
+
+// Len returns how many flows are currently buffered.
+func (b *FlowBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// Seen returns how many flows have ever been added.
+func (b *FlowBuffer) Seen() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seen
+}
+
+// Snapshot copies the buffered flows out in arrival order (oldest first),
+// so retraining works on a stable view while the pipeline keeps writing.
+func (b *FlowBuffer) Snapshot() ([]data.Record, []int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	recs := make([]data.Record, b.n)
+	labels := make([]int, b.n)
+	start := (b.head - b.n + len(b.recs)) % len(b.recs)
+	for i := 0; i < b.n; i++ {
+		j := (start + i) % len(b.recs)
+		recs[i] = b.recs[j]
+		labels[i] = b.labels[j]
+	}
+	return recs, labels
+}

@@ -1,0 +1,441 @@
+package adapt
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/flow"
+	"repro/internal/nids"
+	"repro/internal/nn"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+// Publisher ships a retrained artifact into serving. Publish receives the
+// artifact and the path of its saved .plcn file; implementations reload it
+// into a scoring server (in-process or over HTTP).
+type Publisher interface {
+	Publish(path string, a *serve.Artifact) error
+}
+
+// ServerPublisher hot-reloads retrained artifacts into an in-process
+// scoring server.
+type ServerPublisher struct{ Srv *serve.Server }
+
+// Publish implements Publisher.
+func (p ServerPublisher) Publish(_ string, a *serve.Artifact) error { return p.Srv.Reload(a) }
+
+// HTTPPublisher hot-reloads retrained artifacts into a remote pelican-serve
+// via POST /v1/reload. The artifact path must be readable by the server
+// (same host or shared filesystem).
+type HTTPPublisher struct{ Client *serve.Client }
+
+// Publish implements Publisher.
+func (p HTTPPublisher) Publish(path string, _ *serve.Artifact) error {
+	_, err := p.Client.Reload(path)
+	return err
+}
+
+// Config tunes the adaptation loop.
+type Config struct {
+	// Monitor is the base configuration for the drift signals
+	// (normal-score, attack-score, alert-rate, feature-mean); zero-valued
+	// fields get MonitorConfig defaults. The attack-score monitor runs
+	// half windows and a 1.5x threshold (attack verdicts are a minority of
+	// flows, and campaigns sway their class mixture); the alert-rate
+	// monitor runs a doubled threshold (campaigns legitimately swing it).
+	Monitor MonitorConfig
+	// BufferCap bounds the sliding retraining buffer. Default 4096.
+	BufferCap int
+	// MinRetrain is the fewest buffered flows worth retraining on; a trip
+	// with less data is skipped (the monitor's cooldown schedules a later
+	// retry). Default 256.
+	MinRetrain int
+	// RetrainEpochs is how many warm-start epochs each retrain runs over
+	// the buffer. Default 3.
+	RetrainEpochs int
+	// BatchSize is the retraining minibatch size. Default 128.
+	BatchSize int
+	// LR is the warm-start learning rate — deliberately below a cold
+	// start's, since retraining refines deployed weights. Default 0.003.
+	LR float64
+	// BalanceOff disables the default sqrt-oversampling of minority
+	// classes in the retraining set (the compensation for the heavy
+	// normal-traffic skew of a live buffer).
+	BalanceOff bool
+	// UseVerdictLabels trains on the detector's own predicted classes
+	// (pseudo-labels) instead of ground-truth flow labels — the
+	// self-training fallback for deployments without a labeling oracle.
+	// Risky under heavy drift (the mislabeled flows are exactly the
+	// drifted ones); off by default.
+	UseVerdictLabels bool
+	// ArtifactDir is where retrained artifacts are written, one
+	// content-addressed file per generation. Default os.TempDir().
+	ArtifactDir string
+	// Publisher ships each retrained artifact; nil means save-only.
+	Publisher Publisher
+	// OnEvent, when non-nil, observes every adaptation attempt (from the
+	// Run goroutine).
+	OnEvent func(Event)
+	// Seed drives retraining shuffles and balancing draws. Default 1.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufferCap <= 0 {
+		c.BufferCap = 4096
+	}
+	if c.MinRetrain <= 0 {
+		c.MinRetrain = 256
+	}
+	if c.RetrainEpochs <= 0 {
+		c.RetrainEpochs = 3
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 128
+	}
+	if c.LR <= 0 {
+		c.LR = 0.003
+	}
+	if c.ArtifactDir == "" {
+		c.ArtifactDir = os.TempDir()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Trigger identifies which drift signal tripped and how hard.
+type Trigger struct {
+	// Signal is "normal-score", "attack-score", "alert-rate", or
+	// "feature-mean".
+	Signal string
+	// Z is the drift statistic at the trip.
+	Z float64
+}
+
+// Event is one adaptation attempt: a monitor trip and what came of it.
+type Event struct {
+	Trigger  Trigger
+	Buffered int
+	// Skipped is set when the trip was not acted on (too few buffered
+	// flows); Err carries failures of acted-on attempts.
+	Skipped bool
+	Err     error
+	// TrainFlows/TrainLoss/Duration describe the retraining run.
+	TrainFlows int
+	TrainLoss  float64
+	Duration   time.Duration
+	// Version/Path identify the published artifact.
+	Version string
+	Path    string
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	switch {
+	case e.Skipped:
+		return fmt.Sprintf("adapt: drift on %s (z=%.1f) skipped: only %d flows buffered",
+			e.Trigger.Signal, e.Trigger.Z, e.Buffered)
+	case e.Err != nil:
+		return fmt.Sprintf("adapt: drift on %s (z=%.1f) failed: %v", e.Trigger.Signal, e.Trigger.Z, e.Err)
+	default:
+		return fmt.Sprintf("adapt: drift on %s (z=%.1f) -> retrained on %d flows (loss %.4f) -> published %s in %s",
+			e.Trigger.Signal, e.Trigger.Z, e.TrainFlows, e.TrainLoss, e.Version, e.Duration.Round(time.Millisecond))
+	}
+}
+
+// Loop is the closed adaptation loop. Wire Observe as the pipeline's
+// feedback tap (nids.Config.Tap) and run Run in its own goroutine; when
+// drift trips, Run warm-start retrains the artifact's network on the
+// buffered flows, saves a new artifact, publishes it, and re-baselines the
+// monitors on the new model's output distribution.
+type Loop struct {
+	cfg Config
+
+	// Four drift signals. The score monitors are conditioned on the
+	// verdict: a campaign changes how many flows land on each side of the
+	// verdict but barely moves either side's score distribution, so the
+	// conditioned streams stay quiet under bursty-but-stationary traffic
+	// while a model-vs-traffic mismatch (new attack variants scored with
+	// unfamiliar logits) shifts them hard and persistently. The alert-rate
+	// monitor is the mixture signal campaigns do swing, so it runs at a
+	// doubled threshold as a backstop for catastrophic shifts (e.g. the
+	// whole background distribution moving).
+	normalScoreMon *Monitor
+	attackScoreMon *Monitor
+	alertMon       *Monitor
+	featMon        *Monitor
+	buf            *FlowBuffer
+
+	// Retraining lineage. net/pipe/rng are touched only by Run's
+	// goroutine; art is read from anywhere (reports, publishers), so it
+	// swaps atomically and readers never wait out a retrain.
+	art  atomic.Pointer[serve.Artifact]
+	net  *nn.Network
+	pipe *data.Pipeline
+	rng  *rand.Rand
+
+	trips    chan Trigger
+	retrains atomic.Int64
+}
+
+// NewLoop builds an adaptation loop seeded with the currently deployed
+// artifact: retraining warm-starts from its weights, and every published
+// generation becomes the warm-start base for the next.
+func NewLoop(a *serve.Artifact, cfg Config) (*Loop, error) {
+	cfg = cfg.withDefaults()
+	opt := nn.NewRMSprop(cfg.LR)
+	opt.MaxNorm = 5
+	net, pipe, err := a.NewNetwork(nn.NewSoftmaxCrossEntropy(), opt)
+	if err != nil {
+		return nil, fmt.Errorf("adapt: reconstruct %s for warm start: %w", a.ModelName, err)
+	}
+	mc := cfg.Monitor.withDefaults()
+	// Attack verdicts are a minority of traffic, so that monitor runs half
+	// windows to keep its fill time comparable — but campaigns concentrate
+	// a single attack class, which legitimately sways the attack-score
+	// mixture, so it also runs a raised threshold.
+	attackMC := mc
+	attackMC.RefWindow = max(mc.RefWindow/2, 64)
+	attackMC.Window = max(mc.Window/2, 64)
+	attackMC.Threshold = mc.Threshold * 1.5
+	alertMC := mc
+	alertMC.Threshold = mc.Threshold * 2
+	l := &Loop{
+		cfg:            cfg,
+		normalScoreMon: NewMonitor(mc),
+		attackScoreMon: NewMonitor(attackMC),
+		alertMon:       NewMonitor(alertMC),
+		featMon:        NewMonitor(mc),
+		buf:            NewFlowBuffer(cfg.BufferCap),
+		net:            net,
+		pipe:           pipe,
+		rng:            rand.New(rand.NewSource(cfg.Seed)),
+		trips:          make(chan Trigger, 1),
+	}
+	l.art.Store(a)
+	return l, nil
+}
+
+// Observe is the pipeline feedback tap: it buffers the labeled flow,
+// updates the drift monitors, and wakes the Run goroutine on a trip. It is
+// safe for concurrent use and cheap enough for the scoring hot path. The
+// *flow.Flow is not retained; its Record (per-flow storage) is.
+func (l *Loop) Observe(f *flow.Flow, v nids.Verdict) {
+	if v.Failed {
+		// The detector could not score this flow; there is nothing here
+		// about the model-vs-traffic fit, and letting the zero verdict
+		// into the monitors would read a scorer outage as drift.
+		return
+	}
+	label := f.TrueClass
+	if l.cfg.UseVerdictLabels {
+		if v.Class < 0 {
+			return // class-blind detector: nothing to train on
+		}
+		label = v.Class
+	}
+	l.buf.Add(f.Record, label)
+
+	isAttack := 0.0
+	if v.IsAttack {
+		isAttack = 1
+	}
+	feat := 0.0
+	if len(f.Record.Numeric) > 0 {
+		for _, x := range f.Record.Numeric {
+			feat += x
+		}
+		feat /= float64(len(f.Record.Numeric))
+	}
+
+	if v.IsAttack {
+		if z, tripped := l.attackScoreMon.Observe(v.Score); tripped {
+			l.trip(Trigger{Signal: "attack-score", Z: z})
+		}
+	} else {
+		if z, tripped := l.normalScoreMon.Observe(v.Score); tripped {
+			l.trip(Trigger{Signal: "normal-score", Z: z})
+		}
+	}
+	if z, tripped := l.alertMon.Observe(isAttack); tripped {
+		l.trip(Trigger{Signal: "alert-rate", Z: z})
+	}
+	if z, tripped := l.featMon.Observe(feat); tripped {
+		l.trip(Trigger{Signal: "feature-mean", Z: z})
+	}
+}
+
+// trip wakes Run without ever blocking the scoring path: if a retrain is
+// already pending, the extra trigger is dropped (the pending retrain will
+// see the same buffered flows).
+func (l *Loop) trip(t Trigger) {
+	select {
+	case l.trips <- t:
+	default:
+	}
+}
+
+// Run executes adaptation attempts until ctx is cancelled. It owns the
+// retraining network; call it from exactly one goroutine.
+func (l *Loop) Run(ctx context.Context) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case trig := <-l.trips:
+			ev := l.adapt(trig)
+			if l.cfg.OnEvent != nil {
+				l.cfg.OnEvent(ev)
+			}
+		}
+	}
+}
+
+// adapt services one monitor trip: warm-start retrain, save, publish,
+// re-baseline.
+func (l *Loop) adapt(trig Trigger) Event {
+	ev := Event{Trigger: trig, Buffered: l.buf.Len()}
+	if ev.Buffered < l.cfg.MinRetrain {
+		// Not enough evidence to retrain on; the monitor cooldown will
+		// re-trip later if the drift persists.
+		ev.Skipped = true
+		return ev
+	}
+	start := time.Now()
+
+	recs, labels := l.buf.Snapshot()
+	art := l.art.Load()
+	idx := allIndices(len(recs))
+	if !l.cfg.BalanceOff {
+		idx = balancedIndices(l.rng, labels, art.Classes())
+	}
+	f := l.pipe.Width()
+	x := tensor.New(len(idx), f)
+	y := make([]int, len(idx))
+	for i, j := range idx {
+		l.pipe.ApplyInto(&recs[j], x.Row(i))
+		y[i] = labels[j]
+	}
+
+	stats := l.net.PartialFit(x.Reshape(len(idx), 1, f), y, nn.FitConfig{
+		Epochs: l.cfg.RetrainEpochs, BatchSize: l.cfg.BatchSize,
+		Shuffle: true, RNG: l.rng,
+	})
+	ev.TrainFlows = len(idx)
+	ev.TrainLoss = stats[len(stats)-1].TrainLoss
+
+	next, err := serve.NewArtifact(art.ModelName, art.Block, art.Schema, l.pipe, l.net)
+	if err != nil {
+		ev.Err = fmt.Errorf("capture artifact: %w", err)
+		return ev
+	}
+	path := filepath.Join(l.cfg.ArtifactDir, fmt.Sprintf("%s-%s.plcn", next.ModelName, next.Version()))
+	if err := serve.SaveArtifactFile(path, next); err != nil {
+		ev.Err = fmt.Errorf("save artifact: %w", err)
+		return ev
+	}
+	if l.cfg.Publisher != nil {
+		if err := l.cfg.Publisher.Publish(path, next); err != nil {
+			// Publication failed: keep the old monitors' reference so a
+			// persisting drift re-trips after cooldown and retries.
+			ev.Err = fmt.Errorf("publish artifact: %w", err)
+			return ev
+		}
+	}
+	l.art.Store(next)
+	l.retrains.Add(1)
+	// The retrained model's outputs are the new normal: re-baseline every
+	// monitor on post-publish traffic.
+	l.normalScoreMon.Reset()
+	l.attackScoreMon.Reset()
+	l.alertMon.Reset()
+	l.featMon.Reset()
+
+	ev.Version = next.Version()
+	ev.Path = path
+	ev.Duration = time.Since(start)
+	return ev
+}
+
+// Artifact returns the most recently published generation (the seed
+// artifact before any retrain).
+func (l *Loop) Artifact() *serve.Artifact { return l.art.Load() }
+
+// Version returns the current generation's content-addressed version.
+func (l *Loop) Version() string { return l.Artifact().Version() }
+
+// Retrains returns how many generations have been published.
+func (l *Loop) Retrains() int64 { return l.retrains.Load() }
+
+// Buffer exposes the sliding flow buffer (for reporting).
+func (l *Loop) Buffer() *FlowBuffer { return l.buf }
+
+// Stat returns the maximum-magnitude current drift statistic across the
+// monitored signals and that signal's name.
+func (l *Loop) Stat() (signal string, z float64) {
+	signal, z = "normal-score", l.normalScoreMon.Stat()
+	for _, s := range []struct {
+		name string
+		m    *Monitor
+	}{
+		{"attack-score", l.attackScoreMon},
+		{"alert-rate", l.alertMon},
+		{"feature-mean", l.featMon},
+	} {
+		if v := s.m.Stat(); math.Abs(v) > math.Abs(z) {
+			signal, z = s.name, v
+		}
+	}
+	return signal, z
+}
+
+func allIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// balancedIndices sqrt-oversamples minority classes: each class present in
+// the buffer contributes round(sqrt(count * maxCount)) samples — the
+// geometric mean of its own count and the majority count — drawn with
+// replacement. Majority classes keep their natural weight, rare attack
+// classes get enough repetition for the gradient to see them, and absent
+// classes are never fabricated.
+func balancedIndices(rng *rand.Rand, labels []int, classes int) []int {
+	byClass := make([][]int, classes)
+	for i, c := range labels {
+		if c >= 0 && c < classes {
+			byClass[c] = append(byClass[c], i)
+		}
+	}
+	maxCount := 0
+	for _, members := range byClass {
+		if len(members) > maxCount {
+			maxCount = len(members)
+		}
+	}
+	var idx []int
+	for _, members := range byClass {
+		if len(members) == 0 {
+			continue
+		}
+		want := int(math.Round(math.Sqrt(float64(len(members)) * float64(maxCount))))
+		for k := 0; k < want; k++ {
+			idx = append(idx, members[rng.Intn(len(members))])
+		}
+	}
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	return idx
+}

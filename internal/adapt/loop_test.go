@@ -1,0 +1,293 @@
+package adapt
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/flow"
+	"repro/internal/models"
+	"repro/internal/nids"
+	"repro/internal/nn"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+// tinyCfg is a small NSL-KDD-shaped dataset so training stays fast.
+func tinyCfg() synth.Config {
+	cfg := synth.NSLKDDConfig()
+	cfg.Name = "nsl-tiny"
+	cfg.NumericName = cfg.NumericName[:10]
+	cfg.Cats = []synth.CatSpec{{Name: "proto", Card: 3}, {Name: "service", Card: 6}}
+	cfg.Classes = []synth.ClassSpec{
+		{Name: "normal", Weight: 0.6},
+		{Name: "dos", Weight: 0.25},
+		{Name: "probe", Weight: 0.15},
+	}
+	cfg.LatentDim = 6
+	cfg.QuadTerms = 4
+	return cfg
+}
+
+// trainTinyArtifact fits an MLP on the generator and packs the artifact.
+func trainTinyArtifact(t *testing.T, gen *synth.Generator, records, epochs int, seed int64) *serve.Artifact {
+	t.Helper()
+	ds := gen.Generate(records, seed)
+	x, y, pipe := data.Preprocess(ds)
+	features := gen.Schema().EncodedWidth()
+	classes := gen.Schema().NumClasses()
+	rng := rand.New(rand.NewSource(seed))
+	stack := models.BuildMLP(rng, rand.New(rand.NewSource(seed+1)), features, classes)
+	opt := nn.NewRMSprop(0.01)
+	opt.MaxNorm = 5
+	net := nn.NewNetwork(stack, nn.NewSoftmaxCrossEntropy(), opt)
+	net.Fit(x.Reshape(x.Dim(0), 1, features), y, nn.FitConfig{
+		Epochs: epochs, BatchSize: 128, Shuffle: true, RNG: rng,
+	})
+	a, err := serve.NewArtifact("mlp", models.PaperBlockConfig(features), gen.Schema(), pipe, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// runPhase streams n flows from src through a fresh pipeline wired to the
+// loop's tap and returns the phase's realized stats.
+func runPhase(t *testing.T, src *flow.Source, det nids.Detector, l *Loop, n int) nids.StatsSnapshot {
+	t.Helper()
+	p := nids.New(det, nids.Config{Workers: 2, MicroBatch: 8, Tap: l.Observe})
+	flows := make(chan flow.Flow, 32)
+	go func() {
+		defer close(flows)
+		for i := 0; i < n; i++ {
+			flows <- src.Next()
+		}
+	}()
+	if err := p.Run(context.Background(), flows, nil); err != nil {
+		t.Fatal(err)
+	}
+	return p.Stats()
+}
+
+// TestClosedLoopDriftRetrainHotReload is the end-to-end acceptance test:
+// an injected distribution shift degrades the served model's detection
+// rate, the drift monitor trips, the loop warm-start retrains on the
+// sliding buffer, publishes a new content-addressed artifact through
+// /v1/reload, and detection quality on the shifted traffic recovers — all
+// while the scoring server keeps answering.
+func TestClosedLoopDriftRetrainHotReload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and streams thousands of flows")
+	}
+	cfg := tinyCfg()
+	baseGen, err := synth.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The drifted domain: attack classes mutate into new variants while
+	// normal traffic keeps its distribution — the shift that lowers DR
+	// without torching FAR.
+	driftGen, err := synth.NewVariant(cfg, cfg.ProfileSeed+202, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	art := trainTinyArtifact(t, baseGen, 1500, 8, 21)
+
+	srv, err := serve.New(art, serve.Config{Replicas: 2, MaxBatch: 16, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	client := serve.NewClient(ts.URL)
+
+	var events []Event
+	var evMu sync.Mutex
+	loop, err := NewLoop(art, Config{
+		// Windows big enough to hold several campaign cycles, so bursty
+		// stationary traffic does not false-trip (threshold at default).
+		Monitor:       MonitorConfig{RefWindow: 1024, Window: 512},
+		BufferCap:     2048,
+		MinRetrain:    256,
+		RetrainEpochs: 3,
+		ArtifactDir:   t.TempDir(),
+		Publisher:     HTTPPublisher{Client: client},
+		OnEvent: func(e Event) {
+			evMu.Lock()
+			events = append(events, e)
+			evMu.Unlock()
+		},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		loop.Run(ctx)
+	}()
+
+	det := &serve.RemoteDetector{Client: client}
+	srcCfg := flow.SourceConfig{
+		AttackRate:        0.15,
+		EpisodeEvery:      200,
+		EpisodeLen:        40,
+		EpisodeAttackRate: 0.8,
+		Seed:              9,
+	}
+	src, err := flow.NewSource(baseGen, srcCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase A: stationary traffic on the training distribution.
+	baseline := runPhase(t, src, det, loop, 2800)
+	if baseline.DR() < 0.5 {
+		t.Fatalf("baseline DR %.2f too weak for the drift comparison to mean anything", baseline.DR())
+	}
+	if sig, z := loop.Stat(); loop.Retrains() != 0 {
+		t.Fatalf("loop retrained on stationary traffic (stat %s z=%.1f)", sig, z)
+	}
+
+	// Inject the distribution shift and stream until the loop publishes.
+	if err := src.SetGenerator(driftGen); err != nil {
+		t.Fatal(err)
+	}
+	var drifted nids.StatsSnapshot
+	deadline := time.Now().Add(2 * time.Minute)
+	for loop.Retrains() == 0 {
+		if time.Now().After(deadline) {
+			sig, z := loop.Stat()
+			t.Fatalf("loop never retrained under drift (max stat %s z=%.1f, events %v)", sig, z, events)
+		}
+		st := runPhase(t, src, det, loop, 512)
+		drifted.TruePos += st.TruePos
+		drifted.Missed += st.Missed
+		drifted.FalseAlarms += st.FalseAlarms
+		drifted.TrueNeg += st.TrueNeg
+		drifted.Processed += st.Processed
+	}
+	t.Logf("baseline DR=%.3f FAR=%.3f; drifted DR=%.3f FAR=%.3f over %d flows",
+		baseline.DR(), baseline.FAR(), drifted.DR(), drifted.FAR(), drifted.Processed)
+	if drifted.DR() >= baseline.DR()-0.05 {
+		t.Fatalf("injected drift did not measurably drop DR: %.3f -> %.3f", baseline.DR(), drifted.DR())
+	}
+
+	// The published generation must actually be served now.
+	info, err := client.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version == art.Version() {
+		t.Fatalf("server still serves the original version %s after publish", info.Version)
+	}
+	if info.Version != loop.Version() {
+		t.Fatalf("served version %s != loop's current generation %s", info.Version, loop.Version())
+	}
+	evMu.Lock()
+	published := 0
+	for _, e := range events {
+		if e.Err != nil {
+			t.Fatalf("adaptation event failed: %v", e)
+		}
+		if !e.Skipped {
+			published++
+			if e.Version == "" || e.TrainFlows < 256 {
+				t.Fatalf("published event incomplete: %+v", e)
+			}
+		}
+	}
+	evMu.Unlock()
+	if published == 0 {
+		t.Fatal("no published adaptation event recorded")
+	}
+
+	// Phase C: the retrained generation must recover detection quality on
+	// the drifted distribution. Give the monitors their re-baselining
+	// traffic and measure over a fresh window.
+	recovered := runPhase(t, src, det, loop, 1500)
+	t.Logf("recovered DR=%.3f FAR=%.3f (version %s)", recovered.DR(), recovered.FAR(), info.Version)
+	if recovered.DR() < drifted.DR() {
+		t.Fatalf("retraining did not improve DR on drifted traffic: %.3f -> %.3f", drifted.DR(), recovered.DR())
+	}
+	if recovered.DR() < baseline.DR()-0.15 {
+		t.Fatalf("recovered DR %.3f far below baseline %.3f", recovered.DR(), baseline.DR())
+	}
+	if det.Errors() != 0 {
+		t.Fatalf("remote detector saw %d request errors during the loop", det.Errors())
+	}
+
+	cancel()
+	<-loopDone
+}
+
+// TestLoopSkipsWithThinBuffer pins the MinRetrain guard: a trip with too
+// few buffered flows is reported as skipped, keeps the current generation,
+// and publishes nothing.
+func TestLoopSkipsWithThinBuffer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	gen, err := synth.New(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := trainTinyArtifact(t, gen, 400, 2, 31)
+	var events []Event
+	loop, err := NewLoop(art, Config{
+		MinRetrain:  1 << 30, // never enough
+		ArtifactDir: t.TempDir(),
+		OnEvent:     func(e Event) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := loop.adapt(Trigger{Signal: "score", Z: 42})
+	if !ev.Skipped {
+		t.Fatalf("thin-buffer adapt was not skipped: %+v", ev)
+	}
+	if loop.Retrains() != 0 || loop.Version() != art.Version() {
+		t.Fatal("skipped adapt changed the generation")
+	}
+	if ev.String() == "" {
+		t.Fatal("empty event string")
+	}
+}
+
+// TestLoopIgnoresFailedVerdicts pins that scorer outages feed neither the
+// retraining buffer nor the drift monitors.
+func TestLoopIgnoresFailedVerdicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	gen, err := synth.New(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := trainTinyArtifact(t, gen, 400, 2, 37)
+	loop, err := NewLoop(art, Config{ArtifactDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := flow.Flow{Record: gen.SampleClass(rand.New(rand.NewSource(1)), 0), TrueClass: 0}
+	for i := 0; i < 100; i++ {
+		loop.Observe(&f, nids.Verdict{Failed: true})
+	}
+	if n := loop.Buffer().Len(); n != 0 {
+		t.Fatalf("failed verdicts reached the retraining buffer: %d", n)
+	}
+	if sig, z := loop.Stat(); z != 0 {
+		t.Fatalf("failed verdicts moved the %s monitor to z=%.2f", sig, z)
+	}
+}

@@ -1,0 +1,205 @@
+// Package adapt closes the loop between a running detection pipeline and
+// the model it scores with: streaming drift monitors watch the score,
+// alert-rate, and feature distributions a pipeline's feedback tap emits;
+// when a monitored statistic drifts past threshold, the current model is
+// warm-start retrained on a sliding buffer of recent labeled flows and the
+// result is published as a new content-addressed artifact that hot-reloads
+// into the scoring server — turning "train once, serve forever" into a
+// self-healing deployment (the mitigation the paper's §VI "reason two"
+// calls for when a fixed notion of normal stops being representative).
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// DefaultThreshold is the |z| a monitor trips at unless configured
+// otherwise.
+const DefaultThreshold = 6
+
+// MonitorConfig tunes one streaming drift monitor.
+type MonitorConfig struct {
+	// RefWindow is how many observations are frozen as the reference
+	// distribution after construction or Reset. Default 512.
+	RefWindow int
+	// Window is the length of the sliding current window compared against
+	// the reference. Default 512.
+	Window int
+	// Threshold is the |z| statistic that trips the monitor. The statistic
+	// is a two-sample z-test on window means, so the threshold is in units
+	// of combined standard errors. Default 6. The z-test assumes i.i.d.
+	// observations; bursty signals (attack campaigns autocorrelate, so a
+	// window is not an i.i.d. sample) run hotter than the ideal and need a
+	// raised threshold — or better, feed the monitor a conditioned stream
+	// whose mixture weights campaigns cannot move, as the adaptation Loop
+	// does by monitoring scores separately per verdict.
+	Threshold float64
+	// Cooldown is how many observations the monitor stays quiet after a
+	// trip before it may trip again, bounding the retrain rate when drift
+	// persists. Default Window.
+	Cooldown int
+}
+
+func (c MonitorConfig) withDefaults() MonitorConfig {
+	if c.RefWindow <= 0 {
+		c.RefWindow = 512
+	}
+	if c.Window <= 0 {
+		c.Window = 512
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = DefaultThreshold
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = c.Window
+	}
+	return c
+}
+
+// Monitor is a streaming drift detector over one scalar signal — the
+// promotion of the offline drift study (experiments.RunDriftStudy) into a
+// form a live pipeline can consume observation by observation. The first
+// RefWindow observations after construction or Reset are frozen as the
+// reference distribution; after that, a sliding window of the most recent
+// Window observations is compared against the reference with a two-sample
+// z-test on means, and the monitor trips when |z| exceeds Threshold.
+//
+// All methods are safe for concurrent use; Observe is cheap enough for a
+// scoring hot path (a ring-buffer update and a handful of floats).
+type Monitor struct {
+	cfg MonitorConfig
+
+	mu sync.Mutex
+	// Reference accumulation (Welford).
+	refN    int
+	refMean float64
+	refM2   float64
+	// Sliding current window.
+	ring       []float64
+	head, n    int
+	sum, sumsq float64
+	// Trip bookkeeping.
+	quiet int
+	trips int64
+}
+
+// NewMonitor builds a monitor; zero-valued config fields get defaults.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	cfg = cfg.withDefaults()
+	return &Monitor{cfg: cfg, ring: make([]float64, cfg.Window)}
+}
+
+// Observe feeds one value and reports the current drift statistic plus
+// whether this observation tripped the monitor. The statistic is 0 until
+// both the reference and the current window are full.
+func (m *Monitor) Observe(v float64) (z float64, tripped bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if m.refN < m.cfg.RefWindow {
+		// Still collecting the reference distribution.
+		m.refN++
+		d := v - m.refMean
+		m.refMean += d / float64(m.refN)
+		m.refM2 += d * (v - m.refMean)
+		return 0, false
+	}
+
+	// Slide the current window.
+	if m.n == len(m.ring) {
+		old := m.ring[m.head]
+		m.sum -= old
+		m.sumsq -= old * old
+	} else {
+		m.n++
+	}
+	m.ring[m.head] = v
+	m.sum += v
+	m.sumsq += v * v
+	m.head = (m.head + 1) % len(m.ring)
+
+	if m.n < len(m.ring) {
+		return 0, false
+	}
+	z = m.stat()
+	if m.quiet > 0 {
+		m.quiet--
+		return z, false
+	}
+	if math.Abs(z) > m.cfg.Threshold {
+		m.trips++
+		m.quiet = m.cfg.Cooldown
+		return z, true
+	}
+	return z, false
+}
+
+// stat computes the two-sample z statistic; callers hold m.mu.
+func (m *Monitor) stat() float64 {
+	refVar := 0.0
+	if m.refN > 1 {
+		refVar = m.refM2 / float64(m.refN-1)
+	}
+	curN := float64(m.n)
+	curMean := m.sum / curN
+	curVar := (m.sumsq - m.sum*m.sum/curN) / math.Max(curN-1, 1)
+	if curVar < 0 {
+		curVar = 0 // float cancellation on near-constant signals
+	}
+	denom := math.Sqrt(refVar/float64(m.refN) + curVar/curN)
+	if denom < 1e-12 {
+		denom = 1e-12
+	}
+	return (curMean - m.refMean) / denom
+}
+
+// Stat returns the current drift statistic (0 while windows are filling).
+func (m *Monitor) Stat() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.refN < m.cfg.RefWindow || m.n < len(m.ring) {
+		return 0
+	}
+	return m.stat()
+}
+
+// Ready reports whether both windows are full, i.e. the statistic is live.
+func (m *Monitor) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.refN >= m.cfg.RefWindow && m.n >= len(m.ring)
+}
+
+// Trips returns how many times the monitor has tripped since construction.
+func (m *Monitor) Trips() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.trips
+}
+
+// Reset discards the reference and current windows so the monitor
+// re-baselines on whatever it observes next — called after a retrained
+// model is published, because the new model's score distribution is the
+// new normal.
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.refN, m.refMean, m.refM2 = 0, 0, 0
+	m.head, m.n, m.sum, m.sumsq = 0, 0, 0, 0
+	m.quiet = 0
+}
+
+// String summarizes monitor state for logs.
+func (m *Monitor) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	state := "ready"
+	if m.refN < m.cfg.RefWindow {
+		state = "referencing"
+	} else if m.n < len(m.ring) {
+		state = "filling"
+	}
+	return fmt.Sprintf("monitor(%s ref=%d win=%d trips=%d)", state, m.refN, m.n, m.trips)
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -127,6 +128,13 @@ func TestRunDriftStudySmoke(t *testing.T) {
 		if total == 0 {
 			t.Fatalf("drift point %v evaluated nothing", pt.Mix)
 		}
+	}
+	// The streaming monitor's judgement must strengthen with drift: the
+	// fully drifted mix reads a (much) larger statistic than the null
+	// comparison at mix 0.
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if math.Abs(last.MonitorZ) <= math.Abs(first.MonitorZ) {
+		t.Fatalf("monitor z did not grow with drift: mix0 %.2f vs mix1 %.2f", first.MonitorZ, last.MonitorZ)
 	}
 	if out := FormatDrift(res); !strings.Contains(out, "DRIFT") {
 		t.Fatalf("bad formatting:\n%s", out)

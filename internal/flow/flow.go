@@ -98,23 +98,25 @@ func NewSource(gen *synth.Generator, cfg SourceConfig) (*Source, error) {
 // Next produces the next flow in the stream.
 func (s *Source) Next() Flow {
 	class := 0
-	switch {
-	case s.inEpisode > 0:
-		s.inEpisode--
-		if s.rng.Float64() < s.cfg.EpisodeAttackRate {
-			class = s.episodeClass
-		}
-	default:
+	if s.inEpisode == 0 {
 		s.sinceEpisode++
 		if s.rng.Float64() < 1.0/float64(s.cfg.EpisodeEvery) {
-			// Start a campaign with a random attack class.
+			// Start a campaign with a random attack class. The starting
+			// tick is itself part of the episode: the flow emitted below
+			// is drawn with the episode mix and consumes one episode slot,
+			// so campaigns have exactly their drawn length.
 			s.episodeClass = s.attackSet[s.rng.Intn(len(s.attackSet))]
 			s.inEpisode = 1 + s.rng.Intn(2*s.cfg.EpisodeLen)
 			s.sinceEpisode = 0
 		}
-		if class == 0 && s.rng.Float64() < s.cfg.AttackRate {
-			class = s.attackSet[s.rng.Intn(len(s.attackSet))]
+	}
+	if s.inEpisode > 0 {
+		s.inEpisode--
+		if s.rng.Float64() < s.cfg.EpisodeAttackRate {
+			class = s.episodeClass
 		}
+	} else if s.rng.Float64() < s.cfg.AttackRate {
+		class = s.attackSet[s.rng.Intn(len(s.attackSet))]
 	}
 	rec := s.gen.SampleClass(s.rng, class)
 	s.nextID++
@@ -130,6 +132,43 @@ func (s *Source) Next() Flow {
 		TrueClass: class,
 	}
 	return f
+}
+
+// SetGenerator swaps the class-conditional generator driving the stream —
+// an injected distribution shift (new attack variants, evolved background
+// traffic) while IDs, timestamps, and episode state continue seamlessly.
+// The replacement must have the same class count (campaign classes stay
+// valid) and the same feature shape (downstream encoders were fitted on
+// it; a shape change would mis-encode or panic far from the swap site).
+// Not safe to call concurrently with Next: callers driving Next from
+// their own producer loop may swap between calls.
+func (s *Source) SetGenerator(gen *synth.Generator) error {
+	old, next := s.gen.Schema(), gen.Schema()
+	if got, want := next.NumClasses(), old.NumClasses(); got != want {
+		return fmt.Errorf("flow: replacement generator has %d classes, stream has %d", got, want)
+	}
+	if next.NumNumeric() != old.NumNumeric() || len(next.Categorical) != len(old.Categorical) {
+		return fmt.Errorf("flow: replacement generator has %d numeric + %d categorical features, stream has %d + %d",
+			next.NumNumeric(), len(next.Categorical), old.NumNumeric(), len(old.Categorical))
+	}
+	// Vocabularies matter too: encoders fitted on the old schema map
+	// categorical values positionally, and unseen values encode as
+	// all-zeros — a changed vocabulary would mis-encode silently.
+	for k, oc := range old.Categorical {
+		nc := next.Categorical[k]
+		if nc.Name != oc.Name || len(nc.Values) != len(oc.Values) {
+			return fmt.Errorf("flow: replacement generator changes categorical feature %d (%s/%d values vs %s/%d)",
+				k, nc.Name, len(nc.Values), oc.Name, len(oc.Values))
+		}
+		for i, v := range oc.Values {
+			if nc.Values[i] != v {
+				return fmt.Errorf("flow: replacement generator changes vocabulary of %s (value %d: %q vs %q)",
+					oc.Name, i, nc.Values[i], v)
+			}
+		}
+	}
+	s.gen = gen
+	return nil
 }
 
 // randIP fabricates an address; attack sources skew to "outside" ranges.

@@ -112,6 +112,125 @@ func TestSourceProducesEpisodes(t *testing.T) {
 	}
 }
 
+// TestEpisodeStartTickHasEpisodeMix pins the episode-boundary fix: the
+// tick that starts a campaign already samples with the episode mix. With
+// EpisodeEvery=1 every non-episode tick starts a campaign immediately, so
+// with a zero background rate and a certain episode rate every single flow
+// must be an attack — under the old off-by-one, each campaign's first flow
+// was drawn with the background AttackRate (0) and came out normal.
+func TestEpisodeStartTickHasEpisodeMix(t *testing.T) {
+	g := testGen(t)
+	cfg := SourceConfig{
+		AttackRate:        0,
+		EpisodeEvery:      1,
+		EpisodeLen:        5,
+		EpisodeAttackRate: 1,
+		Seed:              7,
+	}
+	s, err := NewSource(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if f := s.Next(); f.TrueClass == 0 {
+			t.Fatalf("flow %d is normal: episode-start tick was sampled with the background mix", i)
+		}
+	}
+}
+
+// TestEpisodeRunLengthAccounting checks campaigns have exactly their drawn
+// length: with EpisodeAttackRate=1 and zero background attacks, every
+// attack run is one whole episode, and the mean run length over many
+// episodes must match E[1 + Intn(2L)] = L + 0.5.
+func TestEpisodeRunLengthAccounting(t *testing.T) {
+	g := testGen(t)
+	cfg := SourceConfig{
+		AttackRate:        0,
+		EpisodeEvery:      50,
+		EpisodeLen:        20,
+		EpisodeAttackRate: 1,
+		Seed:              3,
+	}
+	s, err := NewSource(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := []int{}
+	cur := 0
+	for i := 0; i < 60000; i++ {
+		if s.Next().TrueClass != 0 {
+			cur++
+		} else if cur > 0 {
+			runs = append(runs, cur)
+			cur = 0
+		}
+	}
+	if len(runs) < 100 {
+		t.Fatalf("only %d complete episodes observed", len(runs))
+	}
+	total := 0
+	for _, r := range runs {
+		total += r
+	}
+	mean := float64(total) / float64(len(runs))
+	want := float64(cfg.EpisodeLen) + 0.5
+	if mean < want-1.5 || mean > want+1.5 {
+		t.Fatalf("mean episode length %.2f, want %.1f±1.5 (off-by-one in episode accounting?)", mean, want)
+	}
+}
+
+func TestSetGeneratorSwapsDistribution(t *testing.T) {
+	cfg := synth.NSLKDDConfig()
+	g1, err := synth.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.ProfileSeed = cfg.ProfileSeed + 999
+	g2, err := synth.New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSource(g1, DefaultSourceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := s.Next()
+	if err := s.SetGenerator(g2); err != nil {
+		t.Fatal(err)
+	}
+	f := s.Next()
+	if f.ID != prev.ID+1 {
+		t.Fatalf("IDs broke across swap: %d after %d", f.ID, prev.ID)
+	}
+	if len(f.Record.Numeric) != g2.Schema().NumNumeric() {
+		t.Fatal("post-swap record does not match the new generator's schema")
+	}
+
+	// Class-count mismatch is rejected.
+	cfg3 := cfg
+	cfg3.Classes = cfg.Classes[:2]
+	g3, err := synth.New(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetGenerator(g3); err == nil {
+		t.Fatal("class-count-changing generator swap was accepted")
+	}
+
+	// Feature-shape mismatch is rejected: downstream encoders were fitted
+	// on the original shape.
+	cfg4 := cfg
+	cfg4.NumericName = cfg.NumericName[:5]
+	g4, err := synth.New(cfg4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetGenerator(g4); err == nil {
+		t.Fatal("shape-changing generator swap was accepted")
+	}
+}
+
 func TestSourceRunStreamsAndStops(t *testing.T) {
 	g := testGen(t)
 	s, err := NewSource(g, DefaultSourceConfig())

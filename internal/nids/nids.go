@@ -36,6 +36,11 @@ type Verdict struct {
 	RuleID int
 	// Score is a detector-specific confidence/anomaly value.
 	Score float64
+	// Failed marks a verdict that carries no information because the
+	// detector could not score the flow (e.g. a remote scoring request
+	// errored). Failed verdicts are excluded from detection counters and
+	// never raise alerts; they are tallied separately.
+	Failed bool
 }
 
 // Detector classifies a raw flow record.
@@ -172,33 +177,45 @@ type Alert struct {
 // Stats counts pipeline outcomes; all fields are atomically updated and
 // safe to read concurrently via the Snapshot method.
 type Stats struct {
-	processed  atomic.Int64
-	alerts     atomic.Int64
-	truePos    atomic.Int64
-	falseAlarm atomic.Int64
-	missed     atomic.Int64
-	trueNeg    atomic.Int64
+	processed     atomic.Int64
+	alerts        atomic.Int64
+	dropped       atomic.Int64
+	scoreFailures atomic.Int64
+	truePos       atomic.Int64
+	falseAlarm    atomic.Int64
+	missed        atomic.Int64
+	trueNeg       atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time copy of the counters.
 type StatsSnapshot struct {
-	Processed   int64
-	Alerts      int64
-	TruePos     int64
-	FalseAlarms int64
-	Missed      int64
-	TrueNeg     int64
+	Processed int64
+	// Alerts counts alerts actually delivered to the queue; DroppedAlerts
+	// counts attack verdicts whose alert could not be enqueued because the
+	// pipeline was cancelled mid-delivery. The two never overlap.
+	Alerts        int64
+	DroppedAlerts int64
+	// ScoreFailures counts flows whose verdict was marked Failed (the
+	// detector could not score them); they appear in Processed but in no
+	// detection counter.
+	ScoreFailures int64
+	TruePos       int64
+	FalseAlarms   int64
+	Missed        int64
+	TrueNeg       int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Processed:   s.processed.Load(),
-		Alerts:      s.alerts.Load(),
-		TruePos:     s.truePos.Load(),
-		FalseAlarms: s.falseAlarm.Load(),
-		Missed:      s.missed.Load(),
-		TrueNeg:     s.trueNeg.Load(),
+		Processed:     s.processed.Load(),
+		Alerts:        s.alerts.Load(),
+		DroppedAlerts: s.dropped.Load(),
+		ScoreFailures: s.scoreFailures.Load(),
+		TruePos:       s.truePos.Load(),
+		FalseAlarms:   s.falseAlarm.Load(),
+		Missed:        s.missed.Load(),
+		TrueNeg:       s.trueNeg.Load(),
 	}
 }
 
@@ -222,8 +239,15 @@ func (s StatsSnapshot) FAR() float64 {
 
 // String renders a one-line summary.
 func (s StatsSnapshot) String() string {
-	return fmt.Sprintf("processed=%d alerts=%d DR=%.2f%% FAR=%.2f%%",
+	out := fmt.Sprintf("processed=%d alerts=%d DR=%.2f%% FAR=%.2f%%",
 		s.Processed, s.Alerts, s.DR()*100, s.FAR()*100)
+	if s.DroppedAlerts > 0 {
+		out += fmt.Sprintf(" dropped=%d", s.DroppedAlerts)
+	}
+	if s.ScoreFailures > 0 {
+		out += fmt.Sprintf(" score-failures=%d", s.ScoreFailures)
+	}
+	return out
 }
 
 // Config controls the pipeline.
@@ -239,6 +263,15 @@ type Config struct {
 	// never delayed — workers only gather flows that are already waiting.
 	// Defaults to 8 for detectors implementing BatchDetector, 1 otherwise.
 	MicroBatch int
+	// Tap, when non-nil, observes every scored flow and its verdict — the
+	// feedback stream a drift monitor or adaptation loop consumes (alerts
+	// only carry attack verdicts; a monitor needs the full distribution).
+	// It is invoked concurrently from all worker goroutines and on the
+	// scoring hot path, so it must be safe for concurrent use and cheap.
+	// The *flow.Flow points into a reused worker batch buffer: it is valid
+	// only for the duration of the call — copy what must be retained
+	// (the Record's slices are per-flow and safe to reference).
+	Tap func(f *flow.Flow, v Verdict)
 }
 
 // Pipeline is a running NIDS instance.
@@ -366,6 +399,15 @@ func (p *Pipeline) handleBatch(ctx context.Context, batch []flow.Flow, ws *worke
 // record updates the counters for one scored flow and enqueues its alert.
 func (p *Pipeline) record(ctx context.Context, f *flow.Flow, v Verdict, alerts chan<- Alert) {
 	p.stats.processed.Add(1)
+	if v.Failed {
+		// No information: counting this as a negative would silently skew
+		// DR/FAR whenever a remote scorer hiccups.
+		p.stats.scoreFailures.Add(1)
+		if p.cfg.Tap != nil {
+			p.cfg.Tap(f, v)
+		}
+		return
+	}
 	actualAttack := f.TrueClass != 0
 	switch {
 	case v.IsAttack && actualAttack:
@@ -377,11 +419,19 @@ func (p *Pipeline) record(ctx context.Context, f *flow.Flow, v Verdict, alerts c
 	default:
 		p.stats.trueNeg.Add(1)
 	}
+	if p.cfg.Tap != nil {
+		p.cfg.Tap(f, v)
+	}
 	if v.IsAttack {
-		p.stats.alerts.Add(1)
+		// Count only after the alert is actually delivered: on cancellation
+		// the enqueue is abandoned, and counting it as an alert would make
+		// the counter disagree with what onAlert ever observes. Abandoned
+		// deliveries are accounted separately as drops.
 		select {
 		case alerts <- Alert{Flow: *f, Verdict: v, At: f.Timestamp}:
+			p.stats.alerts.Add(1)
 		case <-ctx.Done():
+			p.stats.dropped.Add(1)
 		}
 	}
 }

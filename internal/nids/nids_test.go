@@ -4,7 +4,9 @@ import (
 	"context"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/anomaly"
 	"repro/internal/data"
@@ -266,6 +268,133 @@ func TestPipelineCancellation(t *testing.T) {
 	cancel()
 	if err := <-done; err != context.Canceled {
 		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestAlertCountedOnlyAfterDelivery pins the cancellation-accounting fix:
+// an alert abandoned because the context died mid-enqueue must not be
+// counted as delivered — it lands in DroppedAlerts instead.
+func TestAlertCountedOnlyAfterDelivery(t *testing.T) {
+	g := tinyGen(t)
+	det := &SignatureDetector{Engine: mustEngine(t, g)}
+	p := New(det, Config{Workers: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead: every enqueue on a full channel must abandon
+	alerts := make(chan Alert) // unbuffered and never read
+	f := flow.Flow{TrueClass: 1}
+	p.record(ctx, &f, Verdict{IsAttack: true, Class: 1}, alerts)
+
+	st := p.Stats()
+	if st.Alerts != 0 {
+		t.Fatalf("undelivered alert was counted: Alerts=%d", st.Alerts)
+	}
+	if st.DroppedAlerts != 1 {
+		t.Fatalf("DroppedAlerts=%d, want 1", st.DroppedAlerts)
+	}
+	if st.TruePos != 1 || st.Processed != 1 {
+		t.Fatalf("detection counters must still move: %+v", st)
+	}
+}
+
+// TestCancelledRunAlertAccounting runs a real pipeline with a slow alert
+// consumer, cancels it mid-stream, and checks the invariant the fix
+// establishes: the delivered-alert counter never exceeds what onAlert
+// observed, and every attack verdict is either delivered or dropped.
+// Meaningful under -race.
+func TestCancelledRunAlertAccounting(t *testing.T) {
+	g := tinyGen(t)
+	det := &SignatureDetector{Engine: mustEngine(t, g)}
+	p := New(det, Config{Workers: 4, QueueDepth: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	src, err := flow.NewSource(g, flow.DefaultSourceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := make(chan flow.Flow)
+	go src.Run(ctx, flows, 0)
+
+	var delivered atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Run(ctx, flows, func(Alert) {
+			delivered.Add(1)
+			time.Sleep(100 * time.Microsecond) // consumer lags: queue backs up
+		})
+	}()
+	for p.Stats().Alerts < 5 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+
+	st := p.Stats()
+	if st.Alerts != delivered.Load() {
+		t.Fatalf("alert counter %d != delivered callbacks %d", st.Alerts, delivered.Load())
+	}
+	if got := st.TruePos + st.FalseAlarms; st.Alerts+st.DroppedAlerts != got {
+		t.Fatalf("alerts %d + dropped %d != attack verdicts %d", st.Alerts, st.DroppedAlerts, got)
+	}
+}
+
+// TestTapSeesEveryScoredFlow wires a concurrent tap and checks it observes
+// exactly the processed flows with their verdicts, across batched workers.
+func TestTapSeesEveryScoredFlow(t *testing.T) {
+	g := tinyGen(t)
+	det := trainTinyModel(t, g)
+
+	var tapped atomic.Int64
+	var tapAttacks atomic.Int64
+	p := New(det, Config{Workers: 3, MicroBatch: 8, Tap: func(f *flow.Flow, v Verdict) {
+		if f == nil {
+			t.Error("tap got nil flow")
+			return
+		}
+		tapped.Add(1)
+		if v.IsAttack {
+			tapAttacks.Add(1)
+		}
+	}})
+
+	src, err := flow.NewSource(g, flow.DefaultSourceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := make(chan flow.Flow, 32)
+	go src.Run(context.Background(), flows, 700)
+	if err := p.Run(context.Background(), flows, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if tapped.Load() != st.Processed {
+		t.Fatalf("tap saw %d flows, pipeline processed %d", tapped.Load(), st.Processed)
+	}
+	if tapAttacks.Load() != st.TruePos+st.FalseAlarms {
+		t.Fatalf("tap saw %d attack verdicts, counters say %d", tapAttacks.Load(), st.TruePos+st.FalseAlarms)
+	}
+}
+
+// TestFailedVerdictsExcludedFromCounters pins the no-information rule: a
+// Failed verdict (remote scorer outage) moves Processed and ScoreFailures
+// but no detection counter, and never raises an alert.
+func TestFailedVerdictsExcludedFromCounters(t *testing.T) {
+	g := tinyGen(t)
+	det := &SignatureDetector{Engine: mustEngine(t, g)}
+	p := New(det, Config{Workers: 1})
+	alerts := make(chan Alert, 4)
+	f := flow.Flow{TrueClass: 1}
+	p.record(context.Background(), &f, Verdict{IsAttack: true, Failed: true}, alerts)
+
+	st := p.Stats()
+	if st.Processed != 1 || st.ScoreFailures != 1 {
+		t.Fatalf("processed=%d failures=%d, want 1/1", st.Processed, st.ScoreFailures)
+	}
+	if st.TruePos+st.FalseAlarms+st.Missed+st.TrueNeg != 0 {
+		t.Fatalf("failed verdict moved detection counters: %+v", st)
+	}
+	if st.Alerts != 0 || len(alerts) != 0 {
+		t.Fatal("failed verdict raised an alert")
 	}
 }
 

@@ -213,7 +213,29 @@ func (n *Network) Fit(x *tensor.Tensor, labels []int, cfg FitConfig) []EpochStat
 			}
 		}
 	}
+	// A schedule scales the LR per epoch; restore the base rate so the
+	// final epoch's decay does not leak into later Fit/PartialFit calls on
+	// this network.
+	if cfg.Schedule != nil {
+		if s, ok := n.Opt.(scalable); ok {
+			s.setLRScale(1)
+		}
+	}
 	return stats
+}
+
+// PartialFit resumes training from the network's current weights — the
+// warm-start entry point for online adaptation. Where the usual retraining
+// recipe rebuilds the stack (reinitializing every parameter) and calls
+// Fit, PartialFit trains the live network in place: no parameter is
+// reinitialized, and optimizer state (RMSprop/Adam moment caches)
+// accumulated by earlier Fit or PartialFit calls on this network carries
+// over, so successive calls over a sliding window implement incremental
+// training rather than a sequence of cold starts. Schedules passed in cfg
+// scale the LR within this call only; the base rate is restored for the
+// next call.
+func (n *Network) PartialFit(x *tensor.Tensor, labels []int, cfg FitConfig) []EpochStats {
+	return n.Fit(x, labels, cfg)
 }
 
 // evalLossBatched computes mean loss over the dataset in batches, weighted

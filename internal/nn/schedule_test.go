@@ -77,13 +77,23 @@ func TestScheduleAppliedDuringFit(t *testing.T) {
 	net := NewNetwork(stack, NewSoftmaxCrossEntropy(), opt)
 	x := tensor.RandNormal(rng, 0, 1, 8, 2)
 	y := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	var perEpochLR []float64
 	net.Fit(x, y, FitConfig{
 		Epochs: 4, BatchSize: 8,
 		Schedule: StepDecay{StepEpochs: 2, Gamma: 0.1},
+		Verbose:  func(EpochStats) { perEpochLR = append(perEpochLR, opt.LR) },
 	})
-	// After epoch 4 the factor is 0.1 → LR must be 0.001.
-	if math.Abs(opt.LR-0.001) > 1e-12 {
-		t.Fatalf("scheduled LR %v, want 0.001", opt.LR)
+	// Epochs 1-2 run at factor 1, epochs 3-4 at factor 0.1.
+	want := []float64{0.01, 0.01, 0.001, 0.001}
+	for i, w := range want {
+		if math.Abs(perEpochLR[i]-w) > 1e-12 {
+			t.Fatalf("epoch %d ran at LR %v, want %v", i+1, perEpochLR[i], w)
+		}
+	}
+	// The decay must not leak past Fit: the base rate is restored for
+	// subsequent Fit/PartialFit calls.
+	if math.Abs(opt.LR-0.01) > 1e-12 {
+		t.Fatalf("LR %v after Fit, want base 0.01 restored", opt.LR)
 	}
 }
 

@@ -204,26 +204,37 @@ func LoadArtifactFile(path string) (*Artifact, error) {
 	return a, nil
 }
 
-// NewDetector builds a fresh, ready-to-score replica from the artifact.
-// Each call returns an independent detector (own network buffers, own
-// lock), so callers can shard load across several replicas; the read-only
-// scaler and schema are shared. Weight initialization is irrelevant — the
-// checkpoint overwrites every parameter — so fixed seeds are used.
-func (a *Artifact) NewDetector() (*nids.ModelDetector, error) {
+// NewNetwork reconstructs the artifact's trained network with the given
+// loss and optimizer, alongside its fitted preprocessing pipeline — the
+// warm-start entry point for online retraining: the returned network's
+// parameters are the artifact's weights, so nn.Network.PartialFit resumes
+// training from the deployed model instead of a fresh initialization.
+// Weight initialization seeds are irrelevant (the checkpoint overwrites
+// every parameter); dropout masks draw from a fixed-seed stream, so a
+// retraining run is deterministic given the caller's FitConfig RNG.
+func (a *Artifact) NewNetwork(loss nn.Loss, opt nn.Optimizer) (*nn.Network, *data.Pipeline, error) {
 	spec, err := models.Lookup(a.ModelName)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rng := rand.New(rand.NewSource(1))
 	dropRNG := rand.New(rand.NewSource(1))
 	stack := spec.Build(rng, dropRNG, a.Block, a.Features(), a.Classes())
-	net := nn.NewNetwork(stack, nn.NewSoftmaxCrossEntropy(), nn.NewRMSprop(0.01))
+	net := nn.NewNetwork(stack, loss, opt)
 	if err := net.Load(bytes.NewReader(a.checkpoint)); err != nil {
-		return nil, fmt.Errorf("serve: restore %s weights: %w", a.ModelName, err)
+		return nil, nil, fmt.Errorf("serve: restore %s weights: %w", a.ModelName, err)
 	}
-	return &nids.ModelDetector{
-		ModelName: a.ModelName,
-		Net:       net,
-		Pipe:      &data.Pipeline{Enc: data.NewEncoder(a.Schema), Scaler: a.scaler},
-	}, nil
+	return net, &data.Pipeline{Enc: data.NewEncoder(a.Schema), Scaler: a.scaler}, nil
+}
+
+// NewDetector builds a fresh, ready-to-score replica from the artifact.
+// Each call returns an independent detector (own network buffers, own
+// lock), so callers can shard load across several replicas; the read-only
+// scaler and schema are shared.
+func (a *Artifact) NewDetector() (*nids.ModelDetector, error) {
+	net, pipe, err := a.NewNetwork(nn.NewSoftmaxCrossEntropy(), nn.NewRMSprop(0.01))
+	if err != nil {
+		return nil, err
+	}
+	return &nids.ModelDetector{ModelName: a.ModelName, Net: net, Pipe: pipe}, nil
 }

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/data"
+	"repro/internal/nids"
+)
+
+// Client is a typed HTTP client for the scoring server: the consumer side
+// of the /v1 API for Go callers (load generators, adaptation sidecars,
+// tests). It is safe for concurrent use.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the underlying client; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient builds a client for the server at base.
+func NewClient(base string) *Client { return &Client{BaseURL: base} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// postJSON posts body as JSON and decodes the response into out,
+// translating non-2xx statuses into errors carrying the server's message.
+func (c *Client) postJSON(path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Post(c.BaseURL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e errorResponse
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+			return fmt.Errorf("serve: %s: %d: %s", path, resp.StatusCode, e.Error)
+		}
+		return fmt.Errorf("serve: %s: status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Model fetches the currently served model's description.
+func (c *Client) Model() (ModelInfo, error) {
+	var info ModelInfo
+	resp, err := c.http().Get(c.BaseURL + "/v1/model")
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return info, fmt.Errorf("serve: /v1/model: status %d", resp.StatusCode)
+	}
+	return info, json.NewDecoder(resp.Body).Decode(&info)
+}
+
+// Score sends the records to /v1/detect-batch and returns the verdicts
+// plus the version of the model generation that answered.
+func (c *Client) Score(recs []*data.Record) ([]nids.Verdict, string, error) {
+	req := detectBatchRequest{Records: make([]RecordJSON, len(recs))}
+	for i, r := range recs {
+		req.Records[i] = RecordJSON{Numeric: r.Numeric, Categorical: r.Categorical}
+	}
+	var resp detectBatchResponse
+	if err := c.postJSON("/v1/detect-batch", req, &resp); err != nil {
+		return nil, "", err
+	}
+	if len(resp.Verdicts) != len(recs) {
+		return nil, resp.ModelVersion, fmt.Errorf("serve: %d verdicts for %d records", len(resp.Verdicts), len(recs))
+	}
+	out := make([]nids.Verdict, len(recs))
+	for i, v := range resp.Verdicts {
+		out[i] = nids.Verdict{IsAttack: v.IsAttack, Class: v.Class, Score: v.Score}
+	}
+	return out, resp.ModelVersion, nil
+}
+
+// Reload asks the server to hot-load the artifact at path (a path on the
+// server's filesystem) and returns the newly served model info.
+func (c *Client) Reload(path string) (ModelInfo, error) {
+	var info ModelInfo
+	err := c.postJSON("/v1/reload", reloadRequest{Path: path}, &info)
+	return info, err
+}
+
+// RemoteDetector adapts a Client to nids.BatchDetector, so a live pipeline
+// can score flows against a remote scoring server instead of an in-process
+// network — the deployment shape where an adaptation sidecar watches
+// exactly the model generation production traffic is scored by. Failed
+// requests yield verdicts marked Failed (excluded from pipeline detection
+// counters and ignored by the adaptation loop's monitors, so a server
+// hiccup can neither skew DR/FAR nor spuriously trip a retrain) and are
+// tallied in Errors.
+type RemoteDetector struct {
+	Client *Client
+
+	errs    atomic.Int64
+	version atomic.Value // string: last model version that answered
+}
+
+var _ nids.BatchDetector = (*RemoteDetector)(nil)
+
+// Name implements nids.Detector.
+func (d *RemoteDetector) Name() string { return "remote:" + d.Client.BaseURL }
+
+// Detect implements nids.Detector.
+func (d *RemoteDetector) Detect(rec *data.Record) nids.Verdict {
+	var v [1]nids.Verdict
+	d.DetectBatch([]*data.Record{rec}, v[:])
+	return v[0]
+}
+
+// DetectBatch implements nids.BatchDetector over one /v1/detect-batch call.
+func (d *RemoteDetector) DetectBatch(recs []*data.Record, verdicts []nids.Verdict) {
+	got, version, err := d.Client.Score(recs)
+	if err != nil {
+		d.errs.Add(1)
+		for i := range verdicts[:len(recs)] {
+			verdicts[i] = nids.Verdict{Failed: true}
+		}
+		return
+	}
+	d.version.Store(version)
+	copy(verdicts, got)
+}
+
+// Errors returns how many scoring requests have failed.
+func (d *RemoteDetector) Errors() int64 { return d.errs.Load() }
+
+// ModelVersion returns the version of the model generation that answered
+// the most recent successful request ("" before the first).
+func (d *RemoteDetector) ModelVersion() string {
+	v, _ := d.version.Load().(string)
+	return v
+}

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -26,6 +28,11 @@ type Config struct {
 	// QueueDepth bounds the record queue; requests block (backpressure)
 	// when it fills. Default 1024.
 	QueueDepth int
+	// MaxBodyBytes caps every POST request body; larger bodies get 413
+	// before the decoder buffers them, so one oversized request cannot
+	// exhaust server memory. Default 4 MiB (~2000 NSL-KDD-shaped records
+	// per batch).
+	MaxBodyBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -40,6 +47,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
 	}
 	return c
 }
@@ -243,6 +253,34 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// decodeBody reads exactly one JSON value from the request body into v,
+// capped at cfg.MaxBodyBytes. Oversized bodies answer 413 and malformed or
+// trailing-garbage bodies 400 — in both cases the response has been written
+// and the caller must return. The cap is installed via http.MaxBytesReader,
+// which also closes the connection on overflow so a huge body is not
+// drained.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		s.httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return false
+	}
+	// Reject trailing content after the JSON value: a concatenated second
+	// payload silently ignored is a smuggling/confusion hazard. Only a
+	// clean EOF is acceptable here.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		s.httpError(w, http.StatusBadRequest, "unexpected data after JSON body")
+		return false
+	}
+	return true
+}
+
 // toRecords validates the wire records against the schema and converts
 // them. Validation uses the generation current at accept time; scoring may
 // land on a newer generation mid-reload, which is safe because Reload
@@ -295,8 +333,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	s.m.detectRequests.Add(1)
 	start := time.Now()
 	var rec RecordJSON
-	if err := json.NewDecoder(r.Body).Decode(&rec); err != nil {
-		s.httpError(w, http.StatusBadRequest, "decode record: %v", err)
+	if !s.decodeBody(w, r, &rec) {
 		return
 	}
 	st := s.state.Load()
@@ -321,8 +358,7 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 	s.m.batchRequests.Add(1)
 	start := time.Now()
 	var req detectBatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.httpError(w, http.StatusBadRequest, "decode request: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Records) == 0 {
@@ -387,7 +423,10 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req reloadRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Path == "" {
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Path == "" {
 		s.httpError(w, http.StatusBadRequest, "body must be {\"path\": \"artifact file\"}")
 		return
 	}

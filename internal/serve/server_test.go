@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/nids"
 	"repro/internal/nn"
 	"repro/internal/synth"
+	"repro/internal/tensor"
 )
 
 // newTestServer wraps a Server in an httptest.Server with the documented
@@ -301,6 +303,159 @@ func TestServerRejectsMalformedRecords(t *testing.T) {
 	resp, body := postJSON(t, ts.URL+"/v1/detect", odd)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("unseen categorical: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestBodyLimits pins the request-hardening fixes: every POST endpoint
+// caps its body (413 beyond MaxBodyBytes) and rejects trailing data after
+// the JSON value (400), so one oversized or smuggled request can neither
+// exhaust memory nor slip a second payload past the decoder.
+func TestBodyLimits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, _, recs := trainTestArtifact(t, "mlp", 43, 1)
+	_, ts := newTestServer(t, a, Config{MaxBodyBytes: 2048})
+
+	rawPost := func(path, body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Oversized bodies: a few records of padding blows the 2 KiB cap.
+	huge := `{"records": [` + strings.Repeat(`{"numeric": [`+strings.Repeat("1,", 400)+`1], "categorical": []},`, 4)
+	huge += `]}`
+	for _, path := range []string{"/v1/detect", "/v1/detect-batch", "/v1/reload"} {
+		if code := rawPost(path, huge); code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s oversized body: status %d, want 413", path, code)
+		}
+	}
+
+	// Trailing garbage after a syntactically complete JSON value.
+	rec, err := json.Marshal(RecordJSON{Numeric: recs[0].Numeric, Categorical: recs[0].Categorical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := json.Marshal(detectBatchRequest{Records: recordsJSON(recs[:1])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ path, body string }{
+		{"/v1/detect", string(rec) + `{"second": "payload"}`},
+		{"/v1/detect", string(rec) + `}`},
+		{"/v1/detect-batch", string(batch) + `[1,2]`},
+		{"/v1/reload", `{"path": "x.plcn"} "extra"`},
+	} {
+		if code := rawPost(tc.path, tc.body); code != http.StatusBadRequest {
+			t.Fatalf("%s trailing garbage: status %d, want 400", tc.path, code)
+		}
+	}
+
+	// Sanity: a clean request still works under the small cap.
+	resp, body := postJSON(t, ts.URL+"/v1/detect-batch", detectBatchRequest{Records: recordsJSON(recs[:1])})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean request under cap: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestClientScoreAndRemoteDetector pins the Go client: Score matches the
+// in-process detector, RemoteDetector satisfies the nids contract, and
+// request failures are tallied instead of fabricating verdicts.
+func TestClientScoreAndRemoteDetector(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, orig, recs := trainTestArtifact(t, "mlp", 47, 2)
+	_, ts := newTestServer(t, a, Config{Replicas: 2, MaxBatch: 8, MaxWait: time.Millisecond})
+
+	want := make([]nids.Verdict, len(recs))
+	orig.DetectBatch(recs, want)
+
+	c := NewClient(ts.URL)
+	got, version, err := c.Score(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != a.Version() {
+		t.Fatalf("answered version %s, want %s", version, a.Version())
+	}
+	for i := range got {
+		if got[i].Class != want[i].Class || got[i].IsAttack != want[i].IsAttack {
+			t.Fatalf("record %d: client verdict %+v != in-process %+v", i, got[i], want[i])
+		}
+	}
+
+	det := &RemoteDetector{Client: c}
+	verdicts := make([]nids.Verdict, len(recs))
+	det.DetectBatch(recs, verdicts)
+	for i := range verdicts {
+		if verdicts[i].Class != want[i].Class {
+			t.Fatalf("remote detector verdict %d mismatched", i)
+		}
+	}
+	if det.ModelVersion() != a.Version() {
+		t.Fatalf("remote detector tracked version %q", det.ModelVersion())
+	}
+	if det.Errors() != 0 {
+		t.Fatalf("unexpected errors: %d", det.Errors())
+	}
+
+	// A dead endpoint yields Failed verdicts and a tallied error, not junk.
+	deadVerdicts := []nids.Verdict{{IsAttack: true, Class: 3, Score: 9}}
+	dead := &RemoteDetector{Client: NewClient("http://127.0.0.1:1")}
+	dead.DetectBatch(recs[:1], deadVerdicts)
+	if dead.Errors() != 1 {
+		t.Fatalf("dead endpoint errors = %d, want 1", dead.Errors())
+	}
+	if deadVerdicts[0] != (nids.Verdict{Failed: true}) {
+		t.Fatalf("dead endpoint fabricated verdict %+v", deadVerdicts[0])
+	}
+}
+
+// TestArtifactNewNetworkWarmStart pins the warm-start constructor: the
+// reconstructed network scores identically to the artifact's detector and
+// is genuinely trainable in place.
+func TestArtifactNewNetworkWarmStart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, orig, recs := trainTestArtifact(t, "mlp", 53, 2)
+
+	net, pipe, err := a.NewNetwork(nn.NewSoftmaxCrossEntropy(), nn.NewRMSprop(0.002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]nids.Verdict, len(recs))
+	orig.DetectBatch(recs, want)
+	warm := &nids.ModelDetector{ModelName: a.ModelName, Net: net, Pipe: pipe}
+	got := make([]nids.Verdict, len(recs))
+	warm.DetectBatch(recs, got)
+	for i := range got {
+		if got[i].Class != want[i].Class {
+			t.Fatalf("record %d: warm network class %d != artifact detector %d", i, got[i].Class, want[i].Class)
+		}
+	}
+
+	// PartialFit on fresh labeled data must move the weights.
+	x := tensor.New(len(recs), pipe.Width())
+	y := make([]int, len(recs))
+	for i, r := range recs {
+		pipe.ApplyInto(r, x.Row(i))
+		y[i] = r.Label
+	}
+	before := net.EvalLoss(x.Reshape(len(recs), 1, pipe.Width()), y)
+	net.PartialFit(x.Reshape(len(recs), 1, pipe.Width()), y, nn.FitConfig{
+		Epochs: 3, BatchSize: 32, Shuffle: true, RNG: rand.New(rand.NewSource(1)),
+	})
+	after := net.EvalLoss(x.Reshape(len(recs), 1, pipe.Width()), y)
+	if after >= before {
+		t.Fatalf("PartialFit did not reduce loss: %.4f -> %.4f", before, after)
 	}
 }
 

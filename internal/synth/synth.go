@@ -195,6 +195,36 @@ func New(cfg Config) (*Generator, error) {
 	return g, nil
 }
 
+// NewVariant builds a generator that is cfg's generator with the listed
+// classes' generative profiles re-drawn under variantSeed — "new attack
+// variants": the named classes change their statistical signature while
+// every other class (typically Normal) keeps cfg's exact distribution.
+// This is the §VI drift scenario a deployed detector actually faces —
+// attacks evolve while background traffic stays put — as opposed to
+// shifting ProfileSeed wholesale, which moves the normal class too.
+func NewVariant(cfg Config, variantSeed int64, classes []int) (*Generator, error) {
+	base, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	varCfg := cfg
+	varCfg.ProfileSeed = variantSeed
+	variant, err := New(varCfg)
+	if err != nil {
+		return nil, err
+	}
+	out := *base
+	out.profiles = make([]classProfile, len(base.profiles))
+	copy(out.profiles, base.profiles)
+	for _, c := range classes {
+		if c < 0 || c >= len(out.profiles) {
+			return nil, fmt.Errorf("synth: variant class %d out of range [0, %d)", c, len(out.profiles))
+		}
+		out.profiles[c] = variant.profiles[c]
+	}
+	return &out, nil
+}
+
 // MustNew is New but panics on error; for the fixed built-in configs.
 func MustNew(cfg Config) *Generator {
 	g, err := New(cfg)

@@ -287,3 +287,40 @@ func TestNumericFeaturesAreFinite(t *testing.T) {
 		}
 	}
 }
+
+func TestNewVariantShiftsOnlyListedClasses(t *testing.T) {
+	cfg := NSLKDDConfig()
+	base, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variant, err := NewVariant(cfg, cfg.ProfileSeed+202, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unlisted classes keep the exact base distribution: same rng stream,
+	// same records.
+	same := func(class int) bool {
+		r1 := rand.New(rand.NewSource(7))
+		r2 := rand.New(rand.NewSource(7))
+		for i := 0; i < 20; i++ {
+			a := base.SampleClass(r1, class)
+			b := variant.SampleClass(r2, class)
+			for j := range a.Numeric {
+				if a.Numeric[j] != b.Numeric[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !same(0) {
+		t.Fatal("variant changed the normal class distribution")
+	}
+	if same(1) {
+		t.Fatal("variant did not change a listed attack class")
+	}
+	if _, err := NewVariant(cfg, 1, []int{99}); err == nil {
+		t.Fatal("out-of-range variant class accepted")
+	}
+}
