@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/infer"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/synth"
@@ -211,6 +212,30 @@ func BenchmarkPelicanForward(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		net.Predict(x)
 	}
+}
+
+// BenchmarkInferF32 measures the compiled float32 inference engine on the
+// exact BenchmarkPelicanForward workload (Residual-41, UNSW width, batch
+// 64) — the f64-vs-f32 serving A/B pair. records/s is reported so the two
+// engines compare directly in one run.
+func BenchmarkInferF32(b *testing.B) {
+	net, x, _ := pelicanAtPaperWidth(b)
+	plan, err := infer.Compile(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := plan.NewEngine()
+	const batch = 64
+	in := eng.In(batch)
+	for i, v := range x.Data() {
+		in[i] = float32(v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Run(batch)
+	}
+	b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "records/s")
 }
 
 // BenchmarkPelicanTrainStep measures one full train step (forward,

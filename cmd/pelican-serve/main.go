@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	pelican-serve -model model.plcn -addr 127.0.0.1:8080 -replicas 2
+//	pelican-serve -model model.plcn -addr 127.0.0.1:8080 -replicas 2 -engine f32
 //	pelican-serve -loadgen -target http://127.0.0.1:8080 -duration 5s -concurrency 8 -batch 8
 package main
 
@@ -46,6 +46,7 @@ func run(args []string, out io.Writer) error {
 		maxWait  = fs.Duration("max-wait", 2*time.Millisecond, "dynamic batcher flush deadline")
 		queue    = fs.Int("queue", 1024, "batcher queue depth (requests block when full)")
 		maxBody  = fs.Int64("max-body", 4<<20, "request body size cap in bytes (413 beyond)")
+		engine   = fs.String("engine", "f32", "scoring engine: f32 (compiled float32 inference plan) or f64 (training graph)")
 
 		loadgen     = fs.Bool("loadgen", false, "run as load generator instead of server")
 		target      = fs.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
@@ -69,7 +70,7 @@ func run(args []string, out io.Writer) error {
 	}
 	return runServer(out, *model, *addr, serve.Config{
 		Replicas: *replicas, MaxBatch: *maxBatch, MaxWait: *maxWait, QueueDepth: *queue,
-		MaxBodyBytes: *maxBody,
+		MaxBodyBytes: *maxBody, Engine: *engine,
 	})
 }
 
@@ -92,7 +93,7 @@ func runServer(out io.Writer, model, addr string, cfg serve.Config) error {
 	info := srv.Info()
 	fmt.Fprintf(out, "serving %s (version %s, %d features, %d classes) on http://%s\n",
 		info.Model, info.Version, info.Features, info.Classes, ln.Addr())
-	fmt.Fprintf(out, "replicas=%d max-batch=%d max-wait=%s\n", info.Replicas, info.MaxBatch, cfg.MaxWait)
+	fmt.Fprintf(out, "engine=%s replicas=%d max-batch=%d max-wait=%s\n", info.Engine, info.Replicas, info.MaxBatch, cfg.MaxWait)
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)

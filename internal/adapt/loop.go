@@ -134,6 +134,12 @@ type Event struct {
 	TrainFlows int
 	TrainLoss  float64
 	Duration   time.Duration
+	// LowerErr records a float32-lowering failure for the retrained
+	// artifact. It is non-fatal — f64-engine servers serve the artifact
+	// regardless, and an f32 server's reload re-validates and rejects it —
+	// but a set LowerErr means f32 deployments will refuse this
+	// generation.
+	LowerErr error
 	// Version/Path identify the published artifact.
 	Version string
 	Path    string
@@ -148,8 +154,12 @@ func (e Event) String() string {
 	case e.Err != nil:
 		return fmt.Sprintf("adapt: drift on %s (z=%.1f) failed: %v", e.Trigger.Signal, e.Trigger.Z, e.Err)
 	default:
-		return fmt.Sprintf("adapt: drift on %s (z=%.1f) -> retrained on %d flows (loss %.4f) -> published %s in %s",
+		s := fmt.Sprintf("adapt: drift on %s (z=%.1f) -> retrained on %d flows (loss %.4f) -> published %s in %s",
 			e.Trigger.Signal, e.Trigger.Z, e.TrainFlows, e.TrainLoss, e.Version, e.Duration.Round(time.Millisecond))
+		if e.LowerErr != nil {
+			s += fmt.Sprintf(" (f32 lowering failed: %v)", e.LowerErr)
+		}
+		return s
 	}
 }
 
@@ -338,6 +348,17 @@ func (l *Loop) adapt(trig Trigger) Event {
 	if err != nil {
 		ev.Err = fmt.Errorf("capture artifact: %w", err)
 		return ev
+	}
+	// Recompile the float32 inference plan before publication: for
+	// in-process publishers this warms the exact plan cache the swapped-in
+	// f32 replicas will read (the reload never pays the lowering inline),
+	// and a lowering failure surfaces here, on the event, before the
+	// server sees the artifact. It is deliberately non-fatal: an
+	// f64-engine deployment can serve — and must still be able to adapt
+	// with — an artifact the f32 compiler cannot express, and an f32
+	// server's reload re-validates and rejects such an artifact itself.
+	if _, err := next.Plan(); err != nil {
+		ev.LowerErr = err
 	}
 	path := filepath.Join(l.cfg.ArtifactDir, fmt.Sprintf("%s-%s.plcn", next.ModelName, next.Version()))
 	if err := serve.SaveArtifactFile(path, next); err != nil {

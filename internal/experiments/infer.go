@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/infer"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// InferBenchRow is one engine's measurement in the f64-vs-f32 serving A/B.
+type InferBenchRow struct {
+	Engine string `json:"engine"`
+	// NsPerOp is the time for one batch forward pass.
+	NsPerOp float64 `json:"ns_per_op"`
+	// RecordsPerSec is the scored-flow throughput at the benchmark batch.
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// BytesMoved estimates the bytes streamed per pass (weights +
+	// activations at the engine's precision) — a lower bound for the f64
+	// training graph, exact arena accounting for the compiled plan.
+	BytesMoved int64 `json:"bytes_moved_per_pass"`
+}
+
+// InferBenchResult is the side-by-side engine comparison pelican-bench
+// -exp infer reports (and serializes to BENCH_infer.json with -json).
+type InferBenchResult struct {
+	Model    string          `json:"model"`
+	Features int             `json:"features"`
+	Classes  int             `json:"classes"`
+	Batch    int             `json:"batch"`
+	Rows     []InferBenchRow `json:"rows"`
+	// SpeedupF32 is f32 records/s over f64 records/s (0 unless both ran).
+	SpeedupF32 float64 `json:"speedup_f32"`
+	// MaxScoreDelta is the elementwise max |f64 logit − f32 logit| across
+	// every class of every benchmark-batch row (0 unless both ran) — a
+	// per-class bound, deliberately stricter than comparing only the two
+	// winners, which could understate divergence on an argmax flip.
+	MaxScoreDelta float64 `json:"max_score_delta"`
+	// PlanSteps/PlanWeightBytes/PlanArenaBytes describe the compiled plan;
+	// the arena is the recycled-buffer activation working set at Batch.
+	PlanSteps       int   `json:"plan_steps"`
+	PlanWeightBytes int64 `json:"plan_weight_bytes"`
+	PlanArenaBytes  int64 `json:"plan_arena_bytes"`
+}
+
+// inferBenchMinDur is how long each engine is driven; long enough to
+// amortize timer noise, short enough for the CI smoke.
+const inferBenchMinDur = 300 * time.Millisecond
+
+// RunInferBench measures the float64 training-graph forward pass against
+// the compiled float32 inference engine on the serving shape (Residual-41
+// at the paper's UNSW width — the BenchmarkPelicanForward workload — at
+// batch 64; Tiny profiles shrink the width so smoke runs finish fast).
+// engine selects "f64", "f32" or "both".
+func RunInferBench(p Profile, engine string, log io.Writer) (*InferBenchResult, error) {
+	if engine != "both" && engine != "f32" && engine != "f64" {
+		return nil, fmt.Errorf("experiments: unknown engine %q (want f32, f64 or both)", engine)
+	}
+	features := 196 // the paper's UNSW-NB15 encoded width
+	if p.Tiny {
+		features = 48
+	}
+	const classes, batch = 10, 64
+	rng := rand.New(rand.NewSource(p.Seed))
+	stack := models.BuildPelican(rng, rand.New(rand.NewSource(p.Seed+1)),
+		models.PaperBlockConfig(features), classes)
+	net := nn.NewNetwork(stack, nn.NewSoftmaxCrossEntropy(), nn.NewRMSprop(p.LR))
+	x := tensor.RandNormal(rng, 0, 1, batch, 1, features)
+	// A couple of training passes move the BatchNorm running moments off
+	// their initialization so the lowered plan folds real statistics.
+	stack.Forward(x, true)
+	stack.Forward(x, true)
+
+	plan, err := infer.Compile(net)
+	if err != nil {
+		return nil, err
+	}
+	res := &InferBenchResult{
+		Model: "pelican", Features: features, Classes: classes, Batch: batch,
+		PlanSteps: plan.Steps(), PlanWeightBytes: plan.WeightBytes(),
+		PlanArenaBytes: plan.ArenaBytes(batch),
+	}
+
+	var f64Logits []float64
+	var f32Logits []float32
+	if engine != "f32" {
+		if log != nil {
+			fmt.Fprintf(log, "infer-bench: driving f64 engine (%d features, batch %d)\n", features, batch)
+		}
+		ns, _ := timeLoop(func() { net.Predict(x) })
+		f64Logits = append(f64Logits, net.Predict(x).Data()...)
+		res.Rows = append(res.Rows, InferBenchRow{
+			Engine:        "f64",
+			NsPerOp:       ns,
+			RecordsPerSec: float64(batch) * float64(time.Second) / ns,
+			// Lower bound: every parameter plus the plan's activation
+			// traffic, both at 8 bytes/element.
+			BytesMoved: 8*int64(nn.ParamCount(net.Params())) + 2*plan.ActivationBytes(batch),
+		})
+	}
+	if engine != "f64" {
+		if log != nil {
+			fmt.Fprintf(log, "infer-bench: driving f32 engine (%d plan steps)\n", plan.Steps())
+		}
+		eng := plan.NewEngine()
+		in := eng.In(batch)
+		for i, v := range x.Data() {
+			in[i] = float32(v)
+		}
+		ns, _ := timeLoop(func() { eng.Run(batch) })
+		f32Logits = append(f32Logits, eng.Run(batch)...)
+		res.Rows = append(res.Rows, InferBenchRow{
+			Engine:        "f32",
+			NsPerOp:       ns,
+			RecordsPerSec: float64(batch) * float64(time.Second) / ns,
+			BytesMoved:    plan.WeightBytes() + plan.ActivationBytes(batch),
+		})
+	}
+	if f64Logits != nil && f32Logits != nil {
+		for i := range f64Logits {
+			if d := math.Abs(f64Logits[i] - float64(f32Logits[i])); d > res.MaxScoreDelta {
+				res.MaxScoreDelta = d
+			}
+		}
+		res.SpeedupF32 = res.Rows[1].RecordsPerSec / res.Rows[0].RecordsPerSec
+	}
+	return res, nil
+}
+
+// timeLoop drives fn for at least inferBenchMinDur after one warm-up call
+// and returns (ns per call, calls).
+func timeLoop(fn func()) (float64, int) {
+	fn() // warm buffers and pools outside the timed window
+	start := time.Now()
+	ops := 0
+	for {
+		fn()
+		ops++
+		if elapsed := time.Since(start); elapsed >= inferBenchMinDur {
+			return float64(elapsed.Nanoseconds()) / float64(ops), ops
+		}
+	}
+}
+
+// FormatInferBench renders the A/B table.
+func FormatInferBench(r *InferBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INFERENCE ENGINE A/B — %s (%d features, %d classes, batch %d)\n",
+		r.Model, r.Features, r.Classes, r.Batch)
+	fmt.Fprintf(&b, "%-8s %14s %14s %16s\n", "engine", "ns/op", "records/s", "bytes moved/op")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %14.0f %14.0f %16d\n", row.Engine, row.NsPerOp, row.RecordsPerSec, row.BytesMoved)
+	}
+	if r.SpeedupF32 > 0 {
+		fmt.Fprintf(&b, "f32 speedup: %.2fx records/s; max per-class |logit delta| %.2e\n", r.SpeedupF32, r.MaxScoreDelta)
+	}
+	fmt.Fprintf(&b, "plan: %d steps, %d weight bytes, %d-byte arena @ batch %d (f64 checkpoint lowered once at load)\n",
+		r.PlanSteps, r.PlanWeightBytes, r.PlanArenaBytes, r.Batch)
+	return b.String()
+}

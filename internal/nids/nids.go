@@ -261,7 +261,14 @@ type Config struct {
 	// detector call. Batching amortizes one network pass (one GEMM) over
 	// the batch instead of a per-flow matvec; the first flow of a batch is
 	// never delayed — workers only gather flows that are already waiting.
-	// Defaults to 8 for detectors implementing BatchDetector, 1 otherwise.
+	// Defaults to 32 for detectors implementing BatchDetector (the serve
+	// path's measured sweet spot: its dynamic batcher sustained ~2.5× the
+	// records/s of unbatched scoring at flush size 32), 1 otherwise.
+	// The tradeoff: larger batches amortize the GEMM further only while
+	// flows are actually queuing, and every flow in a batch waits for the
+	// whole batch's verdicts — raise it for throughput under sustained
+	// overload, lower it when per-flow alert latency on bursty traffic
+	// matters more.
 	MicroBatch int
 	// Tap, when non-nil, observes every scored flow and its verdict — the
 	// feedback stream a drift monitor or adaptation loop consumes (alerts
@@ -291,7 +298,7 @@ func New(det Detector, cfg Config) *Pipeline {
 	}
 	if cfg.MicroBatch <= 0 {
 		if _, ok := det.(BatchDetector); ok {
-			cfg.MicroBatch = 8
+			cfg.MicroBatch = 32
 		} else {
 			cfg.MicroBatch = 1
 		}

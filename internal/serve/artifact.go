@@ -16,8 +16,10 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"sync"
 
 	"repro/internal/data"
+	"repro/internal/infer"
 	"repro/internal/models"
 	"repro/internal/nids"
 	"repro/internal/nn"
@@ -57,6 +59,13 @@ type Artifact struct {
 	scaler     *data.Scaler
 	checkpoint []byte
 	version    string
+
+	// Compiled float32 inference plan, lowered from the checkpoint once on
+	// first use and shared by every replica (the weights stay stored once,
+	// in float64, in the artifact file; lowering happens at load).
+	planOnce sync.Once
+	plan     *infer.Plan
+	planErr  error
 }
 
 // NewArtifact captures a trained network and its fitted pipeline into an
@@ -225,6 +234,35 @@ func (a *Artifact) NewNetwork(loss nn.Loss, opt nn.Optimizer) (*nn.Network, *dat
 		return nil, nil, fmt.Errorf("serve: restore %s weights: %w", a.ModelName, err)
 	}
 	return net, &data.Pipeline{Enc: data.NewEncoder(a.Schema), Scaler: a.scaler}, nil
+}
+
+// Plan returns the artifact's compiled float32 inference plan, lowering
+// the float64 checkpoint through infer.Compile on first call. The plan is
+// cached and shared: replicas each run it through their own engine, and a
+// hot-reload path that pre-validates an artifact (adapt's retrain loop)
+// warms the same cache the serving side reads.
+func (a *Artifact) Plan() (*infer.Plan, error) {
+	a.planOnce.Do(func() {
+		net, _, err := a.NewNetwork(nn.NewSoftmaxCrossEntropy(), nn.NewRMSprop(0.01))
+		if err != nil {
+			a.planErr = err
+			return
+		}
+		a.plan, a.planErr = infer.Compile(net)
+	})
+	return a.plan, a.planErr
+}
+
+// NewInferDetector builds a float32-engine scoring replica: the shared
+// compiled plan plus a private engine arena and lock. The float64
+// counterpart is NewDetector.
+func (a *Artifact) NewInferDetector() (*infer.Detector, error) {
+	plan, err := a.Plan()
+	if err != nil {
+		return nil, fmt.Errorf("serve: lower %s for f32 inference: %w", a.ModelName, err)
+	}
+	pipe := &data.Pipeline{Enc: data.NewEncoder(a.Schema), Scaler: a.scaler}
+	return infer.NewDetector(a.ModelName, pipe, plan), nil
 }
 
 // NewDetector builds a fresh, ready-to-score replica from the artifact.

@@ -62,6 +62,61 @@ func encodeProbe(pipe *data.Pipeline, recs []*data.Record) *tensor.Tensor {
 	return x.Reshape(len(recs), 1, pipe.Width())
 }
 
+// TestArtifactPlanCachedAndInferDetectorAgrees pins the plan-aware load
+// path: lowering happens once (Plan() returns the same compiled plan to
+// every caller — the artifact's weights stay stored once, in float64), and
+// a float32 replica built from it produces the float64 replica's verdicts
+// on a held-back batch.
+func TestArtifactPlanCachedAndInferDetectorAgrees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, _, recs := trainTestArtifact(t, "lunet", 31, 2)
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p1, err := loaded.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := loaded.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("Plan() compiled twice; replicas must share one lowering")
+	}
+	if p1.Features() != loaded.Features() || p1.Classes() != loaded.Classes() {
+		t.Fatalf("plan shape %d→%d, artifact %d→%d",
+			p1.Features(), p1.Classes(), loaded.Features(), loaded.Classes())
+	}
+
+	f64det, err := loaded.NewDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f32det, err := loaded.NewInferDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]nids.Verdict, len(recs))
+	got := make([]nids.Verdict, len(recs))
+	f64det.DetectBatch(recs, want)
+	f32det.DetectBatch(recs, got)
+	for i := range recs {
+		if got[i].Class != want[i].Class || got[i].IsAttack != want[i].IsAttack {
+			t.Fatalf("record %d: f32 verdict {class=%d attack=%v}, f64 {class=%d attack=%v}",
+				i, got[i].Class, got[i].IsAttack, want[i].Class, want[i].IsAttack)
+		}
+	}
+}
+
 // TestArtifactRoundTripLuNet pins the headline contract: save → load of a
 // trained block network yields byte-identical PredictClasses output and
 // identical DetectBatch verdicts on a fixed-seed batch.

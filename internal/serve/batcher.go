@@ -76,8 +76,15 @@ func (b *batcher) getSlab() []item {
 }
 
 // putSlab returns a delivered batch's backing array for reuse. Workers
-// call it after the batch's verdicts are written.
+// call it after the batch's verdicts are written. Slabs whose capacity
+// exceeds MaxBatch are dropped instead of pooled — a defensive cap:
+// today's dispatcher never grows a slab past MaxBatch, but a future
+// change that over-appends would otherwise keep recycling the oversized
+// array between GC cycles, inflating every pooled batch to burst size.
 func (b *batcher) putSlab(s []item) {
+	if cap(s) > b.cfg.MaxBatch {
+		return // oversized: let the GC take it
+	}
 	for i := range s {
 		s[i] = item{} // drop record/waitgroup references for the GC
 	}

@@ -78,6 +78,29 @@ func TestBatcherFlushesOnMaxWait(t *testing.T) {
 	}
 }
 
+// TestPutSlabDropsOversized checks the free-list cap: a slab whose backing
+// array outgrew MaxBatch must not re-enter the pool, while a right-sized
+// slab must.
+func TestPutSlabDropsOversized(t *testing.T) {
+	b := newBatcher(batcherConfig{MaxBatch: 4, MaxWait: time.Hour, QueueDepth: 4})
+	defer b.close()
+
+	// A right-sized slab round-trips (cap preserved through put/get).
+	b.putSlab(make([]item, 0, 4))
+	if got := b.getSlab(); cap(got) > 4 {
+		t.Fatalf("right-sized slab came back with cap %d", cap(got))
+	}
+
+	// An oversized slab (e.g. from a burst) is dropped, so the next getSlab
+	// hands out a fresh MaxBatch-capacity array, never the big one.
+	b.putSlab(make([]item, 0, 1024))
+	for i := 0; i < 4; i++ {
+		if got := b.getSlab(); cap(got) > b.cfg.MaxBatch {
+			t.Fatalf("oversized slab (cap %d) re-entered the free list", cap(got))
+		}
+	}
+}
+
 // TestBatcherCloseFlushesQueued checks the drain path: records enqueued
 // before close are all delivered.
 func TestBatcherCloseFlushesQueued(t *testing.T) {

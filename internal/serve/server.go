@@ -33,11 +33,25 @@ type Config struct {
 	// exhaust server memory. Default 4 MiB (~2000 NSL-KDD-shaped records
 	// per batch).
 	MaxBodyBytes int64
+	// Engine selects the scoring implementation: "f32" (default) runs the
+	// compiled float32 inference plan (internal/infer) lowered from the
+	// artifact at load time; "f64" runs the float64 training graph through
+	// nids.ModelDetector — the A/B escape hatch.
+	Engine string
 }
+
+// Engine values accepted by Config.Engine.
+const (
+	EngineF32 = "f32"
+	EngineF64 = "f64"
+)
 
 func (c Config) withDefaults() Config {
 	if c.Replicas <= 0 {
 		c.Replicas = 2
+	}
+	if c.Engine == "" {
+		c.Engine = EngineF32
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 32
@@ -60,14 +74,25 @@ func (c Config) withDefaults() Config {
 // grabbed, so in-flight work finishes on the old model.
 type modelState struct {
 	artifact  *Artifact
-	detectors []*nids.ModelDetector
+	detectors []nids.BatchDetector
 	loadedAt  time.Time
 }
 
-func newModelState(a *Artifact, replicas int) (*modelState, error) {
+func newModelState(a *Artifact, replicas int, engine string) (*modelState, error) {
 	st := &modelState{artifact: a, loadedAt: time.Now()}
 	for i := 0; i < replicas; i++ {
-		det, err := a.NewDetector()
+		var det nids.BatchDetector
+		var err error
+		switch engine {
+		case EngineF32:
+			// The first replica triggers the one-time lowering; the rest (and
+			// any pre-validation done before publish) share the cached plan.
+			det, err = a.NewInferDetector()
+		case EngineF64:
+			det, err = a.NewDetector()
+		default:
+			return nil, fmt.Errorf("serve: unknown engine %q (want %q or %q)", engine, EngineF32, EngineF64)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +121,7 @@ type Server struct {
 // workers.
 func New(a *Artifact, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	st, err := newModelState(a, cfg.Replicas)
+	st, err := newModelState(a, cfg.Replicas, cfg.Engine)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +165,7 @@ func (s *Server) Reload(a *Artifact) error {
 		return fmt.Errorf("serve: reload artifact has %d numeric + %d categorical features, running model has %d + %d — shape-changing reloads are not supported",
 			a.Schema.NumNumeric(), len(a.Schema.Categorical), old.NumNumeric(), len(old.Categorical))
 	}
-	st, err := newModelState(a, s.cfg.Replicas)
+	st, err := newModelState(a, s.cfg.Replicas, s.cfg.Engine)
 	if err != nil {
 		return err
 	}
@@ -384,6 +409,7 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 type ModelInfo struct {
 	Model      string   `json:"model"`
 	Version    string   `json:"version"`
+	Engine     string   `json:"engine"`
 	Features   int      `json:"features"`
 	Classes    int      `json:"classes"`
 	ClassNames []string `json:"class_names"`
@@ -399,6 +425,7 @@ func (s *Server) Info() ModelInfo {
 	return ModelInfo{
 		Model:      st.artifact.ModelName,
 		Version:    st.artifact.Version(),
+		Engine:     s.cfg.Engine,
 		Features:   st.artifact.Features(),
 		Classes:    st.artifact.Classes(),
 		ClassNames: st.artifact.Schema.ClassNames,

@@ -95,6 +95,44 @@ func TestServerMatchesInProcessDetector(t *testing.T) {
 	}
 }
 
+// TestEngineSelection pins the A/B config: both engines serve the same
+// verdicts on the same records, /v1/model reports which one is loaded, and
+// an unknown engine name is rejected at construction.
+func TestEngineSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, _, recs := trainTestArtifact(t, "mlp", 17, 2)
+
+	verdicts := map[string][]VerdictJSON{}
+	for _, engine := range []string{EngineF32, EngineF64} {
+		srv, ts := newTestServer(t, a, Config{Replicas: 1, MaxBatch: 8, MaxWait: time.Millisecond, Engine: engine})
+		if got := srv.Info().Engine; got != engine {
+			t.Fatalf("Info().Engine = %q, configured %q", got, engine)
+		}
+		resp, body := postJSON(t, ts.URL+"/v1/detect-batch", detectBatchRequest{Records: recordsJSON(recs)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("engine %s: status %d: %s", engine, resp.StatusCode, body)
+		}
+		var br detectBatchResponse
+		if err := json.Unmarshal(body, &br); err != nil {
+			t.Fatal(err)
+		}
+		verdicts[engine] = br.Verdicts
+	}
+	for i := range recs {
+		f32, f64 := verdicts[EngineF32][i], verdicts[EngineF64][i]
+		if f32.Class != f64.Class || f32.IsAttack != f64.IsAttack {
+			t.Fatalf("record %d: f32 engine {class=%d attack=%v}, f64 {class=%d attack=%v}",
+				i, f32.Class, f32.IsAttack, f64.Class, f64.IsAttack)
+		}
+	}
+
+	if _, err := New(a, Config{Engine: "f16"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
 // TestConcurrentClientsPreservePairing hammers the dynamic batcher with
 // many concurrent clients sending overlapping subsets of a known record
 // pool and verifies every response pairs each record with its own

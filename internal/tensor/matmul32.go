@@ -1,0 +1,150 @@
+package tensor
+
+// Float32 GEMM for the compiled inference engine (internal/infer).
+//
+// Unlike the float64 training kernels — which must take weights in their
+// natural (k, n) layout — the inference compiler owns the weight layout and
+// pre-transposes every matrix to (n, k) at lowering time: one contiguous
+// row per *output* column. That turns the product into pure dot products
+// over contiguous operand rows, so the kernel can hold a 2×4 register tile
+// of accumulators (two input rows against four weight rows) with no
+// read-modify-write of dst inside the k loop — the shape the float64
+// TransB kernel measured fastest in PERF.md. Bias add and activation run
+// in the tile epilogue while the results are still in registers, and rows
+// are parallelized in bands over the persistent GEMM worker pool.
+
+// Act selects the activation fused into the GEMM epilogue.
+type Act uint8
+
+const (
+	// ActNone applies only the (optional) bias.
+	ActNone Act = iota
+	// ActReLU applies max(0, x) after the bias add.
+	ActReLU
+)
+
+// GemmBiasActF32 computes dst = act(a @ wᵀ + bias) for row-major float32
+// slices a (m×k), w (n×k — one row per output column, the inference
+// compiler's pre-transposed packing) and dst (m×n). bias (length n) may be
+// nil. dst must not alias a or w.
+func GemmBiasActF32(dst, a, w, bias []float32, m, k, n int, act Act) {
+	if len(a) < m*k || len(w) < k*n || len(dst) < m*n {
+		panic("tensor: GemmBiasActF32 slice shorter than its shape")
+	}
+	if bias != nil && len(bias) < n {
+		panic("tensor: GemmBiasActF32 bias shorter than n")
+	}
+	if serialRows(m, k*n) {
+		gemmBlockF32(dst, a, w, bias, 0, m, k, n, act)
+		return
+	}
+	parallelRows(m, func(r0, r1 int) { gemmBlockF32(dst, a, w, bias, r0, r1, k, n, act) })
+}
+
+// gemmBlockF32 computes rows [r0, r1) of dst = act(a @ wᵀ + bias) in 2×4
+// register tiles: eight dot accumulators live in registers across the
+// whole k loop.
+func gemmBlockF32(dst, a, w, bias []float32, r0, r1, k, n int, act Act) {
+	i := r0
+	for ; i+2 <= r1; i += 2 {
+		a0 := a[(i+0)*k : (i+1)*k]
+		a1 := a[(i+1)*k : (i+2)*k]
+		d0 := dst[(i+0)*n : (i+1)*n]
+		d1 := dst[(i+1)*n : (i+2)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			w0 := w[(j+0)*k : (j+1)*k]
+			w1 := w[(j+1)*k : (j+2)*k]
+			w2 := w[(j+2)*k : (j+3)*k]
+			w3 := w[(j+3)*k : (j+4)*k]
+			var s00, s01, s02, s03 float32
+			var s10, s11, s12, s13 float32
+			for p := 0; p < k; p++ {
+				av0, av1 := a0[p], a1[p]
+				wv0, wv1, wv2, wv3 := w0[p], w1[p], w2[p], w3[p]
+				s00 += av0 * wv0
+				s01 += av0 * wv1
+				s02 += av0 * wv2
+				s03 += av0 * wv3
+				s10 += av1 * wv0
+				s11 += av1 * wv1
+				s12 += av1 * wv2
+				s13 += av1 * wv3
+			}
+			if bias != nil {
+				b0, b1, b2, b3 := bias[j], bias[j+1], bias[j+2], bias[j+3]
+				s00, s01, s02, s03 = s00+b0, s01+b1, s02+b2, s03+b3
+				s10, s11, s12, s13 = s10+b0, s11+b1, s12+b2, s13+b3
+			}
+			if act == ActReLU {
+				s00, s01, s02, s03 = relu32(s00), relu32(s01), relu32(s02), relu32(s03)
+				s10, s11, s12, s13 = relu32(s10), relu32(s11), relu32(s12), relu32(s13)
+			}
+			d0[j], d0[j+1], d0[j+2], d0[j+3] = s00, s01, s02, s03
+			d1[j], d1[j+1], d1[j+2], d1[j+3] = s10, s11, s12, s13
+		}
+		for ; j < n; j++ {
+			wrow := w[j*k : (j+1)*k]
+			var s0, s1 float32
+			for p, wv := range wrow {
+				s0 += a0[p] * wv
+				s1 += a1[p] * wv
+			}
+			if bias != nil {
+				s0 += bias[j]
+				s1 += bias[j]
+			}
+			if act == ActReLU {
+				s0, s1 = relu32(s0), relu32(s1)
+			}
+			d0[j], d1[j] = s0, s1
+		}
+	}
+	// Remainder row: 1×4 tiles.
+	for ; i < r1; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			w0 := w[(j+0)*k : (j+1)*k]
+			w1 := w[(j+1)*k : (j+2)*k]
+			w2 := w[(j+2)*k : (j+3)*k]
+			w3 := w[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float32
+			for p, av := range arow {
+				s0 += av * w0[p]
+				s1 += av * w1[p]
+				s2 += av * w2[p]
+				s3 += av * w3[p]
+			}
+			if bias != nil {
+				s0, s1, s2, s3 = s0+bias[j], s1+bias[j+1], s2+bias[j+2], s3+bias[j+3]
+			}
+			if act == ActReLU {
+				s0, s1, s2, s3 = relu32(s0), relu32(s1), relu32(s2), relu32(s3)
+			}
+			drow[j], drow[j+1], drow[j+2], drow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			wrow := w[j*k : (j+1)*k]
+			var s float32
+			for p, wv := range wrow {
+				s += arow[p] * wv
+			}
+			if bias != nil {
+				s += bias[j]
+			}
+			if act == ActReLU {
+				s = relu32(s)
+			}
+			drow[j] = s
+		}
+	}
+}
+
+func relu32(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
