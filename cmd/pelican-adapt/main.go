@@ -3,9 +3,14 @@
 // against the server (so it watches exactly the model generation
 // production flows are scored by), monitors the score/alert/feature
 // distributions for drift, and on a trip warm-start retrains the current
-// model on a sliding buffer of recent flows, saves a new content-addressed
-// artifact, and hot-reloads it into the server via /v1/reload — no restart,
-// no dropped requests.
+// model on the older part of a sliding buffer of recent flows, saves a new
+// content-addressed artifact, and stages it into the server's shadow slot
+// via /v2/load. Promotion is gated: the candidate must score a held-out
+// detection rate no worse than the deployed model's (on the buffer's most
+// recent flows, which retraining never sees) or it is rejected — it stays
+// parked in shadow for inspection and the live model is untouched, with
+// /v2/rollback one call away even after a promotion. -gate-off restores
+// the old unconditional publish.
 //
 // The traffic is simulated (the repository's class-conditional generators
 // stand in for a span port); -shift-at injects a distribution shift —
@@ -60,6 +65,8 @@ func run(args []string, out io.Writer) error {
 		minRetrain  = fs.Int("min-retrain", 256, "fewest buffered flows worth retraining on")
 		epochs      = fs.Int("epochs", 3, "warm-start retraining epochs per trip")
 		lr          = fs.Float64("lr", 0.003, "warm-start learning rate")
+		holdout     = fs.Float64("holdout", 0.2, "fraction of the buffer held out to gate promotion (candidate DR must be no worse than live)")
+		gateOff     = fs.Bool("gate-off", false, "publish every retrain unconditionally (disable the held-out promotion gate)")
 		reportEvery = fs.Int("report-every", 2000, "print realized stats every N flows (0 = off)")
 		healthEvery = fs.Duration("healthz-every", 0, "poll -target/healthz at this interval and fail on any non-200 (0 = off)")
 		mustRetrain = fs.Bool("require-retrain", false, "exit non-zero unless at least one retrain was published")
@@ -110,16 +117,24 @@ func run(args []string, out io.Writer) error {
 		*artifactDir = dir
 	}
 
+	var rejected atomic.Int64
 	loop, err := adapt.NewLoop(art, adapt.Config{
 		Monitor:       adapt.MonitorConfig{RefWindow: *refWindow, Window: *window, Threshold: *threshold},
 		BufferCap:     *buffer,
 		MinRetrain:    *minRetrain,
 		RetrainEpochs: *epochs,
 		LR:            *lr,
+		HoldoutFrac:   *holdout,
+		GateOff:       *gateOff,
 		ArtifactDir:   *artifactDir,
 		Publisher:     adapt.HTTPPublisher{Client: client},
-		OnEvent:       func(e adapt.Event) { fmt.Fprintln(out, e) },
-		Seed:          *seed,
+		OnEvent: func(e adapt.Event) {
+			if e.Rejected {
+				rejected.Add(1)
+			}
+			fmt.Fprintln(out, e)
+		},
+		Seed: *seed,
 	})
 	if err != nil {
 		return err
@@ -225,8 +240,8 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("query final /v1/model: %w", err)
 	}
 	fmt.Fprintf(out, "done: %s\n", st)
-	fmt.Fprintf(out, "retrains=%d served-version=%s scoring-errors=%d\n",
-		loop.Retrains(), final.Version, det.Errors())
+	fmt.Fprintf(out, "retrains=%d gate-rejections=%d served-version=%s scoring-errors=%d\n",
+		loop.Retrains(), rejected.Load(), final.Version, det.Errors())
 	if det.Errors() > 0 {
 		return fmt.Errorf("%d scoring requests failed", det.Errors())
 	}

@@ -1,11 +1,16 @@
-// Command pelican-serve hosts a trained model artifact as an HTTP/JSON
-// scoring service with dynamic micro-batching, sharded replicas, hot
-// reload, and Prometheus metrics — or, with -loadgen, drives such a
-// service and reports achieved QPS and latency percentiles.
+// Command pelican-serve hosts trained model artifacts as an HTTP/JSON
+// scoring service built around a model registry: named slots (live,
+// shadow, canary tags) each with their own batcher and replica shard,
+// shadow-mode traffic mirroring with agreement counters, atomic
+// shadow→live promotion, and rollback — plus dynamic micro-batching,
+// Prometheus metrics, and the /v1 single-model surface as thin delegates
+// onto the live slot. With -loadgen it instead drives such a service and
+// reports achieved QPS and latency percentiles.
 //
 // Usage:
 //
 //	pelican-serve -model model.plcn -addr 127.0.0.1:8080 -replicas 2 -engine f32
+//	pelican-serve -model live.plcn -shadow candidate.plcn   # mirror + canary
 //	pelican-serve -loadgen -target http://127.0.0.1:8080 -duration 5s -concurrency 8 -batch 8
 package main
 
@@ -39,14 +44,16 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pelican-serve", flag.ContinueOnError)
 	var (
-		model    = fs.String("model", "", "model artifact to serve (written by pelican-train -save)")
+		model    = fs.String("model", "", "model artifact to serve live (written by pelican-train -save)")
+		shadow   = fs.String("shadow", "", "optional artifact to preload into the shadow slot (mirrored, promotable via /v2/promote)")
 		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
-		replicas = fs.Int("replicas", 2, "detector replicas (scoring shards)")
+		replicas = fs.Int("replicas", 2, "detector replicas (scoring shards) per model slot")
 		maxBatch = fs.Int("max-batch", 32, "dynamic batcher flush size")
 		maxWait  = fs.Duration("max-wait", 2*time.Millisecond, "dynamic batcher flush deadline")
-		queue    = fs.Int("queue", 1024, "batcher queue depth (requests block when full)")
+		queue    = fs.Int("queue", 1024, "batcher queue depth per slot (requests block when full)")
 		maxBody  = fs.Int64("max-body", 4<<20, "request body size cap in bytes (413 beyond)")
 		engine   = fs.String("engine", "f32", "scoring engine: f32 (compiled float32 inference plan) or f64 (training graph)")
+		noMirror = fs.Bool("no-mirror", false, "disable duplicating live traffic onto the shadow slot")
 
 		loadgen     = fs.Bool("loadgen", false, "run as load generator instead of server")
 		target      = fs.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
@@ -68,13 +75,13 @@ func run(args []string, out io.Writer) error {
 			minAttacks: *minAttacks,
 		})
 	}
-	return runServer(out, *model, *addr, serve.Config{
+	return runServer(out, *model, *shadow, *addr, serve.Config{
 		Replicas: *replicas, MaxBatch: *maxBatch, MaxWait: *maxWait, QueueDepth: *queue,
-		MaxBodyBytes: *maxBody, Engine: *engine,
+		MaxBodyBytes: *maxBody, Engine: *engine, MirrorOff: *noMirror,
 	})
 }
 
-func runServer(out io.Writer, model, addr string, cfg serve.Config) error {
+func runServer(out io.Writer, model, shadow, addr string, cfg serve.Config) error {
 	if model == "" {
 		return fmt.Errorf("-model is required (train one with: pelican-train -save model.plcn)")
 	}
@@ -86,6 +93,16 @@ func runServer(out io.Writer, model, addr string, cfg serve.Config) error {
 	if err != nil {
 		return err
 	}
+	if shadow != "" {
+		sa, err := serve.LoadArtifactFile(shadow)
+		if err != nil {
+			return fmt.Errorf("-shadow: %w", err)
+		}
+		if err := srv.LoadSlot("shadow", sa); err != nil {
+			return fmt.Errorf("-shadow: %w", err)
+		}
+		fmt.Fprintf(out, "shadow slot: %s (version %s)\n", sa.ModelName, sa.Version())
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -94,6 +111,7 @@ func runServer(out io.Writer, model, addr string, cfg serve.Config) error {
 	fmt.Fprintf(out, "serving %s (version %s, %d features, %d classes) on http://%s\n",
 		info.Model, info.Version, info.Features, info.Classes, ln.Addr())
 	fmt.Fprintf(out, "engine=%s replicas=%d max-batch=%d max-wait=%s\n", info.Engine, info.Replicas, info.MaxBatch, cfg.MaxWait)
+	fmt.Fprintf(out, "registry: /v2/models (list), /v2/load?tag= (stage), /v2/promote, /v2/rollback\n")
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)

@@ -1,15 +1,16 @@
-// Serving client: the full train → ship → serve → score loop in one
-// process. A small detector is trained and packed into a self-contained
-// model artifact, a scoring server is started on a loopback port, flows
-// are scored over HTTP/JSON, and a second artifact is hot-reloaded with
-// zero downtime — the deployment story pelican-train and pelican-serve
-// provide as separate binaries.
+// Serving client: the full train → ship → serve → score → canary loop in
+// one process. A small detector is trained and packed into a
+// self-contained model artifact and served from the registry's live slot;
+// a second generation is then staged into the shadow slot, where live
+// traffic is mirrored onto it and per-slot agreement counters accumulate —
+// the evidence a promotion decision reads. The shadow is promoted to live
+// with the prior generation retained, and rolled back to show the exact
+// prior version restored — the deployment story pelican-train and
+// pelican-serve provide as separate binaries.
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"log"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/models"
@@ -40,7 +42,7 @@ func run() error {
 	}
 
 	// Train two detector generations: the artifact we serve first and the
-	// retrained one we hot-reload onto the running server.
+	// candidate we stage, mirror, and promote on the running server.
 	fmt.Println("training two mlp generations...")
 	gen1, err := trainArtifact(gen, 1)
 	if err != nil {
@@ -62,38 +64,27 @@ func run() error {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go httpSrv.Serve(ln)
 	base := "http://" + ln.Addr().String()
-	fmt.Printf("serving %s version %s at %s\n", gen1.ModelName, gen1.Version(), base)
+	client := serve.NewClient(base)
+	fmt.Printf("serving %s version %s at %s (live slot)\n", gen1.ModelName, gen1.Version(), base)
 
 	// Score a few live flows over the wire.
 	flows := gen.Generate(8, 99)
-	var req struct {
-		Records []serve.RecordJSON `json:"records"`
+	recs := make([]*data.Record, len(flows.Records))
+	for i := range flows.Records {
+		recs[i] = &flows.Records[i]
 	}
-	for _, r := range flows.Records {
-		req.Records = append(req.Records, serve.RecordJSON{Numeric: r.Numeric, Categorical: r.Categorical})
-	}
-	body, _ := json.Marshal(req)
-	resp, err := http.Post(base+"/v1/detect-batch", "application/json", bytes.NewReader(body))
+	verdicts, liveVersion, err := client.Score(recs)
 	if err != nil {
 		return err
 	}
-	var br struct {
-		ModelVersion string              `json:"model_version"`
-		Verdicts     []serve.VerdictJSON `json:"verdicts"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
-		resp.Body.Close()
-		return err
-	}
-	resp.Body.Close()
-	for i, v := range br.Verdicts {
+	for i, v := range verdicts {
 		truth := gen.Schema().ClassNames[flows.Records[i].Label]
-		fmt.Printf("  flow %d: verdict=%-10s attack=%-5v score=%.2f (truth: %s)\n",
-			i, v.ClassName, v.IsAttack, v.Score, truth)
+		fmt.Printf("  flow %d: class=%-2d attack=%-5v score=%.2f (truth: %s)\n",
+			i, v.Class, v.IsAttack, v.Score, truth)
 	}
 
-	// Hot-reload the retrained generation through the admin endpoint; the
-	// server keeps answering throughout.
+	// Stage the candidate into the shadow slot. From here on, every live
+	// request is also mirrored onto it, best-effort and off the hot path.
 	dir, err := os.MkdirTemp("", "pelican-serving-client")
 	if err != nil {
 		return err
@@ -103,20 +94,58 @@ func run() error {
 	if err := serve.SaveArtifactFile(path, gen2); err != nil {
 		return err
 	}
-	rl, _ := json.Marshal(map[string]string{"path": path})
-	resp, err = http.Post(base+"/v1/reload", "application/json", bytes.NewReader(rl))
+	info, err := client.LoadTag(path, "shadow")
 	if err != nil {
 		return err
 	}
-	var info serve.ModelInfo
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		resp.Body.Close()
+	fmt.Printf("staged %s into the shadow slot (live stays %s)\n", info.Version, liveVersion)
+
+	// Drive evaluation traffic at live; the mirrors accumulate agreement
+	// counters on the shadow slot.
+	eval := gen.Generate(256, 7)
+	evalRecs := make([]*data.Record, len(eval.Records))
+	for i := range eval.Records {
+		evalRecs[i] = &eval.Records[i]
+	}
+	for lo := 0; lo < len(evalRecs); lo += 32 {
+		hi := min(lo+32, len(evalRecs))
+		if _, _, err := client.Score(evalRecs[lo:hi]); err != nil {
+			return err
+		}
+	}
+	// Mirrors are asynchronous: give them a moment to land.
+	shadowStats, err := waitForMirrors(client, int64(len(evalRecs))/2)
+	if err != nil {
 		return err
 	}
-	resp.Body.Close()
-	fmt.Printf("hot-reloaded: now serving version %s (was %s)\n", info.Version, br.ModelVersion)
+	fmt.Printf("shadow evaluation: %d mirrored, %d agree, %d disagree (%d dropped)\n",
+		shadowStats.Mirrored, shadowStats.Agreements, shadowStats.Disagreements, shadowStats.MirrorDropped)
 
-	// Graceful shutdown: drain, stop the listener, drain the batcher.
+	// Promote: the shadow becomes live atomically; the displaced live
+	// generation is retained for rollback.
+	info, err = client.Promote()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("promoted: now serving version %s (was %s, retained for rollback)\n",
+		info.Version, info.PreviousVersion)
+	if _, v2, err := client.Score(recs[:2]); err != nil {
+		return err
+	} else if v2 != gen2.Version() {
+		return fmt.Errorf("post-promote scoring answered %s, want %s", v2, gen2.Version())
+	}
+
+	// Rollback: the exact prior version returns.
+	info, err = client.Rollback()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rolled back: serving version %s again\n", info.Version)
+	if info.Version != gen1.Version() {
+		return fmt.Errorf("rollback restored %s, want %s", info.Version, gen1.Version())
+	}
+
+	// Graceful shutdown: drain, stop the listener, drain the batchers.
 	srv.BeginDrain()
 	if err := httpSrv.Shutdown(context.Background()); err != nil {
 		return err
@@ -124,6 +153,28 @@ func run() error {
 	srv.Close()
 	fmt.Println("clean shutdown")
 	return nil
+}
+
+// waitForMirrors polls /v2/models until at least want mirrors have landed
+// on the shadow slot (they are asynchronous and best-effort).
+func waitForMirrors(client *serve.Client, want int64) (serve.SlotStatsJSON, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	var last serve.SlotStatsJSON
+	for {
+		ms, err := client.Models()
+		if err != nil {
+			return last, err
+		}
+		for _, sl := range ms.Slots {
+			if sl.Tag == "shadow" {
+				last = sl.Stats
+			}
+		}
+		if last.Mirrored >= want || time.Now().After(deadline) {
+			return last, nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 // trainArtifact trains a small MLP detector and packs it into an artifact.

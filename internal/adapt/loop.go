@@ -14,6 +14,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/nids"
 	"repro/internal/nn"
+	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 )
@@ -25,21 +26,59 @@ type Publisher interface {
 	Publish(path string, a *serve.Artifact) error
 }
 
-// ServerPublisher hot-reloads retrained artifacts into an in-process
-// scoring server.
+// StagedPublisher is a Publisher that can route a retrain through the
+// serving registry's staged deployment: Stage loads the candidate into the
+// shadow slot, Promote atomically makes it live (retaining the displaced
+// generation for /v2/rollback). The loop prefers this flow when available
+// — the candidate is visible (and mirrored against) in shadow before it
+// ever takes live traffic, and a gate rejection leaves it parked there for
+// inspection instead of publishing it.
+type StagedPublisher interface {
+	Publisher
+	Stage(path string, a *serve.Artifact) error
+	Promote() error
+}
+
+// ServerPublisher deploys retrained artifacts into an in-process scoring
+// server through its model registry.
 type ServerPublisher struct{ Srv *serve.Server }
 
-// Publish implements Publisher.
+var _ StagedPublisher = ServerPublisher{}
+
+// Publish implements Publisher: a direct live-slot swap.
 func (p ServerPublisher) Publish(_ string, a *serve.Artifact) error { return p.Srv.Reload(a) }
 
-// HTTPPublisher hot-reloads retrained artifacts into a remote pelican-serve
-// via POST /v1/reload. The artifact path must be readable by the server
-// (same host or shared filesystem).
+// Stage implements StagedPublisher: load the candidate into shadow.
+func (p ServerPublisher) Stage(_ string, a *serve.Artifact) error {
+	return p.Srv.LoadSlot(registry.Shadow, a)
+}
+
+// Promote implements StagedPublisher: shadow becomes live atomically.
+func (p ServerPublisher) Promote() error { return p.Srv.Promote() }
+
+// HTTPPublisher deploys retrained artifacts into a remote pelican-serve
+// via the /v2 registry API (staged) or POST /v1/reload (direct). The
+// artifact path must be readable by the server (same host or shared
+// filesystem).
 type HTTPPublisher struct{ Client *serve.Client }
 
-// Publish implements Publisher.
+var _ StagedPublisher = HTTPPublisher{}
+
+// Publish implements Publisher: a direct live-slot swap via /v1/reload.
 func (p HTTPPublisher) Publish(path string, _ *serve.Artifact) error {
 	_, err := p.Client.Reload(path)
+	return err
+}
+
+// Stage implements StagedPublisher via POST /v2/load?tag=shadow.
+func (p HTTPPublisher) Stage(path string, _ *serve.Artifact) error {
+	_, err := p.Client.LoadTag(path, registry.Shadow)
+	return err
+}
+
+// Promote implements StagedPublisher via POST /v2/promote.
+func (p HTTPPublisher) Promote() error {
+	_, err := p.Client.Promote()
 	return err
 }
 
@@ -79,8 +118,26 @@ type Config struct {
 	// ArtifactDir is where retrained artifacts are written, one
 	// content-addressed file per generation. Default os.TempDir().
 	ArtifactDir string
-	// Publisher ships each retrained artifact; nil means save-only.
+	// Publisher ships each retrained artifact; nil means save-only. A
+	// StagedPublisher routes candidates through the serving registry's
+	// shadow slot (stage → gate → promote).
 	Publisher Publisher
+	// HoldoutFrac is the fraction of the snapshot — its most recent flows,
+	// the ones that best reflect post-drift traffic — excluded from
+	// retraining and used to gate promotion: the candidate must score a
+	// held-out detection rate no worse than the currently deployed model
+	// (and not raise the held-out false-alarm rate by more than
+	// GateFARSlack), or the retrain is rejected and never becomes live.
+	// Default 0.2.
+	HoldoutFrac float64
+	// GateFARSlack is how much absolute held-out false-alarm-rate increase
+	// a candidate may show and still promote — the guard against a
+	// degenerate retrain "winning" on detection rate by alerting on
+	// everything. Default 0.05.
+	GateFARSlack float64
+	// GateOff disables held-out gating, restoring the pre-registry
+	// behavior: every successful retrain publishes unconditionally.
+	GateOff bool
 	// OnEvent, when non-nil, observes every adaptation attempt (from the
 	// Run goroutine).
 	OnEvent func(Event)
@@ -106,6 +163,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ArtifactDir == "" {
 		c.ArtifactDir = os.TempDir()
+	}
+	if c.HoldoutFrac <= 0 {
+		c.HoldoutFrac = 0.2
+	}
+	if c.HoldoutFrac > 0.5 {
+		c.HoldoutFrac = 0.5
+	}
+	if c.GateFARSlack <= 0 {
+		c.GateFARSlack = 0.05
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -134,6 +200,23 @@ type Event struct {
 	TrainFlows int
 	TrainLoss  float64
 	Duration   time.Duration
+	// HoldoutFlows is how many buffered flows were held out of retraining
+	// for the promotion gate (0 when the gate did not run: GateOff, no
+	// publisher, or a buffer too thin to spare a meaningful holdout).
+	HoldoutFlows int
+	// CandidateDR/LiveDR are the gate's held-out detection rates (or, for
+	// an attack-free holdout, accuracies) for the retrained candidate and
+	// the deployed model; CandidateFAR/LiveFAR the matching false-alarm
+	// rates.
+	CandidateDR  float64
+	LiveDR       float64
+	CandidateFAR float64
+	LiveFAR      float64
+	// Rejected is set when the gate refused to promote the candidate: it
+	// stays staged in the shadow slot (under a StagedPublisher) and the
+	// live model is untouched. The next retrain warm-starts from the live
+	// weights again, not the rejected ones.
+	Rejected bool
 	// LowerErr records a float32-lowering failure for the retrained
 	// artifact. It is non-fatal — f64-engine servers serve the artifact
 	// regardless, and an f32 server's reload re-validates and rejects it —
@@ -153,9 +236,15 @@ func (e Event) String() string {
 			e.Trigger.Signal, e.Trigger.Z, e.Buffered)
 	case e.Err != nil:
 		return fmt.Sprintf("adapt: drift on %s (z=%.1f) failed: %v", e.Trigger.Signal, e.Trigger.Z, e.Err)
+	case e.Rejected:
+		return fmt.Sprintf("adapt: drift on %s (z=%.1f) -> retrained on %d flows, REJECTED by gate: candidate DR %.3f / FAR %.3f vs live %.3f / %.3f on %d held-out flows (candidate %s stays in shadow)",
+			e.Trigger.Signal, e.Trigger.Z, e.TrainFlows, e.CandidateDR, e.CandidateFAR, e.LiveDR, e.LiveFAR, e.HoldoutFlows, e.Version)
 	default:
 		s := fmt.Sprintf("adapt: drift on %s (z=%.1f) -> retrained on %d flows (loss %.4f) -> published %s in %s",
 			e.Trigger.Signal, e.Trigger.Z, e.TrainFlows, e.TrainLoss, e.Version, e.Duration.Round(time.Millisecond))
+		if e.HoldoutFlows > 0 {
+			s += fmt.Sprintf(" (gate: DR %.3f vs live %.3f on %d held-out)", e.CandidateDR, e.LiveDR, e.HoldoutFlows)
+		}
 		if e.LowerErr != nil {
 			s += fmt.Sprintf(" (f32 lowering failed: %v)", e.LowerErr)
 		}
@@ -311,8 +400,14 @@ func (l *Loop) Run(ctx context.Context) error {
 	}
 }
 
-// adapt services one monitor trip: warm-start retrain, save, publish,
-// re-baseline.
+// minHoldout is the fewest held-out flows a promotion gate is allowed to
+// judge on; a thinner holdout skips the gate rather than gamble the live
+// model on a noisy estimate.
+const minHoldout = 32
+
+// adapt services one monitor trip: warm-start retrain on the older part of
+// the buffer, gate on the held-out recent part (candidate vs deployed),
+// stage into shadow, and promote — or reject — accordingly.
 func (l *Loop) adapt(trig Trigger) Event {
 	ev := Event{Trigger: trig, Buffered: l.buf.Len()}
 	if ev.Buffered < l.cfg.MinRetrain {
@@ -325,16 +420,34 @@ func (l *Loop) adapt(trig Trigger) Event {
 
 	recs, labels := l.buf.Snapshot()
 	art := l.art.Load()
-	idx := allIndices(len(recs))
+
+	// Carve the holdout off the recent end of the snapshot: the newest
+	// flows are the best proxy for the post-drift traffic the promoted
+	// model would face, and excluding them from retraining keeps the gate
+	// honest (the candidate never trains on its own exam).
+	n := len(recs)
+	holdN := 0
+	if !l.cfg.GateOff && l.cfg.Publisher != nil {
+		holdN = int(float64(n) * l.cfg.HoldoutFrac)
+		if n-holdN < l.cfg.MinRetrain {
+			holdN = n - l.cfg.MinRetrain
+		}
+		if holdN < minHoldout {
+			holdN = 0
+		}
+	}
+	trainRecs, trainLabels := recs[:n-holdN], labels[:n-holdN]
+
+	idx := allIndices(len(trainRecs))
 	if !l.cfg.BalanceOff {
-		idx = balancedIndices(l.rng, labels, art.Classes())
+		idx = balancedIndices(l.rng, trainLabels, art.Classes())
 	}
 	f := l.pipe.Width()
 	x := tensor.New(len(idx), f)
 	y := make([]int, len(idx))
 	for i, j := range idx {
-		l.pipe.ApplyInto(&recs[j], x.Row(i))
-		y[i] = labels[j]
+		l.pipe.ApplyInto(&trainRecs[j], x.Row(i))
+		y[i] = trainLabels[j]
 	}
 
 	stats := l.net.PartialFit(x.Reshape(len(idx), 1, f), y, nn.FitConfig{
@@ -347,6 +460,7 @@ func (l *Loop) adapt(trig Trigger) Event {
 	next, err := serve.NewArtifact(art.ModelName, art.Block, art.Schema, l.pipe, l.net)
 	if err != nil {
 		ev.Err = fmt.Errorf("capture artifact: %w", err)
+		l.discardRetrain(&ev)
 		return ev
 	}
 	// Recompile the float32 inference plan before publication: for
@@ -363,13 +477,66 @@ func (l *Loop) adapt(trig Trigger) Event {
 	path := filepath.Join(l.cfg.ArtifactDir, fmt.Sprintf("%s-%s.plcn", next.ModelName, next.Version()))
 	if err := serve.SaveArtifactFile(path, next); err != nil {
 		ev.Err = fmt.Errorf("save artifact: %w", err)
+		l.discardRetrain(&ev)
+		return ev
+	}
+	ev.Version = next.Version()
+	ev.Path = path
+
+	// Gate: the candidate must be no worse than the deployed model on the
+	// held-out slice — detection rate first, with a false-alarm-rate guard
+	// so a retrain cannot "win" by alerting on everything.
+	pass := true
+	if holdN > 0 {
+		holdRecs, holdLabels := recs[n-holdN:], labels[n-holdN:]
+		liveDet, err := art.NewDetector()
+		if err != nil {
+			ev.Err = fmt.Errorf("rebuild live detector for gate: %w", err)
+			l.discardRetrain(&ev)
+			return ev
+		}
+		candDet := &nids.ModelDetector{ModelName: art.ModelName, Net: l.net, Pipe: l.pipe}
+		cand := gateScore(candDet, holdRecs, holdLabels)
+		live := gateScore(liveDet, holdRecs, holdLabels)
+		ev.HoldoutFlows = holdN
+		ev.CandidateDR, ev.CandidateFAR = cand.dr, cand.far
+		ev.LiveDR, ev.LiveFAR = live.dr, live.far
+		pass = cand.dr >= live.dr && cand.far <= live.far+l.cfg.GateFARSlack
+	}
+
+	staged, isStaged := l.cfg.Publisher.(StagedPublisher)
+	if isStaged {
+		// Stage first: pass or fail, the candidate lands in the shadow
+		// slot, where mirroring accumulates live-vs-candidate agreement
+		// counters and operators can inspect (or manually promote) it.
+		if err := staged.Stage(path, next); err != nil {
+			ev.Err = fmt.Errorf("stage artifact: %w", err)
+			l.discardRetrain(&ev)
+			return ev
+		}
+	}
+	if !pass {
+		// Rejected: the live model is untouched, and the next retrain must
+		// warm-start from the deployed weights, not the rejected ones. The
+		// monitors keep their reference too — persisting drift re-trips
+		// after cooldown and retries on a fresher buffer.
+		ev.Rejected = true
+		l.discardRetrain(&ev)
+		ev.Duration = time.Since(start)
 		return ev
 	}
 	if l.cfg.Publisher != nil {
-		if err := l.cfg.Publisher.Publish(path, next); err != nil {
+		var err error
+		if isStaged {
+			err = staged.Promote()
+		} else {
+			err = l.cfg.Publisher.Publish(path, next)
+		}
+		if err != nil {
 			// Publication failed: keep the old monitors' reference so a
 			// persisting drift re-trips after cooldown and retries.
 			ev.Err = fmt.Errorf("publish artifact: %w", err)
+			l.discardRetrain(&ev)
 			return ev
 		}
 	}
@@ -382,10 +549,77 @@ func (l *Loop) adapt(trig Trigger) Event {
 	l.alertMon.Reset()
 	l.featMon.Reset()
 
-	ev.Version = next.Version()
-	ev.Path = path
 	ev.Duration = time.Since(start)
 	return ev
+}
+
+// gateVerdicts summarizes a detector's held-out performance. When the
+// holdout contains attacks, dr is the detection rate and far the
+// false-alarm rate over its normal flows; an attack-free holdout falls
+// back to dr = accuracy, far = alert rate.
+type gateVerdicts struct {
+	dr, far float64
+}
+
+// gateScore evaluates det on the held-out flows.
+func gateScore(det nids.BatchDetector, recs []data.Record, labels []int) gateVerdicts {
+	ptrs := make([]*data.Record, len(recs))
+	for i := range recs {
+		ptrs[i] = &recs[i]
+	}
+	verdicts := make([]nids.Verdict, len(recs))
+	det.DetectBatch(ptrs, verdicts)
+	var attacks, caught, normals, alarms, correct int
+	for i, v := range verdicts {
+		if labels[i] != 0 {
+			attacks++
+			if v.IsAttack {
+				caught++
+			}
+		} else {
+			normals++
+			if v.IsAttack {
+				alarms++
+			}
+		}
+		if v.Class == labels[i] {
+			correct++
+		}
+	}
+	if attacks == 0 {
+		return gateVerdicts{dr: ratio(correct, len(recs)), far: ratio(alarms, normals)}
+	}
+	return gateVerdicts{dr: ratio(caught, attacks), far: ratio(alarms, normals)}
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// discardRetrain drops the just-trained weights on every path that does
+// not deploy them — gate rejection or any failure after PartialFit — so
+// the next attempt warm-starts from the deployed generation, never from
+// an unvetted (possibly torched) retrain. A reset failure is recorded on
+// the event unless a primary error already is.
+func (l *Loop) discardRetrain(ev *Event) {
+	if err := l.resetNet(); err != nil && ev.Err == nil {
+		ev.Err = fmt.Errorf("reset warm-start network: %w", err)
+	}
+}
+
+// resetNet rebuilds the warm-start network from the deployed artifact.
+func (l *Loop) resetNet() error {
+	opt := nn.NewRMSprop(l.cfg.LR)
+	opt.MaxNorm = 5
+	net, pipe, err := l.art.Load().NewNetwork(nn.NewSoftmaxCrossEntropy(), opt)
+	if err != nil {
+		return err
+	}
+	l.net, l.pipe = net, pipe
+	return nil
 }
 
 // Artifact returns the most recently published generation (the seed

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -230,6 +231,144 @@ func TestClosedLoopDriftRetrainHotReload(t *testing.T) {
 
 	cancel()
 	<-loopDone
+}
+
+// observeFlows streams n generated flows into the loop's tap with their
+// ground-truth labels and oracle verdicts, filling the retraining buffer
+// without a serving round-trip.
+func observeFlows(t *testing.T, loop *Loop, gen *synth.Generator, n int, seed int64) {
+	t.Helper()
+	ds := gen.Generate(n, seed)
+	for i := range ds.Records {
+		f := flow.Flow{Record: ds.Records[i], TrueClass: ds.Records[i].Label}
+		v := nids.Verdict{Class: f.TrueClass, IsAttack: f.TrueClass != 0, Score: 1}
+		loop.Observe(&f, v)
+	}
+}
+
+// TestGatedPromotionRejectsWorseRetrain pins the acceptance criterion: a
+// retrain whose held-out detection quality is worse than the deployed
+// model's is auto-rejected — it lands in the shadow slot but never becomes
+// live — while a sane retrain over the same buffer passes the gate,
+// promotes through shadow, and leaves the displaced generation available
+// for rollback.
+func TestGatedPromotionRejectsWorseRetrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	gen, err := synth.New(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := trainTinyArtifact(t, gen, 1200, 8, 41)
+	srv, err := serve.New(art, serve.Config{Replicas: 1, MaxBatch: 16, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	// A deliberately destructive retrain: a warm-start learning rate of 3
+	// torches the deployed weights, so the candidate must score worse than
+	// live on the holdout (or alert on everything and trip the FAR guard).
+	bad, err := NewLoop(art, Config{
+		MinRetrain:    256,
+		RetrainEpochs: 4,
+		LR:            3,
+		ArtifactDir:   t.TempDir(),
+		Publisher:     ServerPublisher{Srv: srv},
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observeFlows(t, bad, gen, 900, 51)
+	ev := bad.adapt(Trigger{Signal: "normal-score", Z: 9})
+	if ev.Err != nil {
+		t.Fatalf("adapt failed outright: %v", ev)
+	}
+	if !ev.Rejected {
+		t.Fatalf("destructive retrain was promoted: %+v", ev)
+	}
+	if ev.HoldoutFlows < minHoldout || ev.Version == "" {
+		t.Fatalf("rejection event incomplete: %+v", ev)
+	}
+	if got := srv.Info().Version; got != art.Version() {
+		t.Fatalf("rejected retrain became live: serving %s, want %s", got, art.Version())
+	}
+	if bad.Version() != art.Version() || bad.Retrains() != 0 {
+		t.Fatalf("rejection advanced the loop generation: %s / %d retrains", bad.Version(), bad.Retrains())
+	}
+	// The rejected candidate is parked in shadow for inspection.
+	shadowInfo, err := srv.InfoTag("shadow")
+	if err != nil || shadowInfo.Version != ev.Version {
+		t.Fatalf("rejected candidate not staged in shadow: %+v, %v", shadowInfo, err)
+	}
+	if s := ev.String(); !strings.Contains(s, "REJECTED") {
+		t.Fatalf("rejection event renders as %q", s)
+	}
+
+	// After a rejection the warm-start base must be the deployed weights,
+	// not the torched ones: a sane retrain from the same loop passes.
+	bad.cfg.LR = 0.003
+	if err := bad.resetNet(); err != nil {
+		t.Fatal(err)
+	}
+	observeFlows(t, bad, gen, 900, 53)
+	ev = bad.adapt(Trigger{Signal: "normal-score", Z: 9})
+	if ev.Err != nil || ev.Rejected {
+		t.Fatalf("sane retrain did not promote: %+v", ev)
+	}
+	if ev.HoldoutFlows < minHoldout {
+		t.Fatalf("gate did not run on the sane retrain: %+v", ev)
+	}
+	if got := srv.Info().Version; got != ev.Version || bad.Retrains() != 1 {
+		t.Fatalf("promotion did not land: serving %s, event %s, retrains %d", got, ev.Version, bad.Retrains())
+	}
+	// The promotion went through the registry: the displaced generation is
+	// one rollback away.
+	if err := srv.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Info().Version; got != art.Version() {
+		t.Fatalf("rollback after gated promotion restored %s, want %s", got, art.Version())
+	}
+}
+
+// TestGateOffRestoresUnconditionalPublish pins the escape hatch: with
+// GateOff even a destructive retrain publishes (the pre-registry
+// behavior), so deployments that cannot afford a holdout keep working.
+func TestGateOffRestoresUnconditionalPublish(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	gen, err := synth.New(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := trainTinyArtifact(t, gen, 600, 3, 43)
+	srv, err := serve.New(art, serve.Config{Replicas: 1, MaxBatch: 16, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	loop, err := NewLoop(art, Config{
+		MinRetrain:  256,
+		LR:          3,
+		GateOff:     true,
+		ArtifactDir: t.TempDir(),
+		Publisher:   ServerPublisher{Srv: srv},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observeFlows(t, loop, gen, 600, 61)
+	ev := loop.adapt(Trigger{Signal: "normal-score", Z: 9})
+	if ev.Err != nil || ev.Rejected || ev.HoldoutFlows != 0 {
+		t.Fatalf("GateOff adapt = %+v, want ungated publish", ev)
+	}
+	if got := srv.Info().Version; got != ev.Version {
+		t.Fatalf("ungated publish did not land: serving %s, want %s", got, ev.Version)
+	}
 }
 
 // TestLoopSkipsWithThinBuffer pins the MinRetrain guard: a trip with too

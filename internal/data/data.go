@@ -42,6 +42,38 @@ func (s Schema) EncodedWidth() int {
 // NumClasses returns the number of classes.
 func (s Schema) NumClasses() int { return len(s.ClassNames) }
 
+// SameFeatures reports whether two schemas describe the identical feature
+// layout: the same numeric feature names in the same order, and the same
+// categorical features with identical vocabularies in the same order. Two
+// schemas that merely agree on feature *counts* can still one-hot encode
+// the same record to different vectors (renamed columns, re-ordered or
+// re-fitted vocabularies), so shape checks that gate model swaps must use
+// this, not NumNumeric/len(Categorical). Class names are deliberately not
+// compared: a retrain may relabel classes without changing how records
+// encode.
+func (s Schema) SameFeatures(o Schema) bool {
+	if len(s.NumericNames) != len(o.NumericNames) || len(s.Categorical) != len(o.Categorical) {
+		return false
+	}
+	for i, n := range s.NumericNames {
+		if o.NumericNames[i] != n {
+			return false
+		}
+	}
+	for i, c := range s.Categorical {
+		oc := o.Categorical[i]
+		if c.Name != oc.Name || len(c.Values) != len(oc.Values) {
+			return false
+		}
+		for j, v := range c.Values {
+			if oc.Values[j] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Validate checks internal consistency of the schema.
 func (s Schema) Validate() error {
 	if len(s.ClassNames) < 2 {

@@ -40,6 +40,37 @@ func TestSchemaEncodedWidth(t *testing.T) {
 	}
 }
 
+// TestSchemaSameFeatures pins the feature-layout comparison used to gate
+// live-slot model swaps: identical layouts match, count-preserving
+// mutations (renamed columns, swapped vocabulary entries) do not, and
+// class renames are ignored.
+func TestSchemaSameFeatures(t *testing.T) {
+	base := testSchema()
+	if !base.SameFeatures(testSchema()) {
+		t.Fatal("identical schemas reported different")
+	}
+	relabeled := testSchema()
+	relabeled.ClassNames = []string{"benign", "dos", "probe", "r2l"}
+	if !base.SameFeatures(relabeled) {
+		t.Fatal("class rename must not change the feature layout")
+	}
+	mutations := []func(*Schema){
+		func(s *Schema) { s.NumericNames[1] = "packets" },
+		func(s *Schema) { s.NumericNames = s.NumericNames[:1] },
+		func(s *Schema) { s.Categorical[0].Name = "protocol" },
+		func(s *Schema) { s.Categorical[0].Values[2] = "sctp" },
+		func(s *Schema) { s.Categorical[1].Values = []string{"S0", "SF"} },
+		func(s *Schema) { s.Categorical = s.Categorical[:1] },
+	}
+	for i, mutate := range mutations {
+		m := testSchema()
+		mutate(&m)
+		if base.SameFeatures(m) {
+			t.Fatalf("mutation %d preserved SameFeatures: %+v", i, m)
+		}
+	}
+}
+
 func TestSchemaValidateCatchesDuplicates(t *testing.T) {
 	s := testSchema()
 	s.NumericNames = append(s.NumericNames, "duration")

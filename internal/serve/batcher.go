@@ -40,6 +40,15 @@ type batcher struct {
 	batches chan []item
 	slabs   sync.Pool // [] item backing arrays recycled across batches
 	done    chan struct{}
+
+	// closeMu guards the closed flag against concurrent enqueues: each
+	// scorer's batcher can now be closed while requests race to enqueue
+	// (slot replaced mid-request), so enqueue must observe the close
+	// instead of panicking on a closed channel. Enqueues take the read
+	// side — cheap and shared — and close takes the write side exactly
+	// once.
+	closeMu sync.RWMutex
+	closed  bool
 }
 
 func newBatcher(cfg batcherConfig) *batcher {
@@ -53,18 +62,47 @@ func newBatcher(cfg batcherConfig) *batcher {
 	return b
 }
 
-// enqueue submits one record for scoring. It blocks when the queue is
-// full. Callers must not enqueue after close.
-func (b *batcher) enqueue(it item) { b.in <- it }
+// enqueue submits one record for scoring. With block, a full queue
+// applies backpressure (the request path); without, it returns false
+// instead (the shadow-mirroring path, where dropping a mirror beats
+// slowing live traffic). It also returns false — without enqueuing —
+// once the batcher is closed: the caller's slot was replaced and it must
+// retry on the successor generation. A true return guarantees the record
+// will be scored (close drains the queue before stopping).
+func (b *batcher) enqueue(it item, block bool) bool {
+	b.closeMu.RLock()
+	defer b.closeMu.RUnlock()
+	if b.closed {
+		return false
+	}
+	if block {
+		b.in <- it
+		return true
+	}
+	select {
+	case b.in <- it:
+		return true
+	default:
+		return false
+	}
+}
 
 // queueLen reports the current queue depth (for the /metrics gauge).
 func (b *batcher) queueLen() int { return len(b.in) }
 
 // close stops intake, flushes whatever is queued, and waits for the
 // dispatcher to exit. The batches channel is closed afterwards, which is
-// the workers' signal to drain and stop.
+// the workers' signal to drain and stop. Safe to call more than once.
+// Acquiring the write lock cannot deadlock against a blocked enqueue: the
+// dispatcher keeps draining the queue until the channel closes, so every
+// in-flight send completes and releases its read lock.
 func (b *batcher) close() {
-	close(b.in)
+	b.closeMu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.in)
+	}
+	b.closeMu.Unlock()
 	<-b.done
 }
 

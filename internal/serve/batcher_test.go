@@ -33,7 +33,7 @@ func TestBatcherFlushesOnMaxBatch(t *testing.T) {
 	var v nids.Verdict
 	wg.Add(8)
 	for i := 0; i < 8; i++ {
-		b.enqueue(item{rec: rec, out: &v, wg: &wg})
+		b.enqueue(item{rec: rec, out: &v, wg: &wg}, true)
 	}
 	// With MaxWait effectively infinite, completion proves MaxBatch flushes.
 	done := make(chan struct{})
@@ -68,7 +68,7 @@ func TestBatcherFlushesOnMaxWait(t *testing.T) {
 	var v nids.Verdict
 	wg.Add(1)
 	start := time.Now()
-	b.enqueue(item{rec: &data.Record{}, out: &v, wg: &wg})
+	b.enqueue(item{rec: &data.Record{}, out: &v, wg: &wg}, true)
 	wg.Wait()
 	if waited := time.Since(start); waited > time.Second {
 		t.Fatalf("lone record waited %s, MaxWait is 2ms", waited)
@@ -101,6 +101,27 @@ func TestPutSlabDropsOversized(t *testing.T) {
 	}
 }
 
+// TestBatcherEnqueueAfterCloseRefuses pins the close protocol the
+// registry's slot swaps rely on: an enqueue racing (or following) close
+// returns false instead of panicking on the closed channel, in both
+// blocking and non-blocking modes, and close is idempotent.
+func TestBatcherEnqueueAfterCloseRefuses(t *testing.T) {
+	b := newBatcher(batcherConfig{MaxBatch: 4, MaxWait: time.Millisecond, QueueDepth: 4})
+	sizes := make(chan int, 4)
+	go collectBatches(b, sizes)
+	b.close()
+	b.close() // idempotent
+	var wg sync.WaitGroup
+	var v nids.Verdict
+	for _, block := range []bool{true, false} {
+		if b.enqueue(item{rec: &data.Record{}, out: &v, wg: &wg}, block) {
+			t.Fatalf("enqueue(block=%v) accepted a record after close", block)
+		}
+	}
+	for range sizes {
+	}
+}
+
 // TestBatcherCloseFlushesQueued checks the drain path: records enqueued
 // before close are all delivered.
 func TestBatcherCloseFlushesQueued(t *testing.T) {
@@ -110,7 +131,7 @@ func TestBatcherCloseFlushesQueued(t *testing.T) {
 	var v nids.Verdict
 	wg.Add(5)
 	for i := 0; i < 5; i++ {
-		b.enqueue(item{rec: &data.Record{}, out: &v, wg: &wg})
+		b.enqueue(item{rec: &data.Record{}, out: &v, wg: &wg}, true)
 	}
 	go collectBatches(b, sizes)
 	b.close()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sync/atomic"
 
 	"repro/internal/data"
@@ -55,29 +56,75 @@ func (c *Client) postJSON(path string, body, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Model fetches the currently served model's description.
-func (c *Client) Model() (ModelInfo, error) {
-	var info ModelInfo
-	resp, err := c.http().Get(c.BaseURL + "/v1/model")
+// getJSON fetches path and decodes the response into out, translating
+// non-2xx statuses into errors carrying the server's message.
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.http().Get(c.BaseURL + path)
 	if err != nil {
-		return info, err
+		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return info, fmt.Errorf("serve: /v1/model: status %d", resp.StatusCode)
+	if resp.StatusCode/100 != 2 {
+		var e errorResponse
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+			return fmt.Errorf("serve: %s: %d: %s", path, resp.StatusCode, e.Error)
+		}
+		return fmt.Errorf("serve: %s: status %d", path, resp.StatusCode)
 	}
-	return info, json.NewDecoder(resp.Body).Decode(&info)
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Score sends the records to /v1/detect-batch and returns the verdicts
-// plus the version of the model generation that answered.
+// Model fetches the currently served (live) model's description.
+func (c *Client) Model() (ModelInfo, error) {
+	var info ModelInfo
+	err := c.getJSON("/v1/model", &info)
+	return info, err
+}
+
+// tagQuery renders the ?tag= suffix ("" means the server default, live).
+func tagQuery(tag string) string {
+	if tag == "" {
+		return ""
+	}
+	return "?tag=" + url.QueryEscape(tag)
+}
+
+// Models fetches the full /v2 registry listing: every occupied slot with
+// its per-slot counters, the retained rollback generation, and the
+// lifecycle history.
+func (c *Client) Models() (ModelsResponse, error) {
+	var resp ModelsResponse
+	err := c.getJSON("/v2/models", &resp)
+	return resp, err
+}
+
+// ModelTag fetches the description of the model under tag.
+func (c *Client) ModelTag(tag string) (ModelInfo, error) {
+	var info ModelInfo
+	err := c.getJSON("/v2/models/"+url.PathEscape(tag), &info)
+	return info, err
+}
+
+// Score sends the records to /v1/detect-batch (the live slot) and returns
+// the verdicts plus the version of the model generation that answered.
 func (c *Client) Score(recs []*data.Record) ([]nids.Verdict, string, error) {
+	return c.scoreAt("/v1/detect-batch", recs)
+}
+
+// ScoreTag scores the records against the model under tag via
+// /v2/detect-batch ("" means live).
+func (c *Client) ScoreTag(tag string, recs []*data.Record) ([]nids.Verdict, string, error) {
+	return c.scoreAt("/v2/detect-batch"+tagQuery(tag), recs)
+}
+
+func (c *Client) scoreAt(path string, recs []*data.Record) ([]nids.Verdict, string, error) {
 	req := detectBatchRequest{Records: make([]RecordJSON, len(recs))}
 	for i, r := range recs {
 		req.Records[i] = RecordJSON{Numeric: r.Numeric, Categorical: r.Categorical}
 	}
 	var resp detectBatchResponse
-	if err := c.postJSON("/v1/detect-batch", req, &resp); err != nil {
+	if err := c.postJSON(path, req, &resp); err != nil {
 		return nil, "", err
 	}
 	if len(resp.Verdicts) != len(recs) {
@@ -91,10 +138,37 @@ func (c *Client) Score(recs []*data.Record) ([]nids.Verdict, string, error) {
 }
 
 // Reload asks the server to hot-load the artifact at path (a path on the
-// server's filesystem) and returns the newly served model info.
+// server's filesystem) into the live slot and returns the newly served
+// model info. The registry-aware form is LoadTag.
 func (c *Client) Reload(path string) (ModelInfo, error) {
 	var info ModelInfo
 	err := c.postJSON("/v1/reload", reloadRequest{Path: path}, &info)
+	return info, err
+}
+
+// LoadTag asks the server to load the artifact at path (a path on the
+// server's filesystem) into the slot named tag ("" means shadow, the
+// staging slot) and returns the slot's new model info.
+func (c *Client) LoadTag(path, tag string) (ModelInfo, error) {
+	var info ModelInfo
+	err := c.postJSON("/v2/load"+tagQuery(tag), loadRequest{Path: path, Tag: tag}, &info)
+	return info, err
+}
+
+// Promote asks the server to atomically make the shadow generation live
+// (retaining the displaced live for Rollback) and returns the new live
+// model info.
+func (c *Client) Promote() (ModelInfo, error) {
+	var info ModelInfo
+	err := c.postJSON("/v2/promote", struct{}{}, &info)
+	return info, err
+}
+
+// Rollback asks the server to restore the generation displaced by the last
+// promotion or live load and returns the restored live model info.
+func (c *Client) Rollback() (ModelInfo, error) {
+	var info ModelInfo
+	err := c.postJSON("/v2/rollback", struct{}{}, &info)
 	return info, err
 }
 
@@ -108,6 +182,10 @@ func (c *Client) Reload(path string) (ModelInfo, error) {
 // tallied in Errors.
 type RemoteDetector struct {
 	Client *Client
+	// Tag pins scoring to one registry slot via /v2 ("shadow", a canary
+	// tag, ...). Empty means the live slot via /v1 — a pipeline per slot is
+	// how competing detectors run side by side over the same traffic.
+	Tag string
 
 	errs    atomic.Int64
 	version atomic.Value // string: last model version that answered
@@ -116,7 +194,12 @@ type RemoteDetector struct {
 var _ nids.BatchDetector = (*RemoteDetector)(nil)
 
 // Name implements nids.Detector.
-func (d *RemoteDetector) Name() string { return "remote:" + d.Client.BaseURL }
+func (d *RemoteDetector) Name() string {
+	if d.Tag != "" {
+		return "remote:" + d.Client.BaseURL + "#" + d.Tag
+	}
+	return "remote:" + d.Client.BaseURL
+}
 
 // Detect implements nids.Detector.
 func (d *RemoteDetector) Detect(rec *data.Record) nids.Verdict {
@@ -125,9 +208,19 @@ func (d *RemoteDetector) Detect(rec *data.Record) nids.Verdict {
 	return v[0]
 }
 
-// DetectBatch implements nids.BatchDetector over one /v1/detect-batch call.
+// DetectBatch implements nids.BatchDetector over one detect-batch call
+// (/v1 for the live default, /v2 when Tag pins a slot).
 func (d *RemoteDetector) DetectBatch(recs []*data.Record, verdicts []nids.Verdict) {
-	got, version, err := d.Client.Score(recs)
+	var (
+		got     []nids.Verdict
+		version string
+		err     error
+	)
+	if d.Tag != "" {
+		got, version, err = d.Client.ScoreTag(d.Tag, recs)
+	} else {
+		got, version, err = d.Client.Score(recs)
+	}
 	if err != nil {
 		d.errs.Add(1)
 		for i := range verdicts[:len(recs)] {

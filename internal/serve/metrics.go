@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/registry"
 )
 
 // latencyBuckets are the request-latency histogram upper bounds in
@@ -36,7 +38,9 @@ func (h *histogram) observe(d time.Duration) {
 	h.total.Add(1)
 }
 
-// serverMetrics holds the serving counters exported at /metrics.
+// serverMetrics holds the server-wide counters exported at /metrics.
+// Per-slot counters live in the model registry (registry.Stats) and are
+// rendered with {slot=...} labels.
 type serverMetrics struct {
 	detectRequests atomic.Int64
 	batchRequests  atomic.Int64
@@ -49,25 +53,77 @@ type serverMetrics struct {
 	latency        histogram
 }
 
+// slotMetrics is one registry slot's exposition snapshot.
+type slotMetrics struct {
+	tag     string
+	model   string
+	version string
+	queue   int
+	stats   *registry.Stats
+}
+
+// promSnapshot carries the registry-side state /metrics renders alongside
+// the server-wide counters.
+type promSnapshot struct {
+	queueDepth      int
+	slots           []slotMetrics
+	promotes        int64
+	rollbacks       int64
+	previousVersion string
+}
+
 // writeProm renders the metrics in the Prometheus text exposition format.
-func (m *serverMetrics) writeProm(w io.Writer, queueDepth int, modelName, modelVersion string) {
+func (m *serverMetrics) writeProm(w io.Writer, snap promSnapshot) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
-	counter("pelican_serve_detect_requests_total", "Requests to /v1/detect.", m.detectRequests.Load())
-	counter("pelican_serve_detect_batch_requests_total", "Requests to /v1/detect-batch.", m.batchRequests.Load())
-	counter("pelican_serve_records_total", "Flow records scored.", m.records.Load())
-	counter("pelican_serve_batches_total", "Dynamic batches flushed to a replica.", m.batches.Load())
-	counter("pelican_serve_batch_records_total", "Records carried by flushed batches.", m.batchRecords.Load())
-	counter("pelican_serve_attack_verdicts_total", "Verdicts flagged as attacks.", m.attacks.Load())
+	counter("pelican_serve_detect_requests_total", "Requests to /v1/detect and /v2/detect.", m.detectRequests.Load())
+	counter("pelican_serve_detect_batch_requests_total", "Requests to /v1/detect-batch and /v2/detect-batch.", m.batchRequests.Load())
+	counter("pelican_serve_records_total", "Flow records scored for requests (mirrored copies excluded).", m.records.Load())
+	counter("pelican_serve_batches_total", "Dynamic batches flushed to a replica (all slots).", m.batches.Load())
+	counter("pelican_serve_batch_records_total", "Records carried by flushed batches (all slots).", m.batchRecords.Load())
+	counter("pelican_serve_attack_verdicts_total", "Verdicts flagged as attacks (all slots).", m.attacks.Load())
 	counter("pelican_serve_request_errors_total", "Requests rejected with a 4xx/5xx status.", m.requestErrors.Load())
-	counter("pelican_serve_reloads_total", "Successful model hot-reloads.", m.reloads.Load())
+	counter("pelican_serve_reloads_total", "Successful model loads into any slot after startup.", m.reloads.Load())
+	counter("pelican_serve_promotes_total", "Shadow-to-live promotions.", snap.promotes)
+	counter("pelican_serve_rollbacks_total", "Live rollbacks to the retained previous generation.", snap.rollbacks)
 
-	fmt.Fprintf(w, "# HELP pelican_serve_queue_depth Records waiting in the batcher queue.\n")
-	fmt.Fprintf(w, "# TYPE pelican_serve_queue_depth gauge\npelican_serve_queue_depth %d\n", queueDepth)
-	fmt.Fprintf(w, "# HELP pelican_serve_model_info Loaded model (value is always 1).\n")
+	fmt.Fprintf(w, "# HELP pelican_serve_queue_depth Records waiting across all slot batcher queues.\n")
+	fmt.Fprintf(w, "# TYPE pelican_serve_queue_depth gauge\npelican_serve_queue_depth %d\n", snap.queueDepth)
+
+	fmt.Fprintf(w, "# HELP pelican_serve_model_info Loaded model per registry slot (value is always 1).\n")
 	fmt.Fprintf(w, "# TYPE pelican_serve_model_info gauge\n")
-	fmt.Fprintf(w, "pelican_serve_model_info{model=%q,version=%q} 1\n", modelName, modelVersion)
+	for _, sl := range snap.slots {
+		fmt.Fprintf(w, "pelican_serve_model_info{slot=%q,model=%q,version=%q} 1\n", sl.tag, sl.model, sl.version)
+	}
+	if snap.previousVersion != "" {
+		fmt.Fprintf(w, "pelican_serve_model_info{slot=\"previous\",model=\"\",version=%q} 1\n", snap.previousVersion)
+	}
+
+	slotCounter := func(name, help string, load func(*registry.Stats) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, sl := range snap.slots {
+			fmt.Fprintf(w, "%s{slot=%q,version=%q} %d\n", name, sl.tag, sl.version, load(sl.stats))
+		}
+	}
+	slotCounter("pelican_serve_slot_records_total", "Flow records scored by the slot (requests plus mirrors).",
+		func(st *registry.Stats) int64 { return st.Records.Load() })
+	slotCounter("pelican_serve_slot_attack_verdicts_total", "Attack verdicts by the slot — the per-slot detection-rate proxy.",
+		func(st *registry.Stats) int64 { return st.Attacks.Load() })
+	slotCounter("pelican_serve_slot_mirrored_total", "Live records mirrored onto the slot.",
+		func(st *registry.Stats) int64 { return st.Mirrored.Load() })
+	slotCounter("pelican_serve_slot_mirror_dropped_total", "Mirrors dropped (backpressure, layout mismatch, or mid-swap).",
+		func(st *registry.Stats) int64 { return st.MirrorDropped.Load() })
+	slotCounter("pelican_serve_slot_agreements_total", "Mirrored verdicts agreeing with live.",
+		func(st *registry.Stats) int64 { return st.Agreements.Load() })
+	slotCounter("pelican_serve_slot_disagreements_total", "Mirrored verdicts disagreeing with live.",
+		func(st *registry.Stats) int64 { return st.Disagreements.Load() })
+
+	fmt.Fprintf(w, "# HELP pelican_serve_slot_queue_depth Records waiting in the slot's batcher queue.\n")
+	fmt.Fprintf(w, "# TYPE pelican_serve_slot_queue_depth gauge\n")
+	for _, sl := range snap.slots {
+		fmt.Fprintf(w, "pelican_serve_slot_queue_depth{slot=%q} %d\n", sl.tag, sl.queue)
+	}
 
 	fmt.Fprintf(w, "# HELP pelican_serve_request_seconds Scoring request latency.\n")
 	fmt.Fprintf(w, "# TYPE pelican_serve_request_seconds histogram\n")

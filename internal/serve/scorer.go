@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/nids"
+	"repro/internal/registry"
+)
+
+// scorer is one slot's scoring machinery: sharded detector replicas fed by
+// a private dynamic batcher. Every slot in the model registry owns its
+// own scorer, so a request is validated, batched, and scored entirely
+// within one model generation — promotions and rollbacks re-point tags at
+// instances, they never tear a request across generations. A scorer is
+// immutable after construction; retiring a slot closes its scorer, which
+// drains the queue (every accepted record is scored) and stops the
+// workers.
+type scorer struct {
+	b         *batcher
+	detectors []nids.BatchDetector
+	maxBatch  int
+	gm        *serverMetrics
+	workerWG  sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// newScorer builds the replicas for a (engine-selected) and starts the
+// scoring workers. gm (may be nil in tests) receives the server-wide batch
+// aggregates; per-slot counters are the handlers' business — they know
+// which tag a request resolved to, the scorer deliberately does not (a
+// promotion re-tags this scorer without touching it).
+func newScorer(a *Artifact, cfg Config, gm *serverMetrics) (*scorer, error) {
+	sc := &scorer{maxBatch: cfg.MaxBatch, gm: gm}
+	for i := 0; i < cfg.Replicas; i++ {
+		var det nids.BatchDetector
+		var err error
+		switch cfg.Engine {
+		case EngineF32:
+			// The first replica triggers the one-time lowering; the rest (and
+			// any pre-validation done before publish) share the cached plan.
+			det, err = a.NewInferDetector()
+		case EngineF64:
+			det, err = a.NewDetector()
+		default:
+			return nil, fmt.Errorf("serve: unknown engine %q (want %q or %q)", cfg.Engine, EngineF32, EngineF64)
+		}
+		if err != nil {
+			return nil, err
+		}
+		sc.detectors = append(sc.detectors, det)
+	}
+	sc.b = newBatcher(batcherConfig{MaxBatch: cfg.MaxBatch, MaxWait: cfg.MaxWait, QueueDepth: cfg.QueueDepth})
+	for i := 0; i < cfg.Replicas; i++ {
+		sc.workerWG.Add(1)
+		go sc.worker(i)
+	}
+	return sc, nil
+}
+
+// worker is one replica's scoring loop: it pulls flushed batches, scores
+// them on its own replica, and fans verdicts back out to the originating
+// requests.
+func (sc *scorer) worker(i int) {
+	defer sc.workerWG.Done()
+	det := sc.detectors[i]
+	recs := make([]*data.Record, 0, sc.maxBatch)
+	verdicts := make([]nids.Verdict, sc.maxBatch)
+	for batch := range sc.b.batches {
+		recs = recs[:0]
+		for j := range batch {
+			recs = append(recs, batch[j].rec)
+		}
+		if len(batch) > len(verdicts) {
+			verdicts = make([]nids.Verdict, len(batch))
+		}
+		out := verdicts[:len(batch)]
+		det.DetectBatch(recs, out)
+		attacks := int64(0)
+		for j := range batch {
+			*batch[j].out = out[j]
+			if out[j].IsAttack {
+				attacks++
+			}
+			batch[j].wg.Done()
+		}
+		if sc.gm != nil {
+			sc.gm.batches.Add(1)
+			sc.gm.batchRecords.Add(int64(len(batch)))
+			sc.gm.attacks.Add(attacks)
+		}
+		sc.b.putSlab(batch)
+	}
+}
+
+// score funnels a request's records through the batcher and blocks until
+// every verdict is written. Pairing is positional: item i carries a
+// pointer to verdicts[i], so however the dispatcher cuts batches, each
+// record gets its own verdict. It returns false — with no verdicts
+// guaranteed — when the scorer was closed before every record could be
+// enqueued (the slot was replaced mid-request); the caller re-resolves the
+// slot and retries on the successor. Records accepted before the close are
+// still scored (close drains), so the wait below never hangs.
+func (sc *scorer) score(recs []data.Record, verdicts []nids.Verdict) bool {
+	return sc.submit(recs, verdicts, true)
+}
+
+// tryScore is score for the mirroring path: enqueues never block (a full
+// shadow queue drops the mirror rather than slowing anything), and a
+// partial enqueue counts as a drop — the caller must not compare verdicts
+// from a half-scored mirror.
+func (sc *scorer) tryScore(recs []data.Record, verdicts []nids.Verdict) bool {
+	return sc.submit(recs, verdicts, false)
+}
+
+func (sc *scorer) submit(recs []data.Record, verdicts []nids.Verdict, block bool) bool {
+	var wg sync.WaitGroup
+	wg.Add(len(recs))
+	enqueued := len(recs)
+	ok := true
+	for i := range recs {
+		if !sc.b.enqueue(item{rec: &recs[i], out: &verdicts[i], wg: &wg}, block) {
+			// The unenqueued tail must release its WaitGroup slots, and the
+			// already-enqueued head must be waited out (its verdict writers
+			// hold pointers into verdicts) before the caller may retry.
+			enqueued, ok = i, false
+			break
+		}
+	}
+	for i := enqueued; i < len(recs); i++ {
+		wg.Done()
+	}
+	wg.Wait()
+	return ok
+}
+
+// queueLen reports the batcher queue depth (for the /metrics gauge).
+func (sc *scorer) queueLen() int { return sc.b.queueLen() }
+
+// close drains the batcher (queued records are all scored) and stops the
+// workers. Safe to call more than once.
+func (sc *scorer) close() {
+	sc.closeOnce.Do(func() {
+		sc.b.close()
+		sc.workerWG.Wait()
+	})
+}
+
+// slotInstance is what the serve layer loads into a registry slot: the
+// artifact plus its ready scoring machinery and load metadata. It is the
+// registry.Instance the /v2 control plane shuffles between tags.
+type slotInstance struct {
+	artifact *Artifact
+	scorer   *scorer
+	loadedAt time.Time
+}
+
+var _ registry.Instance = (*slotInstance)(nil)
+
+// Version implements registry.Instance.
+func (si *slotInstance) Version() string { return si.artifact.Version() }

@@ -6,27 +6,29 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/data"
 	"repro/internal/nids"
+	"repro/internal/registry"
 )
 
 // Config tunes the scoring server.
 type Config struct {
 	// Replicas is the number of independent detector replicas (and scoring
-	// workers). Each replica owns its network buffers and lock, so
-	// concurrent batches never contend on one mutex. Default 2.
+	// workers) per model slot. Each replica owns its network buffers and
+	// lock, so concurrent batches never contend on one mutex. Default 2.
 	Replicas int
 	// MaxBatch is the dynamic batcher's flush size. Default 32.
 	MaxBatch int
 	// MaxWait is the dynamic batcher's flush deadline: a batch never waits
 	// longer than this for co-travelers. Default 2ms.
 	MaxWait time.Duration
-	// QueueDepth bounds the record queue; requests block (backpressure)
-	// when it fills. Default 1024.
+	// QueueDepth bounds each slot's record queue; requests block
+	// (backpressure) when it fills. Default 1024.
 	QueueDepth int
 	// MaxBodyBytes caps every POST request body; larger bodies get 413
 	// before the decoder buffers them, so one oversized request cannot
@@ -38,6 +40,15 @@ type Config struct {
 	// artifact at load time; "f64" runs the float64 training graph through
 	// nids.ModelDetector — the A/B escape hatch.
 	Engine string
+	// MirrorOff disables shadow mirroring: by default, every record scored
+	// against the live slot is also (asynchronously, best-effort)
+	// duplicated onto the shadow slot when one is loaded with a matching
+	// feature layout, accumulating per-slot agreement counters.
+	MirrorOff bool
+	// MirrorConcurrency bounds how many mirrored requests may be in flight
+	// at once; beyond it mirrors are dropped (and counted), never queued —
+	// shadow evaluation must not be able to stall live serving. Default 16.
+	MirrorConcurrency int
 }
 
 // Engine values accepted by Config.Engine.
@@ -65,178 +76,307 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 4 << 20
 	}
+	if c.MirrorConcurrency <= 0 {
+		c.MirrorConcurrency = 16
+	}
 	return c
 }
 
-// modelState is one immutable loaded-model generation: the artifact plus
-// its replica shard. Hot-reload builds a whole new state and swaps the
-// pointer; batches already dispatched keep scoring on the generation they
-// grabbed, so in-flight work finishes on the old model.
-type modelState struct {
-	artifact  *Artifact
-	detectors []nids.BatchDetector
-	loadedAt  time.Time
-}
-
-func newModelState(a *Artifact, replicas int, engine string) (*modelState, error) {
-	st := &modelState{artifact: a, loadedAt: time.Now()}
-	for i := 0; i < replicas; i++ {
-		var det nids.BatchDetector
-		var err error
-		switch engine {
-		case EngineF32:
-			// The first replica triggers the one-time lowering; the rest (and
-			// any pre-validation done before publish) share the cached plan.
-			det, err = a.NewInferDetector()
-		case EngineF64:
-			det, err = a.NewDetector()
-		default:
-			return nil, fmt.Errorf("serve: unknown engine %q (want %q or %q)", engine, EngineF32, EngineF64)
-		}
-		if err != nil {
-			return nil, err
-		}
-		st.detectors = append(st.detectors, det)
-	}
-	return st, nil
-}
-
-// Server is the HTTP scoring service. Construct with New, mount Handler
-// on an http.Server, and shut down in order: stop the listener first
-// (http.Server.Shutdown / httptest.Server.Close, which wait for in-flight
-// handlers), then Close to drain the batcher and workers.
+// Server is the HTTP scoring service, a multi-model registry of named
+// slots (live, shadow, canary tags) each serving one independently loaded
+// artifact through its own batcher and replica shard. The /v2 surface is
+// the registry API (list, per-tag load/score, shadow→live promotion,
+// rollback); the /v1 endpoints are thin delegates onto the live slot, kept
+// for existing clients.
+//
+// Construct with New, mount Handler on an http.Server, and shut down in
+// order: stop the listener first (http.Server.Shutdown /
+// httptest.Server.Close, which wait for in-flight handlers), then Close to
+// drain the batchers and workers.
 type Server struct {
-	cfg      Config
-	state    atomic.Pointer[modelState]
-	b        *batcher
-	m        serverMetrics
-	mux      *http.ServeMux
-	workerWG sync.WaitGroup
-	draining atomic.Bool
-	reloadMu sync.Mutex
-	closed   sync.Once
+	cfg       Config
+	reg       *registry.Registry
+	m         serverMetrics
+	mux       *http.ServeMux
+	draining  atomic.Bool
+	adminMu   sync.Mutex // serializes load/reload/promote/rollback/unload
+	retireWG  sync.WaitGroup
+	mirrorWG  sync.WaitGroup
+	mirrorSem chan struct{}
+	closed    sync.Once
 }
 
-// New builds a server around a loaded artifact and starts its scoring
+// New builds a server with a in its live slot and starts the scoring
 // workers.
 func New(a *Artifact, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	st, err := newModelState(a, cfg.Replicas, cfg.Engine)
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), mirrorSem: make(chan struct{}, cfg.MirrorConcurrency)}
+	s.reg = registry.New(func(inst registry.Instance) {
+		// A displaced generation drains in the background: requests that
+		// already enqueued onto it still get their verdicts (close flushes
+		// the queue), and Close waits for these drains before returning.
+		si := inst.(*slotInstance)
+		s.retireWG.Add(1)
+		go func() {
+			defer s.retireWG.Done()
+			si.scorer.close()
+		}()
+	})
+	si, err := s.newInstance(a)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux()}
-	s.state.Store(st)
-	s.b = newBatcher(batcherConfig{MaxBatch: cfg.MaxBatch, MaxWait: cfg.MaxWait, QueueDepth: cfg.QueueDepth})
-	for i := 0; i < cfg.Replicas; i++ {
-		s.workerWG.Add(1)
-		go s.worker(i)
+	if err := s.reg.Load(registry.Live, si); err != nil {
+		return nil, err
 	}
+
 	s.mux.HandleFunc("/v1/detect", s.handleDetect)
 	s.mux.HandleFunc("/v1/detect-batch", s.handleDetectBatch)
 	s.mux.HandleFunc("/v1/model", s.handleModel)
 	s.mux.HandleFunc("/v1/reload", s.handleReload)
+	s.mux.HandleFunc("/v2/models", s.handleModels)
+	s.mux.HandleFunc("/v2/models/", s.handleModelTag)
+	s.mux.HandleFunc("/v2/load", s.handleLoad)
+	s.mux.HandleFunc("/v2/detect", s.handleDetectV2)
+	s.mux.HandleFunc("/v2/detect-batch", s.handleDetectBatchV2)
+	s.mux.HandleFunc("/v2/promote", s.handlePromote)
+	s.mux.HandleFunc("/v2/rollback", s.handleRollback)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s, nil
 }
 
+// newInstance builds a ready slot instance (replicas + private batcher)
+// for a. Nothing is registered: a failing artifact never disturbs serving.
+func (s *Server) newInstance(a *Artifact) (*slotInstance, error) {
+	sc, err := newScorer(a, s.cfg, &s.m)
+	if err != nil {
+		return nil, err
+	}
+	return &slotInstance{artifact: a, scorer: sc, loadedAt: time.Now()}, nil
+}
+
+// slot resolves a tag to its loaded instance.
+func (s *Server) slot(tag string) (*slotInstance, bool) {
+	inst, _, ok := s.reg.Get(tag)
+	if !ok {
+		return nil, false
+	}
+	return inst.(*slotInstance), true
+}
+
 // Handler returns the HTTP handler serving all endpoints.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Artifact returns the currently loaded artifact.
-func (s *Server) Artifact() *Artifact { return s.state.Load().artifact }
+// Registry exposes the model registry (read-side: tags, stats, history).
+func (s *Server) Registry() *registry.Registry { return s.reg }
 
-// Reload atomically swaps in a new artifact: fresh replicas are built
-// first (so a bad artifact never disturbs serving), then the state pointer
-// flips. Requests dispatched before the flip finish on the old model;
-// requests after it score on the new one. No request is ever dropped.
-//
-// The new artifact must have the running model's feature shape (same
-// numeric and categorical feature counts): records are validated at
-// accept time but may be scored by a generation loaded later, and a
-// shape-changed encoder would mis-encode or panic on such in-flight
-// records. Shape-changing upgrades need a fresh server (blue/green).
-func (s *Server) Reload(a *Artifact) error {
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
-	old := s.state.Load().artifact.Schema
-	if a.Schema.NumNumeric() != old.NumNumeric() || len(a.Schema.Categorical) != len(old.Categorical) {
-		return fmt.Errorf("serve: reload artifact has %d numeric + %d categorical features, running model has %d + %d — shape-changing reloads are not supported",
-			a.Schema.NumNumeric(), len(a.Schema.Categorical), old.NumNumeric(), len(old.Categorical))
+// Artifact returns the live slot's artifact.
+func (s *Server) Artifact() *Artifact {
+	si, ok := s.slot(registry.Live)
+	if !ok {
+		return nil
 	}
-	st, err := newModelState(a, s.cfg.Replicas, s.cfg.Engine)
+	return si.artifact
+}
+
+// LoadSlot builds fresh replicas for a and installs them under tag — the
+// programmatic form of POST /v2/load. Loading into the live slot requires
+// the identical feature layout as the running live model (use the shadow
+// slot and Promote for schema evolution); any other tag accepts any valid
+// artifact. The displaced generation, if any, finishes its in-flight work
+// on its own replicas.
+func (s *Server) LoadSlot(tag string, a *Artifact) error {
+	if err := registry.ValidateTag(tag); err != nil {
+		return err
+	}
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	if tag == registry.Live {
+		if live, ok := s.slot(registry.Live); ok && !a.Schema.SameFeatures(live.artifact.Schema) {
+			return fmt.Errorf("serve: artifact's feature layout differs from the live model's (same-shaped swaps only; load into %q and promote for schema changes)", registry.Shadow)
+		}
+	}
+	si, err := s.newInstance(a)
 	if err != nil {
 		return err
 	}
-	s.state.Store(st)
+	if err := s.reg.Load(tag, si); err != nil {
+		return err
+	}
 	s.m.reloads.Add(1)
 	return nil
+}
+
+// Reload atomically swaps a into the live slot — the /v1 compatibility
+// form of LoadSlot("live", a). The previous live generation is retained
+// for Rollback. In-flight requests finish on the generation they enqueued
+// onto; no request is ever dropped.
+func (s *Server) Reload(a *Artifact) error { return s.LoadSlot(registry.Live, a) }
+
+// Promote atomically makes the shadow generation live (retaining the
+// displaced live for Rollback) and empties the shadow slot. The promoted
+// instance keeps its warm replicas and batcher — no rebuild, no lowering,
+// no cold start.
+func (s *Server) Promote() error {
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	_, err := s.reg.Promote()
+	return err
+}
+
+// Rollback restores the exact generation (and version) that was live
+// before the last promotion or live load. The displaced live becomes the
+// new rollback target, so Rollback twice rolls forward again.
+func (s *Server) Rollback() error {
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	_, err := s.reg.Rollback()
+	return err
+}
+
+// Unload removes the model under tag (not live) and drains its replicas.
+func (s *Server) Unload(tag string) error {
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	return s.reg.Unload(tag)
 }
 
 // BeginDrain makes the server answer new scoring requests with 503 while
 // in-flight ones complete — the first step of a graceful shutdown.
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
-// Close drains and stops the scoring workers. Call it only after the HTTP
-// listener has stopped accepting (so no handler can still enqueue);
-// queued records are all scored before Close returns.
+// Close drains and stops every slot's scoring workers. Call it only after
+// the HTTP listener has stopped accepting (so no handler can still
+// enqueue); queued records — including mirrored ones — are all scored
+// before Close returns.
 func (s *Server) Close() {
 	s.closed.Do(func() {
 		s.draining.Store(true)
-		s.b.close()
-		s.workerWG.Wait()
+		// Mirror goroutines enqueue onto the shadow scorer; wait for them
+		// before tearing the scorers down.
+		s.mirrorWG.Wait()
+		for _, inst := range s.reg.Drain() {
+			inst.(*slotInstance).scorer.close()
+		}
+		s.retireWG.Wait()
 	})
 }
 
-// worker is one replica's scoring loop: it pulls flushed batches, scores
-// them on its shard of the current model generation, and fans verdicts
-// back out to the originating requests.
-func (s *Server) worker(i int) {
-	defer s.workerWG.Done()
-	recs := make([]*data.Record, 0, s.cfg.MaxBatch)
-	verdicts := make([]nids.Verdict, s.cfg.MaxBatch)
-	for batch := range s.b.batches {
-		st := s.state.Load()
-		det := st.detectors[i%len(st.detectors)]
-		recs = recs[:0]
-		for j := range batch {
-			recs = append(recs, batch[j].rec)
+// scoreSlot resolves tag, validates the wire records against that slot's
+// schema, and scores them on that slot's replicas — one generation end to
+// end. If the slot is swapped mid-request (its scorer closed before every
+// record was accepted), the request retries on the successor generation;
+// records accepted before a swap are still scored by it, so nothing is
+// dropped. On error the returned status is the HTTP code to answer.
+func (s *Server) scoreSlot(tag string, wire []RecordJSON) ([]nids.Verdict, *slotInstance, int, error) {
+	const maxAttempts = 4
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		si, ok := s.slot(tag)
+		if !ok {
+			return nil, nil, http.StatusNotFound, fmt.Errorf("no model loaded under tag %q", tag)
 		}
-		if len(batch) > len(verdicts) {
-			verdicts = make([]nids.Verdict, len(batch))
+		recs, err := toRecords(si.artifact.Schema, wire)
+		if err != nil {
+			return nil, nil, http.StatusBadRequest, err
 		}
-		out := verdicts[:len(batch)]
-		det.DetectBatch(recs, out)
+		verdicts := make([]nids.Verdict, len(recs))
+		if !si.scorer.score(recs, verdicts) {
+			continue // slot swapped mid-request: resolve again
+		}
+		st := s.reg.StatsFor(tag)
+		st.Records.Add(int64(len(recs)))
 		attacks := int64(0)
-		for j := range batch {
-			*batch[j].out = out[j]
-			if out[j].IsAttack {
+		for i := range verdicts {
+			if verdicts[i].IsAttack {
 				attacks++
 			}
-			batch[j].wg.Done()
 		}
-		s.m.batches.Add(1)
-		s.m.batchRecords.Add(int64(len(batch)))
-		s.m.attacks.Add(attacks)
-		s.b.putSlab(batch)
+		st.Attacks.Add(attacks)
+		if tag == registry.Live {
+			s.mirror(si, recs, verdicts)
+		}
+		return verdicts, si, 0, nil
 	}
+	return nil, nil, http.StatusServiceUnavailable,
+		fmt.Errorf("slot %q was replaced %d times mid-request; retry", tag, maxAttempts)
 }
 
-// score funnels a request's records through the batcher and blocks until
-// every verdict is written. Pairing is positional: item i carries a
-// pointer to verdicts[i], so however the dispatcher cuts batches — even
-// splitting one request across model generations mid-reload — each record
-// gets its own verdict.
-func (s *Server) score(recs []data.Record) []nids.Verdict {
-	verdicts := make([]nids.Verdict, len(recs))
-	var wg sync.WaitGroup
-	wg.Add(len(recs))
-	for i := range recs {
-		s.b.enqueue(item{rec: &recs[i], out: &verdicts[i], wg: &wg})
+// mirror duplicates a live request onto the shadow slot, asynchronously
+// and best-effort: a missing shadow, a different feature layout, a full
+// shadow queue, or more than MirrorConcurrency mirrors already in flight
+// all drop the mirror (counted) rather than delay anything. Completed
+// mirrors accumulate the shadow slot's records/attacks counters and the
+// per-record agreement split against live's verdicts — the side-by-side
+// evidence a promotion decision reads.
+func (s *Server) mirror(live *slotInstance, recs []data.Record, liveVerdicts []nids.Verdict) {
+	if s.cfg.MirrorOff {
+		return
 	}
-	wg.Wait()
-	return verdicts
+	sh, ok := s.slot(registry.Shadow)
+	if !ok {
+		return
+	}
+	stats := s.reg.StatsFor(registry.Shadow)
+	if !sh.artifact.Schema.SameFeatures(live.artifact.Schema) {
+		// A schema-evolving shadow cannot score live-shaped records; it is
+		// staged for promotion, not comparison.
+		stats.MirrorDropped.Add(int64(len(recs)))
+		return
+	}
+	select {
+	case s.mirrorSem <- struct{}{}:
+	default:
+		stats.MirrorDropped.Add(int64(len(recs)))
+		return
+	}
+	// SameFeatures deliberately ignores class names, so the two models may
+	// label incompatible class spaces; comparing raw class indices across
+	// them would count two "dos" verdicts as disagreement. Fall back to
+	// attack/normal agreement — always comparable — unless the class lists
+	// match exactly.
+	classComparable := sameClasses(live.artifact.Schema.ClassNames, sh.artifact.Schema.ClassNames)
+	s.mirrorWG.Add(1)
+	go func() {
+		defer func() {
+			<-s.mirrorSem
+			s.mirrorWG.Done()
+		}()
+		verdicts := make([]nids.Verdict, len(recs))
+		if !sh.scorer.tryScore(recs, verdicts) {
+			stats.MirrorDropped.Add(int64(len(recs)))
+			return
+		}
+		stats.Mirrored.Add(int64(len(recs)))
+		stats.Records.Add(int64(len(recs)))
+		var attacks, agree int64
+		for i := range verdicts {
+			if verdicts[i].IsAttack {
+				attacks++
+			}
+			if verdicts[i].IsAttack == liveVerdicts[i].IsAttack &&
+				(!classComparable || verdicts[i].Class == liveVerdicts[i].Class) {
+				agree++
+			}
+		}
+		stats.Attacks.Add(attacks)
+		stats.Agreements.Add(agree)
+		stats.Disagreements.Add(int64(len(recs)) - agree)
+	}()
+}
+
+// sameClasses reports whether two class-name lists are identical (same
+// labels, same order — i.e. class indices mean the same thing).
+func sameClasses(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // RecordJSON is the wire form of one flow record.
@@ -259,7 +399,14 @@ type detectBatchRequest struct {
 
 type detectBatchResponse struct {
 	ModelVersion string        `json:"model_version"`
+	Tag          string        `json:"tag,omitempty"`
 	Verdicts     []VerdictJSON `json:"verdicts"`
+}
+
+type detectResponse struct {
+	ModelVersion string      `json:"model_version"`
+	Tag          string      `json:"tag,omitempty"`
+	Verdict      VerdictJSON `json:"verdict"`
 }
 
 type errorResponse struct {
@@ -307,10 +454,9 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 }
 
 // toRecords validates the wire records against the schema and converts
-// them. Validation uses the generation current at accept time; scoring may
-// land on a newer generation mid-reload, which is safe because Reload
-// rejects artifacts that change the feature shape, and within a fixed
-// shape the encoder zero-fills unknown categorical values.
+// them. The schema is the resolved slot's own — validation and scoring
+// always use the same generation, so a concurrent swap can never mis-pair
+// a record with a different encoder.
 func toRecords(schema data.Schema, in []RecordJSON) ([]data.Record, error) {
 	nNum, nCat := schema.NumNumeric(), len(schema.Categorical)
 	out := make([]data.Record, len(in))
@@ -351,7 +497,28 @@ func (s *Server) acceptScoring(w http.ResponseWriter, r *http.Request) bool {
 	return true
 }
 
+// scoreTag reads ?tag= (default live).
+func scoreTag(r *http.Request) string {
+	if tag := r.URL.Query().Get("tag"); tag != "" {
+		return tag
+	}
+	return registry.Live
+}
+
+// handleDetect is POST /v1/detect: score one record on the live slot.
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	s.detectOn(w, r, registry.Live, "")
+}
+
+// handleDetectV2 is POST /v2/detect?tag=: score one record on any slot.
+func (s *Server) handleDetectV2(w http.ResponseWriter, r *http.Request) {
+	tag := scoreTag(r)
+	s.detectOn(w, r, tag, tag)
+}
+
+// detectOn scores one record on tag. echoTag, when non-empty, is included
+// in the response (the /v2 shape; /v1 responses stay byte-compatible).
+func (s *Server) detectOn(w http.ResponseWriter, r *http.Request, tag, echoTag string) {
 	if !s.acceptScoring(w, r) {
 		return
 	}
@@ -361,22 +528,32 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &rec) {
 		return
 	}
-	st := s.state.Load()
-	recs, err := toRecords(st.artifact.Schema, []RecordJSON{rec})
+	verdicts, si, status, err := s.scoreSlot(tag, []RecordJSON{rec})
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "%v", err)
+		s.httpError(w, status, "%v", err)
 		return
 	}
-	verdicts := s.score(recs)
 	s.m.records.Add(1)
 	s.m.latency.observe(time.Since(start))
-	writeJSON(w, struct {
-		ModelVersion string      `json:"model_version"`
-		Verdict      VerdictJSON `json:"verdict"`
-	}{st.artifact.Version(), toVerdictsJSON(st.artifact.Schema, verdicts)[0]})
+	writeJSON(w, detectResponse{
+		ModelVersion: si.artifact.Version(),
+		Tag:          echoTag,
+		Verdict:      toVerdictsJSON(si.artifact.Schema, verdicts)[0],
+	})
 }
 
+// handleDetectBatch is POST /v1/detect-batch: score records on the live slot.
 func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
+	s.detectBatchOn(w, r, registry.Live, "")
+}
+
+// handleDetectBatchV2 is POST /v2/detect-batch?tag=.
+func (s *Server) handleDetectBatchV2(w http.ResponseWriter, r *http.Request) {
+	tag := scoreTag(r)
+	s.detectBatchOn(w, r, tag, tag)
+}
+
+func (s *Server) detectBatchOn(w http.ResponseWriter, r *http.Request, tag, echoTag string) {
 	if !s.acceptScoring(w, r) {
 		return
 	}
@@ -390,60 +567,249 @@ func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, "empty records")
 		return
 	}
-	st := s.state.Load()
-	recs, err := toRecords(st.artifact.Schema, req.Records)
+	verdicts, si, status, err := s.scoreSlot(tag, req.Records)
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "%v", err)
+		s.httpError(w, status, "%v", err)
 		return
 	}
-	verdicts := s.score(recs)
-	s.m.records.Add(int64(len(recs)))
+	s.m.records.Add(int64(len(verdicts)))
 	s.m.latency.observe(time.Since(start))
 	writeJSON(w, detectBatchResponse{
-		ModelVersion: st.artifact.Version(),
-		Verdicts:     toVerdictsJSON(st.artifact.Schema, verdicts),
+		ModelVersion: si.artifact.Version(),
+		Tag:          echoTag,
+		Verdicts:     toVerdictsJSON(si.artifact.Schema, verdicts),
 	})
 }
 
-// ModelInfo describes the loaded model for /v1/model.
+// ModelInfo describes one loaded model slot.
 type ModelInfo struct {
-	Model      string   `json:"model"`
-	Version    string   `json:"version"`
-	Engine     string   `json:"engine"`
-	Features   int      `json:"features"`
-	Classes    int      `json:"classes"`
-	ClassNames []string `json:"class_names"`
-	Replicas   int      `json:"replicas"`
-	MaxBatch   int      `json:"max_batch"`
-	MaxWaitMS  float64  `json:"max_wait_ms"`
-	LoadedAt   string   `json:"loaded_at"`
+	Model   string `json:"model"`
+	Version string `json:"version"`
+	Engine  string `json:"engine"`
+	// Tag is the slot this description refers to (on /v2 responses).
+	Tag string `json:"tag,omitempty"`
+	// PreviousVersion is the retained rollback generation (live slot only).
+	PreviousVersion string   `json:"previous_version,omitempty"`
+	Features        int      `json:"features"`
+	Classes         int      `json:"classes"`
+	ClassNames      []string `json:"class_names"`
+	Replicas        int      `json:"replicas"`
+	MaxBatch        int      `json:"max_batch"`
+	MaxWaitMS       float64  `json:"max_wait_ms"`
+	LoadedAt        string   `json:"loaded_at"`
 }
 
-// Info returns the current model's description.
-func (s *Server) Info() ModelInfo {
-	st := s.state.Load()
-	return ModelInfo{
-		Model:      st.artifact.ModelName,
-		Version:    st.artifact.Version(),
+// SlotStatsJSON is the wire form of a slot's scoring counters.
+type SlotStatsJSON struct {
+	Records       int64 `json:"records"`
+	Attacks       int64 `json:"attacks"`
+	Mirrored      int64 `json:"mirrored"`
+	MirrorDropped int64 `json:"mirror_dropped"`
+	Agreements    int64 `json:"agreements"`
+	Disagreements int64 `json:"disagreements"`
+}
+
+// SlotInfo is one /v2/models entry: the slot's model plus its counters.
+type SlotInfo struct {
+	ModelInfo
+	Stats SlotStatsJSON `json:"stats"`
+}
+
+// TransitionJSON is one lifecycle history entry.
+type TransitionJSON struct {
+	Op      string `json:"op"`
+	Tag     string `json:"tag"`
+	Version string `json:"version"`
+	At      string `json:"at"`
+}
+
+// ModelsResponse is the /v2/models body: every occupied slot, the retained
+// rollback generation, lifecycle counters, and recent history.
+type ModelsResponse struct {
+	Slots     []SlotInfo       `json:"slots"`
+	Previous  *ModelInfo       `json:"previous,omitempty"`
+	Promotes  int64            `json:"promotes"`
+	Rollbacks int64            `json:"rollbacks"`
+	History   []TransitionJSON `json:"history"`
+}
+
+// infoFor renders si as it is mounted under tag.
+func (s *Server) infoFor(tag string, si *slotInstance) ModelInfo {
+	info := ModelInfo{
+		Model:      si.artifact.ModelName,
+		Version:    si.artifact.Version(),
 		Engine:     s.cfg.Engine,
-		Features:   st.artifact.Features(),
-		Classes:    st.artifact.Classes(),
-		ClassNames: st.artifact.Schema.ClassNames,
+		Tag:        tag,
+		Features:   si.artifact.Features(),
+		Classes:    si.artifact.Classes(),
+		ClassNames: si.artifact.Schema.ClassNames,
 		Replicas:   s.cfg.Replicas,
 		MaxBatch:   s.cfg.MaxBatch,
 		MaxWaitMS:  float64(s.cfg.MaxWait) / float64(time.Millisecond),
-		LoadedAt:   st.loadedAt.UTC().Format(time.RFC3339),
+		LoadedAt:   si.loadedAt.UTC().Format(time.RFC3339),
+	}
+	if tag == registry.Live {
+		info.PreviousVersion = s.reg.PreviousVersion()
+	}
+	return info
+}
+
+// Info returns the live model's description (the /v1 shape: no tag).
+func (s *Server) Info() ModelInfo {
+	info, _ := s.InfoTag(registry.Live)
+	info.Tag = ""
+	return info
+}
+
+// InfoTag returns the description of the model under tag.
+func (s *Server) InfoTag(tag string) (ModelInfo, error) {
+	si, ok := s.slot(tag)
+	if !ok {
+		return ModelInfo{}, fmt.Errorf("no model loaded under tag %q", tag)
+	}
+	return s.infoFor(tag, si), nil
+}
+
+// Models returns the full registry listing (the /v2/models body).
+func (s *Server) Models() ModelsResponse {
+	resp := ModelsResponse{
+		Promotes:  s.reg.Promotes(),
+		Rollbacks: s.reg.Rollbacks(),
+	}
+	for _, tag := range s.reg.Tags() {
+		si, ok := s.slot(tag)
+		if !ok {
+			continue // unloaded between Tags() and here
+		}
+		st := s.reg.StatsFor(tag)
+		resp.Slots = append(resp.Slots, SlotInfo{
+			ModelInfo: s.infoFor(tag, si),
+			Stats: SlotStatsJSON{
+				Records:       st.Records.Load(),
+				Attacks:       st.Attacks.Load(),
+				Mirrored:      st.Mirrored.Load(),
+				MirrorDropped: st.MirrorDropped.Load(),
+				Agreements:    st.Agreements.Load(),
+				Disagreements: st.Disagreements.Load(),
+			},
+		})
+	}
+	if si, ok := s.slot(registry.Previous); ok {
+		info := s.infoFor(registry.Previous, si)
+		resp.Previous = &info
+	}
+	for _, tr := range s.reg.History() {
+		resp.History = append(resp.History, TransitionJSON{
+			Op: string(tr.Op), Tag: tr.Tag, Version: tr.Version,
+			At: tr.At.UTC().Format(time.RFC3339),
+		})
+	}
+	return resp
+}
+
+// handleModel is GET /v1/model: the live slot's description.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Info())
+}
+
+// handleModels is GET /v2/models: the registry listing.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, s.Models())
+}
+
+// handleModelTag is /v2/models/{tag}: GET describes the slot, DELETE
+// unloads it (live cannot be unloaded).
+func (s *Server) handleModelTag(w http.ResponseWriter, r *http.Request) {
+	tag := strings.TrimPrefix(r.URL.Path, "/v2/models/")
+	if tag == "" || strings.Contains(tag, "/") {
+		s.httpError(w, http.StatusNotFound, "want /v2/models/{tag}")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		info, err := s.InfoTag(tag)
+		if err != nil {
+			s.httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeJSON(w, info)
+	case http.MethodDelete:
+		if tag == registry.Live {
+			s.httpError(w, http.StatusConflict, "cannot unload the live slot")
+			return
+		}
+		if err := s.Unload(tag); err != nil {
+			s.httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeJSON(w, s.Models())
+	default:
+		s.httpError(w, http.StatusMethodNotAllowed, "GET or DELETE required")
 	}
 }
 
-func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.Info())
+type loadRequest struct {
+	Path string `json:"path"`
+	Tag  string `json:"tag"`
+}
+
+// handleLoad is POST /v2/load?tag= (or {"path": ..., "tag": ...}): load an
+// artifact file into a slot. The tag defaults to shadow — the staging slot
+// gated promotion operates on.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req loadRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Path == "" {
+		s.httpError(w, http.StatusBadRequest, "body must be {\"path\": \"artifact file\", \"tag\": \"slot\"}")
+		return
+	}
+	tag := req.Tag
+	if qt := r.URL.Query().Get("tag"); qt != "" {
+		tag = qt
+	}
+	if tag == "" {
+		tag = registry.Shadow
+	}
+	if err := registry.ValidateTag(tag); err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	a, err := LoadArtifactFile(req.Path)
+	if err != nil {
+		s.httpError(w, http.StatusUnprocessableEntity, "load artifact: %v", err)
+		return
+	}
+	if err := s.LoadSlot(tag, a); err != nil {
+		s.httpError(w, http.StatusConflict, "load %q: %v", tag, err)
+		return
+	}
+	info, err := s.InfoTag(tag)
+	if err != nil {
+		// The slot was displaced between load and read-back; report the
+		// registry state rather than failing the successful load.
+		writeJSON(w, s.Models())
+		return
+	}
+	writeJSON(w, info)
 }
 
 type reloadRequest struct {
 	Path string `json:"path"`
 }
 
+// handleReload is POST /v1/reload: load an artifact file into the live
+// slot. Kept as a thin delegate for existing clients; /v2/load is the
+// registry-aware form.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.httpError(w, http.StatusMethodNotAllowed, "POST required")
@@ -469,13 +835,46 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Info())
 }
 
+// handlePromote is POST /v2/promote: shadow becomes live atomically; the
+// displaced live is retained for rollback.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if err := s.Promote(); err != nil {
+		s.httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	info, _ := s.InfoTag(registry.Live)
+	writeJSON(w, info)
+}
+
+// handleRollback is POST /v2/rollback: restore the generation displaced by
+// the last promotion or live load.
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if err := s.Rollback(); err != nil {
+		s.httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	info, _ := s.InfoTag(registry.Live)
+	writeJSON(w, info)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	st := s.state.Load()
 	status := "ok"
 	code := http.StatusOK
 	if s.draining.Load() {
 		status = "draining"
 		code = http.StatusServiceUnavailable
+	}
+	model, version := "", ""
+	if si, ok := s.slot(registry.Live); ok {
+		model, version = si.artifact.ModelName, si.artifact.Version()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -483,11 +882,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status  string `json:"status"`
 		Model   string `json:"model"`
 		Version string `json:"version"`
-	}{status, st.artifact.ModelName, st.artifact.Version()})
+	}{status, model, version})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.state.Load()
+	var slots []slotMetrics
+	queueDepth := 0
+	for _, tag := range s.reg.Tags() {
+		si, ok := s.slot(tag)
+		if !ok {
+			continue
+		}
+		q := si.scorer.queueLen()
+		queueDepth += q
+		slots = append(slots, slotMetrics{
+			tag:     tag,
+			model:   si.artifact.ModelName,
+			version: si.artifact.Version(),
+			queue:   q,
+			stats:   s.reg.StatsFor(tag),
+		})
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.m.writeProm(w, s.b.queueLen(), st.artifact.ModelName, st.artifact.Version())
+	s.m.writeProm(w, promSnapshot{
+		queueDepth:      queueDepth,
+		slots:           slots,
+		promotes:        s.reg.Promotes(),
+		rollbacks:       s.reg.Rollbacks(),
+		previousVersion: s.reg.PreviousVersion(),
+	})
 }

@@ -606,7 +606,10 @@ func TestHealthModelAndMetricsEndpoints(t *testing.T) {
 		"pelican_serve_records_total 8",
 		"pelican_serve_batches_total",
 		"pelican_serve_request_seconds_count 1",
-		`pelican_serve_model_info{model="mlp"`,
+		`pelican_serve_model_info{slot="live",model="mlp"`,
+		`pelican_serve_slot_records_total{slot="live"`,
+		"pelican_serve_promotes_total 0",
+		"pelican_serve_rollbacks_total 0",
 	} {
 		if !strings.Contains(prom, w) {
 			t.Fatalf("metrics output missing %q:\n%s", w, prom)

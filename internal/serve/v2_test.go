@@ -1,0 +1,527 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nids"
+	"repro/internal/nn"
+	"repro/internal/registry"
+	"repro/internal/synth"
+)
+
+// trainArtifactOn trains a small MLP over an arbitrary synth config —
+// the schema-evolution tests need artifacts whose feature layouts differ
+// from the stock NSL-KDD shape in controlled ways.
+func trainArtifactOn(t *testing.T, cfg synth.Config, seed int64, epochs int) (*Artifact, []*data.Record) {
+	t.Helper()
+	gen, err := synth.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.Generate(400, seed)
+	x, y, pipe := data.Preprocess(ds)
+	features := gen.Schema().EncodedWidth()
+	rng := rand.New(rand.NewSource(seed))
+	stack := models.BuildMLP(rng, rand.New(rand.NewSource(seed+1)), features, gen.Schema().NumClasses())
+	opt := nn.NewRMSprop(0.01)
+	opt.MaxNorm = 5
+	net := nn.NewNetwork(stack, nn.NewSoftmaxCrossEntropy(), opt)
+	net.Fit(x.Reshape(x.Dim(0), 1, features), y, nn.FitConfig{Epochs: epochs, BatchSize: 128, Shuffle: true, RNG: rng})
+	a, err := NewArtifact("mlp", models.PaperBlockConfig(features), gen.Schema(), pipe, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := gen.Generate(32, seed+1000)
+	recs := make([]*data.Record, len(probe.Records))
+	for i := range probe.Records {
+		recs[i] = &probe.Records[i]
+	}
+	return a, recs
+}
+
+func saveArtifact(t *testing.T, a *Artifact) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), a.Version()+".plcn")
+	if err := SaveArtifactFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestV2RegistryLifecycle walks the whole slot lifecycle over the wire:
+// load into shadow, list, per-tag info and scoring, promote (with the
+// prior live retained), rollback (exact prior version restored), canary
+// tags, and unload.
+func TestV2RegistryLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	a1, _, recs := trainTestArtifact(t, "mlp", 61, 2)
+	a2, _, _ := trainTestArtifact(t, "mlp", 67, 3)
+	p2 := saveArtifact(t, a2)
+
+	srv, ts := newTestServer(t, a1, Config{Replicas: 2, MaxBatch: 8, MaxWait: time.Millisecond})
+	c := NewClient(ts.URL)
+
+	// Load the second generation into shadow.
+	info, err := c.LoadTag(p2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Tag != registry.Shadow || info.Version != a2.Version() {
+		t.Fatalf("LoadTag default: tag=%q version=%s, want shadow/%s", info.Tag, info.Version, a2.Version())
+	}
+
+	// The listing shows both slots, live first.
+	ms, err := c.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.Slots) != 2 || ms.Slots[0].Tag != registry.Live || ms.Slots[1].Tag != registry.Shadow {
+		t.Fatalf("listing = %+v", ms.Slots)
+	}
+	if ms.Slots[0].Version != a1.Version() || ms.Slots[1].Version != a2.Version() {
+		t.Fatalf("listing versions %s/%s, want %s/%s", ms.Slots[0].Version, ms.Slots[1].Version, a1.Version(), a2.Version())
+	}
+
+	// Per-tag info and scoring.
+	if info, err = c.ModelTag("shadow"); err != nil || info.Version != a2.Version() {
+		t.Fatalf("ModelTag(shadow) = %+v, %v", info, err)
+	}
+	if _, err := c.ModelTag("ghost"); err == nil {
+		t.Fatal("ModelTag on an empty tag succeeded")
+	}
+	if _, version, err := c.ScoreTag("shadow", recs[:4]); err != nil || version != a2.Version() {
+		t.Fatalf("ScoreTag(shadow) version=%s err=%v, want %s", version, err, a2.Version())
+	}
+	if _, version, err := c.ScoreTag("", recs[:4]); err != nil || version != a1.Version() {
+		t.Fatalf("ScoreTag(live default) version=%s err=%v, want %s", version, err, a1.Version())
+	}
+	if _, _, err := c.ScoreTag("ghost", recs[:1]); err == nil {
+		t.Fatal("scoring an empty tag succeeded")
+	}
+
+	// Promote: shadow becomes live, prior live retained, shadow empties.
+	info, err = c.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != a2.Version() || info.PreviousVersion != a1.Version() {
+		t.Fatalf("promote: live=%s previous=%s, want %s/%s", info.Version, info.PreviousVersion, a2.Version(), a1.Version())
+	}
+	if _, err := c.ModelTag("shadow"); err == nil {
+		t.Fatal("shadow still occupied after promote")
+	}
+	if _, err := c.Promote(); err == nil {
+		t.Fatal("promote with empty shadow succeeded")
+	}
+
+	// Rollback: the exact prior version hash returns.
+	info, err = c.Rollback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != a1.Version() || info.PreviousVersion != a2.Version() {
+		t.Fatalf("rollback: live=%s previous=%s, want %s/%s", info.Version, info.PreviousVersion, a1.Version(), a2.Version())
+	}
+	if got := srv.Info().Version; got != a1.Version() {
+		t.Fatalf("server live version %s after rollback, want %s", got, a1.Version())
+	}
+
+	// Canary tags are first-class slots; unload removes them.
+	if _, err := c.LoadTag(p2, "canary-7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, version, err := c.ScoreTag("canary-7", recs[:2]); err != nil || version != a2.Version() {
+		t.Fatalf("canary scoring version=%s err=%v", version, err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v2/models/canary-7", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE canary: status %d", resp.StatusCode)
+	}
+	if _, err := c.ModelTag("canary-7"); err == nil {
+		t.Fatal("canary still loaded after DELETE")
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v2/models/live", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE live: status %d, want 409", resp.StatusCode)
+	}
+
+	// The history records the walk.
+	ms, err = c.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tr := range ms.History {
+		ops = append(ops, tr.Op)
+	}
+	want := []string{"load", "load", "promote", "rollback", "load", "unload"}
+	if fmt.Sprint(ops) != fmt.Sprint(want) {
+		t.Fatalf("history ops %v, want %v", ops, want)
+	}
+	if ms.Promotes != 1 || ms.Rollbacks != 1 {
+		t.Fatalf("lifecycle counters %d/%d, want 1/1", ms.Promotes, ms.Rollbacks)
+	}
+}
+
+// TestLiveLoadRejectsFeatureSetChange pins the strengthened live-slot
+// guard: an artifact whose schema matches the live model's feature
+// *counts* but not its feature *layout* (renamed column, reordered
+// vocabulary) must be rejected by /v1/reload and /v2/load?tag=live —
+// before this guard, such a swap silently produced garbage scores because
+// in-flight and future records one-hot encode differently under the two
+// schemas. The same artifact is legal in the shadow slot, which is the
+// sanctioned path for schema changes.
+func TestLiveLoadRejectsFeatureSetChange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	base := synth.NSLKDDConfig()
+	a1, _ := trainArtifactOn(t, base, 71, 1)
+
+	renamed := synth.NSLKDDConfig()
+	renamed.NumericName = append([]string(nil), renamed.NumericName...)
+	renamed.NumericName[0] = "definitely_not_" + renamed.NumericName[0]
+	a2, _ := trainArtifactOn(t, renamed, 73, 1)
+	if a1.Schema.NumNumeric() != a2.Schema.NumNumeric() || len(a1.Schema.Categorical) != len(a2.Schema.Categorical) {
+		t.Fatal("test setup: schemas must agree on feature counts")
+	}
+	p2 := saveArtifact(t, a2)
+
+	srv, ts := newTestServer(t, a1, Config{})
+	c := NewClient(ts.URL)
+
+	// /v1/reload: rejected, live untouched.
+	resp, body := postJSON(t, ts.URL+"/v1/reload", reloadRequest{Path: p2})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("/v1/reload layout change: status %d, want 409: %s", resp.StatusCode, body)
+	}
+	if srv.Info().Version != a1.Version() {
+		t.Fatal("rejected reload disturbed the live model")
+	}
+
+	// /v2/load?tag=live: same guard.
+	if _, err := c.LoadTag(p2, "live"); err == nil {
+		t.Fatal("/v2/load?tag=live accepted a layout-changing artifact")
+	}
+
+	// Shadow is the sanctioned path, and promotion carries the schema over.
+	if _, err := c.LoadTag(p2, "shadow"); err != nil {
+		t.Fatalf("layout-changing artifact rejected from shadow: %v", err)
+	}
+	info, err := c.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != a2.Version() {
+		t.Fatalf("promoted version %s, want %s", info.Version, a2.Version())
+	}
+}
+
+// TestShadowMirroring pins the mirroring path: live traffic is duplicated
+// onto a loaded shadow, both slots' counters move, and the agreement
+// split covers every mirrored record. A schema-evolving shadow is not
+// mirrored (the drop counter moves instead).
+func TestShadowMirroring(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	a1, _, recs := trainTestArtifact(t, "mlp", 79, 2)
+	a2, _, _ := trainTestArtifact(t, "mlp", 83, 1)
+	srv, ts := newTestServer(t, a1, Config{Replicas: 2, MaxBatch: 8, MaxWait: time.Millisecond})
+	c := NewClient(ts.URL)
+
+	if _, err := c.LoadTag(saveArtifact(t, a2), "shadow"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := c.Score(recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Mirrors are asynchronous; wait for them to land.
+	deadline := time.Now().Add(10 * time.Second)
+	var shadow *SlotInfo
+	for {
+		ms, err := c.Models()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ms.Slots {
+			if ms.Slots[i].Tag == registry.Shadow {
+				shadow = &ms.Slots[i]
+			}
+		}
+		if shadow != nil && shadow.Stats.Mirrored+shadow.Stats.MirrorDropped >= int64(4*len(recs)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mirrors never landed: %+v", shadow)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if shadow.Stats.Mirrored == 0 {
+		t.Fatalf("every mirror was dropped: %+v", shadow.Stats)
+	}
+	if got := shadow.Stats.Agreements + shadow.Stats.Disagreements; got != shadow.Stats.Mirrored {
+		t.Fatalf("agreement split %d covers %d mirrored records", got, shadow.Stats.Mirrored)
+	}
+	if shadow.Stats.Records < shadow.Stats.Mirrored {
+		t.Fatalf("shadow records %d < mirrored %d", shadow.Stats.Records, shadow.Stats.Mirrored)
+	}
+
+	// A layout-changing shadow must not be mirrored onto.
+	renamed := synth.NSLKDDConfig()
+	renamed.NumericName = append([]string(nil), renamed.NumericName...)
+	renamed.NumericName[0] = "x_" + renamed.NumericName[0]
+	a3, _ := trainArtifactOn(t, renamed, 89, 1)
+	if err := srv.LoadSlot("shadow", a3); err != nil {
+		t.Fatal(err)
+	}
+	before := srv.Registry().StatsFor(registry.Shadow).MirrorDropped.Load()
+	if _, _, err := c.Score(recs[:8]); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Registry().StatsFor(registry.Shadow).MirrorDropped.Load(); got != before+8 {
+		t.Fatalf("layout-mismatched mirror: dropped %d -> %d, want +8", before, got)
+	}
+}
+
+// TestClientBackwardCompat pins satellite 1: the pre-registry client
+// surface (Score, Reload, Model) keeps its exact behavior against a /v2
+// server — Score answers from the live slot, Reload swaps the live slot
+// and retains the rollback generation the /v2 methods can restore.
+func TestClientBackwardCompat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	a1, orig, recs := trainTestArtifact(t, "mlp", 97, 2)
+	a2, _, _ := trainTestArtifact(t, "mlp", 101, 3)
+	p2 := saveArtifact(t, a2)
+
+	_, ts := newTestServer(t, a1, Config{Replicas: 2, MaxBatch: 8, MaxWait: time.Millisecond})
+	c := NewClient(ts.URL)
+
+	want := make([]nids.Verdict, len(recs))
+	orig.DetectBatch(recs, want)
+
+	// Old Score: live verdicts, live version.
+	got, version, err := c.Score(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != a1.Version() {
+		t.Fatalf("Score answered version %s, want live %s", version, a1.Version())
+	}
+	for i := range got {
+		if got[i].Class != want[i].Class || got[i].IsAttack != want[i].IsAttack {
+			t.Fatalf("record %d: old-client verdict %+v != in-process %+v", i, got[i], want[i])
+		}
+	}
+
+	// Old Model: live description, no /v2 fields leaking.
+	info, err := c.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != a1.Version() || info.Tag != "" {
+		t.Fatalf("Model() = %+v, want live version %s with no tag", info, a1.Version())
+	}
+
+	// Old Reload: swaps live...
+	info, err = c.Reload(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != a2.Version() {
+		t.Fatalf("Reload served %s, want %s", info.Version, a2.Version())
+	}
+	if _, version, err = c.Score(recs[:4]); err != nil || version != a2.Version() {
+		t.Fatalf("post-reload Score version %s err=%v", version, err)
+	}
+	// ...and the displaced generation is now reachable by the new surface.
+	if info, err = c.Rollback(); err != nil || info.Version != a1.Version() {
+		t.Fatalf("rollback after /v1 reload: %+v, %v — want %s", info, err, a1.Version())
+	}
+
+	// RemoteDetector: default hits live, Tag pins a slot.
+	if _, err := c.LoadTag(p2, "shadow"); err != nil {
+		t.Fatal(err)
+	}
+	liveDet := &RemoteDetector{Client: c}
+	shadowDet := &RemoteDetector{Client: c, Tag: "shadow"}
+	verdicts := make([]nids.Verdict, 4)
+	liveDet.DetectBatch(recs[:4], verdicts)
+	if liveDet.ModelVersion() != a1.Version() {
+		t.Fatalf("live detector hit %s, want %s", liveDet.ModelVersion(), a1.Version())
+	}
+	shadowDet.DetectBatch(recs[:4], verdicts)
+	if shadowDet.ModelVersion() != a2.Version() {
+		t.Fatalf("shadow detector hit %s, want %s", shadowDet.ModelVersion(), a2.Version())
+	}
+	if liveDet.Errors() != 0 || shadowDet.Errors() != 0 {
+		t.Fatalf("unexpected errors: %d/%d", liveDet.Errors(), shadowDet.Errors())
+	}
+}
+
+// TestPromoteRollbackUnderConcurrentScoring is the acceptance-criterion
+// test: clients hammer the live slot while shadow loads, promotions, and
+// rollbacks cycle underneath them. Every request must complete (no drops),
+// every verdict must match one of the two generations' precomputed
+// verdicts for that exact record (in-flight batches finish on their
+// generation, never torn), and the final rollback must restore the exact
+// prior version hash. Run under -race in CI.
+func TestPromoteRollbackUnderConcurrentScoring(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	a1, orig1, recs := trainTestArtifact(t, "mlp", 103, 2)
+	a2, orig2, _ := trainTestArtifact(t, "mlp", 107, 3)
+	p2 := saveArtifact(t, a2)
+
+	want1 := make([]nids.Verdict, len(recs))
+	want2 := make([]nids.Verdict, len(recs))
+	orig1.DetectBatch(recs, want1)
+	orig2.DetectBatch(recs, want2)
+
+	srv, ts := newTestServer(t, a1, Config{Replicas: 2, MaxBatch: 8, MaxWait: 500 * time.Microsecond, QueueDepth: 128})
+	c := NewClient(ts.URL)
+
+	stop := make(chan struct{})
+	var clientWG sync.WaitGroup
+	errCh := make(chan error, 4)
+	requests := make([]int, 4)
+	for w := 0; w < 4; w++ {
+		clientWG.Add(1)
+		go func(w int) {
+			defer clientWG.Done()
+			rng := rand.New(rand.NewSource(int64(300 + w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := 1 + rng.Intn(8)
+				idx := make([]int, n)
+				sub := make([]*data.Record, n)
+				for i := range idx {
+					idx[i] = rng.Intn(len(recs))
+					sub[i] = recs[idx[i]]
+				}
+				got, _, err := c.ScoreTag("", sub)
+				if err != nil {
+					errCh <- fmt.Errorf("client %d: %v", w, err)
+					return
+				}
+				if len(got) != n {
+					errCh <- fmt.Errorf("client %d: dropped verdicts: %d of %d", w, len(got), n)
+					return
+				}
+				for i, v := range got {
+					w1, w2 := want1[idx[i]], want2[idx[i]]
+					if (v.Class != w1.Class || v.IsAttack != w1.IsAttack) &&
+						(v.Class != w2.Class || v.IsAttack != w2.IsAttack) {
+						errCh <- fmt.Errorf("record %d verdict class %d matches neither generation (%d / %d)",
+							idx[i], v.Class, w1.Class, w2.Class)
+						return
+					}
+				}
+				requests[w]++
+			}
+		}(w)
+	}
+
+	// Cycle load→promote→rollback while the clients hammer away.
+	for cycle := 0; cycle < 6; cycle++ {
+		if _, err := c.LoadTag(p2, "shadow"); err != nil {
+			t.Fatalf("cycle %d load: %v", cycle, err)
+		}
+		before, err := c.Model()
+		if err != nil {
+			t.Fatalf("cycle %d model: %v", cycle, err)
+		}
+		if before.Version != a1.Version() {
+			t.Fatalf("cycle %d: live is %s before promote, want %s", cycle, before.Version, a1.Version())
+		}
+		info, err := c.Promote()
+		if err != nil {
+			t.Fatalf("cycle %d promote: %v", cycle, err)
+		}
+		if info.Version != a2.Version() {
+			t.Fatalf("cycle %d: promoted to %s, want %s", cycle, info.Version, a2.Version())
+		}
+		time.Sleep(2 * time.Millisecond)
+		info, err = c.Rollback()
+		if err != nil {
+			t.Fatalf("cycle %d rollback: %v", cycle, err)
+		}
+		if info.Version != before.Version {
+			t.Fatalf("cycle %d: rollback restored %s, want the exact prior version %s", cycle, info.Version, before.Version)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	clientWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range requests {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no client requests completed during the cycles")
+	}
+	if got := srv.Info().Version; got != a1.Version() {
+		t.Fatalf("final live version %s, want %s", got, a1.Version())
+	}
+	if srv.Registry().Promotes() != 6 || srv.Registry().Rollbacks() != 6 {
+		t.Fatalf("lifecycle counters %d/%d, want 6/6", srv.Registry().Promotes(), srv.Registry().Rollbacks())
+	}
+}
+
+// decodeDetect pins the /v2 single-record wire shape (tag echoed back).
+func TestV2DetectEchoesTag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, _, recs := trainTestArtifact(t, "mlp", 109, 1)
+	_, ts := newTestServer(t, a, Config{})
+	resp, body := postJSON(t, ts.URL+"/v2/detect", RecordJSON{Numeric: recs[0].Numeric, Categorical: recs[0].Categorical})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var dr struct {
+		ModelVersion string `json:"model_version"`
+		Tag          string `json:"tag"`
+	}
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Tag != registry.Live || dr.ModelVersion != a.Version() {
+		t.Fatalf("v2 detect echoed tag=%q version=%s", dr.Tag, dr.ModelVersion)
+	}
+}
