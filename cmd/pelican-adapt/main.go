@@ -149,9 +149,17 @@ func run(args []string, out io.Writer) error {
 	}()
 
 	// Optional health watchdog: the whole point of hot-reload is that the
-	// swap is invisible to /healthz.
+	// swap is invisible to /healthz. Every poll runs under its own
+	// timeout — a bare http.Get here would let one stalled poll park the
+	// watchdog goroutine forever, silently disabling the very check this
+	// flag asks for — and a timed-out poll counts as a failure: a health
+	// endpoint that cannot answer inside the poll interval is not healthy.
 	var healthFails atomic.Int64
 	if *healthEvery > 0 {
+		pollTimeout := *healthEvery
+		if pollTimeout < 250*time.Millisecond {
+			pollTimeout = 250 * time.Millisecond
+		}
 		go func() {
 			t := time.NewTicker(*healthEvery)
 			defer t.Stop()
@@ -160,7 +168,12 @@ func run(args []string, out io.Writer) error {
 				case <-ctx.Done():
 					return
 				case <-t.C:
-					resp, err := http.Get(*target + "/healthz")
+					pollCtx, cancel := context.WithTimeout(ctx, pollTimeout)
+					req, err := http.NewRequestWithContext(pollCtx, http.MethodGet, *target+"/healthz", nil)
+					var resp *http.Response
+					if err == nil {
+						resp, err = http.DefaultClient.Do(req)
+					}
 					if err != nil || resp.StatusCode != http.StatusOK {
 						healthFails.Add(1)
 					}
@@ -168,6 +181,7 @@ func run(args []string, out io.Writer) error {
 						io.Copy(io.Discard, resp.Body)
 						resp.Body.Close()
 					}
+					cancel()
 				}
 			}
 		}()

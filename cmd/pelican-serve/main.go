@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/serve"
 	"repro/internal/synth"
 )
@@ -44,16 +45,19 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pelican-serve", flag.ContinueOnError)
 	var (
-		model    = fs.String("model", "", "model artifact to serve live (written by pelican-train -save)")
-		shadow   = fs.String("shadow", "", "optional artifact to preload into the shadow slot (mirrored, promotable via /v2/promote)")
-		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
-		replicas = fs.Int("replicas", 2, "detector replicas (scoring shards) per model slot")
-		maxBatch = fs.Int("max-batch", 32, "dynamic batcher flush size")
-		maxWait  = fs.Duration("max-wait", 2*time.Millisecond, "dynamic batcher flush deadline")
-		queue    = fs.Int("queue", 1024, "batcher queue depth per slot (requests block when full)")
-		maxBody  = fs.Int64("max-body", 4<<20, "request body size cap in bytes (413 beyond)")
-		engine   = fs.String("engine", "f32", "scoring engine: f32 (compiled float32 inference plan) or f64 (training graph)")
-		noMirror = fs.Bool("no-mirror", false, "disable duplicating live traffic onto the shadow slot")
+		model      = fs.String("model", "", "model artifact to serve live (written by pelican-train -save)")
+		shadow     = fs.String("shadow", "", "optional artifact to preload into the shadow slot (mirrored, promotable via /v2/promote)")
+		addr       = fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		replicas   = fs.Int("replicas", 2, "detector replicas (scoring shards) per model slot")
+		maxBatch   = fs.Int("max-batch", 32, "dynamic batcher flush size")
+		maxWait    = fs.Duration("max-wait", 2*time.Millisecond, "dynamic batcher flush deadline")
+		queue      = fs.Int("queue", 1024, "batcher queue depth per slot (requests block when full)")
+		maxBody    = fs.Int64("max-body", 4<<20, "request body size cap in bytes (413 beyond)")
+		engine     = fs.String("engine", "f32", "scoring engine: f32 (compiled float32 inference plan) or f64 (training graph)")
+		noMirror   = fs.Bool("no-mirror", false, "disable duplicating live traffic onto the shadow slot")
+		reqTimeout = fs.Duration("request-timeout", 5*time.Second, "scoring deadline budget; queued records past it are shed with 503 (negative disables)")
+		watermark  = fs.Int("admit-watermark", 0, "queue depth beyond which scoring requests fast-fail 429 (0 = queue size, negative disables)")
+		chaosDelay = fs.Duration("chaos-score-delay", 0, "TESTING: inject this much extra latency into every replica's scoring batches")
 
 		loadgen     = fs.Bool("loadgen", false, "run as load generator instead of server")
 		target      = fs.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
@@ -64,6 +68,8 @@ func run(args []string, out io.Writer) error {
 		records     = fs.Int("records", 512, "loadgen: distinct records generated and cycled")
 		seed        = fs.Int64("seed", 1, "loadgen: record generation seed")
 		minAttacks  = fs.Int("min-attacks", 0, "loadgen: fail unless at least this many attack verdicts came back")
+		minShed     = fs.Int("min-shed", 0, "loadgen: fail unless at least this many requests were shed (429/503) — overload-test assertion")
+		maxP99      = fs.Duration("max-p99", 0, "loadgen: fail if accepted-request p99 latency exceeds this (0 = no bound)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,13 +78,20 @@ func run(args []string, out io.Writer) error {
 		return runLoadgen(out, loadgenConfig{
 			target: *target, duration: *duration, concurrency: *concurrency,
 			batch: *batch, dataset: *dataset, records: *records, seed: *seed,
-			minAttacks: *minAttacks,
+			minAttacks: *minAttacks, minShed: *minShed, maxP99: *maxP99,
 		})
 	}
-	return runServer(out, *model, *shadow, *addr, serve.Config{
+	cfg := serve.Config{
 		Replicas: *replicas, MaxBatch: *maxBatch, MaxWait: *maxWait, QueueDepth: *queue,
 		MaxBodyBytes: *maxBody, Engine: *engine, MirrorOff: *noMirror,
-	})
+		RequestTimeout: *reqTimeout, AdmitWatermark: *watermark,
+	}
+	if *chaosDelay > 0 {
+		inj := &chaos.Injector{}
+		inj.SetScoreDelay(*chaosDelay)
+		cfg.Chaos = inj
+	}
+	return runServer(out, *model, *shadow, *addr, cfg)
 }
 
 func runServer(out io.Writer, model, shadow, addr string, cfg serve.Config) error {
@@ -149,12 +162,15 @@ type loadgenConfig struct {
 	records     int
 	seed        int64
 	minAttacks  int
+	minShed     int
+	maxP99      time.Duration
 }
 
 type workerResult struct {
 	requests  int
 	records   int
 	attacks   int
+	shed      int // requests the server refused under overload (429/503)
 	errors    int
 	latencies []time.Duration
 }
@@ -229,7 +245,7 @@ func runLoadgen(out io.Writer, cfg loadgenConfig) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			client := &http.Client{}
+			client := &http.Client{Timeout: 30 * time.Second}
 			res := &results[w]
 			for i := w; time.Now().Before(deadline); i++ {
 				b := bodies[i%len(bodies)]
@@ -237,6 +253,16 @@ func runLoadgen(out io.Writer, cfg loadgenConfig) error {
 				resp, err := client.Post(cfg.target+"/v1/detect-batch", "application/json", bytes.NewReader(b.body))
 				if err != nil {
 					res.errors++
+					continue
+				}
+				if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+					// Overload shedding is the server doing its job, not an
+					// error: count it separately so an overload test can
+					// assert sheds happened while accepted latency stayed
+					// bounded.
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					res.shed++
 					continue
 				}
 				var br struct {
@@ -271,19 +297,20 @@ func runLoadgen(out io.Writer, cfg loadgenConfig) error {
 		total.requests += r.requests
 		total.records += r.records
 		total.attacks += r.attacks
+		total.shed += r.shed
 		total.errors += r.errors
 		total.latencies = append(total.latencies, r.latencies...)
 	}
 	if total.requests == 0 {
-		return fmt.Errorf("no successful requests (%d errors)", total.errors)
+		return fmt.Errorf("no successful requests (%d shed, %d errors)", total.shed, total.errors)
 	}
 	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
 	pct := func(p float64) time.Duration {
 		i := int(p * float64(len(total.latencies)-1))
 		return total.latencies[i]
 	}
-	fmt.Fprintf(out, "requests=%d records=%d errors=%d attacks=%d\n",
-		total.requests, total.records, total.errors, total.attacks)
+	fmt.Fprintf(out, "requests=%d records=%d shed=%d errors=%d attacks=%d\n",
+		total.requests, total.records, total.shed, total.errors, total.attacks)
 	fmt.Fprintf(out, "throughput: %.0f records/s (%.0f req/s)\n",
 		float64(total.records)/elapsed.Seconds(), float64(total.requests)/elapsed.Seconds())
 	fmt.Fprintf(out, "latency: p50=%s p95=%s p99=%s max=%s\n",
@@ -291,6 +318,14 @@ func runLoadgen(out io.Writer, cfg loadgenConfig) error {
 		pct(0.99).Round(time.Microsecond), total.latencies[len(total.latencies)-1].Round(time.Microsecond))
 	if total.attacks < cfg.minAttacks {
 		return fmt.Errorf("only %d attack verdicts, -min-attacks requires %d", total.attacks, cfg.minAttacks)
+	}
+	if total.shed < cfg.minShed {
+		return fmt.Errorf("only %d requests shed, -min-shed requires %d (server is not shedding under this load)", total.shed, cfg.minShed)
+	}
+	if cfg.maxP99 > 0 {
+		if p99 := pct(0.99); p99 > cfg.maxP99 {
+			return fmt.Errorf("accepted-request p99 %s exceeds -max-p99 %s (shedding is not bounding latency)", p99.Round(time.Millisecond), cfg.maxP99)
+		}
 	}
 	return nil
 }

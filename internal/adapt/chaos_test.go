@@ -1,0 +1,131 @@
+package adapt
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+// flakyPublisher is a Publisher whose Publish consults a chaos.FailPoint
+// before shipping, counting the publishes that actually land.
+type flakyPublisher struct {
+	fail      *chaos.FailPoint
+	published atomic.Int64
+}
+
+func (p *flakyPublisher) Publish(path string, a *serve.Artifact) error {
+	if err := p.fail.Check(); err != nil {
+		return err
+	}
+	p.published.Add(1)
+	return nil
+}
+
+// TestRetryPublishBackoffConverges pins the retry helper in isolation: a
+// publisher failing its first two calls converges on the third inside
+// PublishAttempts, the tries are accounted on the event, and a publisher
+// failing every call exhausts the budget and reports the last error.
+func TestRetryPublishBackoffConverges(t *testing.T) {
+	l := &Loop{
+		cfg: Config{PublishAttempts: 3, PublishBackoff: time.Millisecond}.withDefaults(),
+		rng: rand.New(rand.NewSource(1)),
+	}
+
+	p := &flakyPublisher{fail: &chaos.FailPoint{}}
+	p.fail.FailNext(2)
+	var ev Event
+	if err := l.retryPublish(&ev, func() error { return p.Publish("", nil) }); err != nil {
+		t.Fatalf("publish did not converge past 2 injected failures: %v", err)
+	}
+	if ev.PublishTries != 3 {
+		t.Fatalf("PublishTries = %d, want 3 (2 failures + 1 success)", ev.PublishTries)
+	}
+	if got := p.published.Load(); got != 1 {
+		t.Fatalf("published %d times, want exactly 1", got)
+	}
+
+	// Exhaustion: more scripted failures than attempts.
+	p2 := &flakyPublisher{fail: &chaos.FailPoint{}}
+	p2.fail.FailNext(10)
+	var ev2 Event
+	if err := l.retryPublish(&ev2, func() error { return p2.Publish("", nil) }); err == nil {
+		t.Fatal("publish against a dead publisher reported success")
+	}
+	if ev2.PublishTries != 3 {
+		t.Fatalf("PublishTries = %d after exhaustion, want 3", ev2.PublishTries)
+	}
+	if got := p2.published.Load(); got != 0 {
+		t.Fatalf("published %d times through a dead publisher", got)
+	}
+}
+
+// TestAdaptPublishRetryConverges is the chaos e2e for the adaptation loop:
+// a drift-triggered retrain whose publisher fails transiently (first two
+// calls) is retried with backoff and converges — the retrain counts, the
+// artifact ships exactly once, and the event records the absorbed tries.
+func TestAdaptPublishRetryConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	gen, err := synth.New(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := trainTinyArtifact(t, gen, 400, 2, 41)
+
+	pub := &flakyPublisher{fail: &chaos.FailPoint{}}
+	pub.fail.FailNext(2)
+	loop, err := NewLoop(art, Config{
+		BufferCap: 256, MinRetrain: 64, RetrainEpochs: 1,
+		GateOff: true, ArtifactDir: t.TempDir(),
+		Publisher:       pub,
+		PublishAttempts: 3, PublishBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.Generate(256, 43)
+	for i := range ds.Records {
+		loop.buf.Add(ds.Records[i], ds.Records[i].Label)
+	}
+
+	ev := loop.adapt(Trigger{Signal: "test", Z: 9})
+	if ev.Err != nil {
+		t.Fatalf("adapt failed: %v", ev.Err)
+	}
+	if ev.PublishTries != 3 {
+		t.Fatalf("PublishTries = %d, want 3 (2 transient failures absorbed)", ev.PublishTries)
+	}
+	if got := pub.published.Load(); got != 1 {
+		t.Fatalf("published %d times, want exactly 1", got)
+	}
+	if got := loop.Retrains(); got != 1 {
+		t.Fatalf("Retrains() = %d, want 1", got)
+	}
+	if loop.Version() == art.Version() {
+		t.Fatal("published generation has the seed version")
+	}
+
+	// A publisher that stays dead fails the attempt — and leaves the
+	// published generation untouched.
+	pub.fail.FailNext(10)
+	for i := range ds.Records {
+		loop.buf.Add(ds.Records[i], ds.Records[i].Label)
+	}
+	prev := loop.Version()
+	ev2 := loop.adapt(Trigger{Signal: "test", Z: 9})
+	if ev2.Err == nil {
+		t.Fatal("adapt through a dead publisher reported success")
+	}
+	if got := loop.Retrains(); got != 1 {
+		t.Fatalf("Retrains() = %d after failed publish, want still 1", got)
+	}
+	if loop.Version() != prev {
+		t.Fatal("failed publish advanced the deployed generation")
+	}
+}

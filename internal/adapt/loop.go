@@ -138,6 +138,16 @@ type Config struct {
 	// GateOff disables held-out gating, restoring the pre-registry
 	// behavior: every successful retrain publishes unconditionally.
 	GateOff bool
+	// PublishAttempts caps total tries per publisher call (stage, promote,
+	// or direct publish): transient failures — a mid-reload server, a
+	// network blip between sidecar and scoring plane — are retried with
+	// jittered exponential backoff before the retrain is abandoned (and
+	// the drift monitors left primed to re-trip). Default 3; 1 disables
+	// retries.
+	PublishAttempts int
+	// PublishBackoff is the first retry delay; each retry doubles it with
+	// ±50% jitter. Default 200ms.
+	PublishBackoff time.Duration
 	// OnEvent, when non-nil, observes every adaptation attempt (from the
 	// Run goroutine).
 	OnEvent func(Event)
@@ -172,6 +182,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GateFARSlack <= 0 {
 		c.GateFARSlack = 0.05
+	}
+	if c.PublishAttempts <= 0 {
+		c.PublishAttempts = 3
+	}
+	if c.PublishBackoff <= 0 {
+		c.PublishBackoff = 200 * time.Millisecond
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -212,6 +228,11 @@ type Event struct {
 	LiveDR       float64
 	CandidateFAR float64
 	LiveFAR      float64
+	// PublishTries is how many publisher calls the deployment took in
+	// total (stage + promote or direct publish, including retried ones);
+	// anything above the minimum means transient publish failures were
+	// absorbed by backoff.
+	PublishTries int
 	// Rejected is set when the gate refused to promote the candidate: it
 	// stays staged in the shadow slot (under a StagedPublisher) and the
 	// live model is untouched. The next retrain warm-starts from the live
@@ -509,7 +530,7 @@ func (l *Loop) adapt(trig Trigger) Event {
 		// Stage first: pass or fail, the candidate lands in the shadow
 		// slot, where mirroring accumulates live-vs-candidate agreement
 		// counters and operators can inspect (or manually promote) it.
-		if err := staged.Stage(path, next); err != nil {
+		if err := l.retryPublish(&ev, func() error { return staged.Stage(path, next) }); err != nil {
 			ev.Err = fmt.Errorf("stage artifact: %w", err)
 			l.discardRetrain(&ev)
 			return ev
@@ -528,9 +549,9 @@ func (l *Loop) adapt(trig Trigger) Event {
 	if l.cfg.Publisher != nil {
 		var err error
 		if isStaged {
-			err = staged.Promote()
+			err = l.retryPublish(&ev, staged.Promote)
 		} else {
-			err = l.cfg.Publisher.Publish(path, next)
+			err = l.retryPublish(&ev, func() error { return l.cfg.Publisher.Publish(path, next) })
 		}
 		if err != nil {
 			// Publication failed: keep the old monitors' reference so a
@@ -551,6 +572,27 @@ func (l *Loop) adapt(trig Trigger) Event {
 
 	ev.Duration = time.Since(start)
 	return ev
+}
+
+// retryPublish runs one publisher call with up to PublishAttempts tries,
+// sleeping a jittered exponential backoff between them, and accumulates
+// the tries on ev. It runs on Run's goroutine (l.rng is safe) and blocks
+// the loop, deliberately: a retrain is worthless if it cannot ship, and
+// the monitors stay quiet until this attempt resolves either way.
+func (l *Loop) retryPublish(ev *Event, fn func() error) error {
+	var err error
+	for i := 0; i < l.cfg.PublishAttempts; i++ {
+		if i > 0 {
+			d := l.cfg.PublishBackoff << (i - 1)
+			d = d/2 + time.Duration(l.rng.Int63n(int64(d))) // ±50% jitter
+			time.Sleep(d)
+		}
+		ev.PublishTries++
+		if err = fn(); err == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 // gateVerdicts summarizes a detector's held-out performance. When the

@@ -1,0 +1,203 @@
+// Package chaos is the fault-injection toolkit for the serving plane.
+// Every knob defaults to "no fault", is safe for concurrent use, and can
+// be retuned while the system under test is running — a chaos test
+// tightens and releases faults mid-flight to prove the plane degrades and
+// recovers without restarts.
+//
+// The package deliberately knows nothing about serving: it exposes
+// primitive fault sources (added latency, scripted errors, corrupted
+// bytes) that the serve, adapt, and cmd layers thread into their own
+// seams — a scorer worker sleeps Injector.DelayFor before each batch, a
+// client wraps its transport in Transport, a publisher consults a
+// FailPoint before shipping an artifact.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Injector imposes server-side scoring faults. The zero value injects
+// nothing; a nil *Injector is always safe to query. Scorer workers consult
+// DelayFor once per flushed batch, so a delay models a slow replica (GC
+// pause, noisy neighbor, cold cache) rather than slow records.
+type Injector struct {
+	delayNanos atomic.Int64 // added to every replica's batch service time
+	mu         sync.Mutex
+	perReplica map[int]time.Duration // overrides for individual replicas
+}
+
+// SetScoreDelay imposes d of extra latency on every scoring batch of every
+// replica. Zero removes the fault.
+func (in *Injector) SetScoreDelay(d time.Duration) {
+	if in == nil {
+		return
+	}
+	in.delayNanos.Store(int64(d))
+}
+
+// SetReplicaDelay imposes d of extra latency on one replica's batches
+// (replicas are indexed 0..Replicas-1 within every slot), overriding the
+// global delay for that replica. Zero removes the override.
+func (in *Injector) SetReplicaDelay(replica int, d time.Duration) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.perReplica == nil {
+		in.perReplica = make(map[int]time.Duration)
+	}
+	if d == 0 {
+		delete(in.perReplica, replica)
+		return
+	}
+	in.perReplica[replica] = d
+}
+
+// DelayFor reports the injected latency for one replica's next batch: the
+// per-replica override when set, else the global delay. Nil receivers and
+// the zero value report zero.
+func (in *Injector) DelayFor(replica int) time.Duration {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	d, ok := in.perReplica[replica]
+	in.mu.Unlock()
+	if ok {
+		return d
+	}
+	return time.Duration(in.delayNanos.Load())
+}
+
+// FailPoint is a scripted error source: it can fail the next N calls, fail
+// a fraction of calls, or both (scripted failures are consumed first). The
+// zero value never fails. Check is the single decision point callers wire
+// into their seam.
+type FailPoint struct {
+	mu        sync.Mutex
+	remaining int64   // fail this many more calls unconditionally
+	rate      float64 // then fail this fraction of calls
+	rng       *rand.Rand
+	err       error
+	trips     atomic.Int64
+	calls     atomic.Int64
+}
+
+// FailNext scripts the next n calls to Check to fail.
+func (f *FailPoint) FailNext(n int) {
+	f.mu.Lock()
+	f.remaining = int64(n)
+	f.mu.Unlock()
+}
+
+// SetRate makes Check fail with probability p (after any scripted
+// failures are consumed). Deterministic per-FailPoint seed, so tests are
+// reproducible.
+func (f *FailPoint) SetRate(p float64) {
+	f.mu.Lock()
+	f.rate = p
+	f.mu.Unlock()
+}
+
+// SetErr overrides the error Check returns (default: a generic injected
+// fault).
+func (f *FailPoint) SetErr(err error) {
+	f.mu.Lock()
+	f.err = err
+	f.mu.Unlock()
+}
+
+// Check returns the injected error when this call is scripted or sampled
+// to fail, nil otherwise. Nil receivers never fail.
+func (f *FailPoint) Check() error {
+	if f == nil {
+		return nil
+	}
+	f.calls.Add(1)
+	f.mu.Lock()
+	fail := false
+	if f.remaining > 0 {
+		f.remaining--
+		fail = true
+	} else if f.rate > 0 {
+		if f.rng == nil {
+			f.rng = rand.New(rand.NewSource(1))
+		}
+		fail = f.rng.Float64() < f.rate
+	}
+	err := f.err
+	f.mu.Unlock()
+	if !fail {
+		return nil
+	}
+	f.trips.Add(1)
+	if err == nil {
+		err = fmt.Errorf("chaos: injected fault")
+	}
+	return err
+}
+
+// Trips reports how many calls Check has failed.
+func (f *FailPoint) Trips() int64 { return f.trips.Load() }
+
+// Calls reports how many times Check has been consulted.
+func (f *FailPoint) Calls() int64 { return f.calls.Load() }
+
+// Transport is an http.RoundTripper that injects client-visible faults in
+// front of a real transport: per-request added latency and scripted or
+// sampled request errors (the request never reaches the server — the
+// shape of a network partition or a dead peer). Wire it into an
+// http.Client.Transport (serve.Client accepts any *http.Client).
+type Transport struct {
+	// Base performs real round trips; nil uses http.DefaultTransport.
+	Base http.RoundTripper
+	// Fail, when non-nil, decides which requests error out.
+	Fail *FailPoint
+
+	latencyNanos atomic.Int64
+}
+
+// SetLatency imposes d of extra latency on every round trip.
+func (t *Transport) SetLatency(d time.Duration) { t.latencyNanos.Store(int64(d)) }
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := t.Fail.Check(); err != nil {
+		return nil, err
+	}
+	if d := time.Duration(t.latencyNanos.Load()); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}
+
+// CorruptFile flips one byte in the middle of the file at path — the
+// minimal on-disk artifact corruption. Loaders with integrity checks
+// (the .plcn CRC) must reject the result; chaos tests use it to prove a
+// corrupt artifact can never reach a serving slot.
+func CorruptFile(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(b) == 0 {
+		return fmt.Errorf("chaos: %s is empty, nothing to corrupt", path)
+	}
+	b[len(b)/2] ^= 0xFF
+	return os.WriteFile(path, b, 0o644)
+}

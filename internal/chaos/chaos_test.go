@@ -1,0 +1,207 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestInjectorDelayPrecedence pins the delay resolution order: nil and
+// zero-value injectors impose nothing, a global delay applies to every
+// replica, a per-replica override wins over the global, and clearing an
+// override falls back to the global.
+func TestInjectorDelayPrecedence(t *testing.T) {
+	var nilIn *Injector
+	if d := nilIn.DelayFor(0); d != 0 {
+		t.Fatalf("nil injector delays %v", d)
+	}
+	nilIn.SetScoreDelay(time.Second) // must not panic
+	nilIn.SetReplicaDelay(1, time.Second)
+
+	in := &Injector{}
+	if d := in.DelayFor(3); d != 0 {
+		t.Fatalf("zero-value injector delays %v", d)
+	}
+	in.SetScoreDelay(10 * time.Millisecond)
+	if d := in.DelayFor(0); d != 10*time.Millisecond {
+		t.Fatalf("global delay: got %v, want 10ms", d)
+	}
+	in.SetReplicaDelay(0, 50*time.Millisecond)
+	if d := in.DelayFor(0); d != 50*time.Millisecond {
+		t.Fatalf("per-replica override: got %v, want 50ms", d)
+	}
+	if d := in.DelayFor(1); d != 10*time.Millisecond {
+		t.Fatalf("uninvolved replica: got %v, want the global 10ms", d)
+	}
+	in.SetReplicaDelay(0, 0) // clear the override
+	if d := in.DelayFor(0); d != 10*time.Millisecond {
+		t.Fatalf("cleared override: got %v, want the global 10ms", d)
+	}
+	in.SetScoreDelay(0)
+	if d := in.DelayFor(0); d != 0 {
+		t.Fatalf("cleared global: got %v, want 0", d)
+	}
+}
+
+// TestFailPointScriptedAndRate pins Check's decision order: scripted
+// failures are consumed first (exactly n of them), the injected error is
+// overridable, rate 1 fails every call, rate 0 never does, and the
+// counters account calls and trips exactly.
+func TestFailPointScriptedAndRate(t *testing.T) {
+	var nilFP *FailPoint
+	if err := nilFP.Check(); err != nil {
+		t.Fatalf("nil fail point failed: %v", err)
+	}
+
+	f := &FailPoint{}
+	for i := 0; i < 3; i++ {
+		if err := f.Check(); err != nil {
+			t.Fatalf("zero-value fail point failed call %d: %v", i, err)
+		}
+	}
+
+	boom := errors.New("boom")
+	f.SetErr(boom)
+	f.FailNext(2)
+	for i := 0; i < 2; i++ {
+		if err := f.Check(); !errors.Is(err, boom) {
+			t.Fatalf("scripted call %d: got %v, want boom", i, err)
+		}
+	}
+	if err := f.Check(); err != nil {
+		t.Fatalf("script exhausted but call still failed: %v", err)
+	}
+	if got := f.Trips(); got != 2 {
+		t.Fatalf("Trips() = %d, want 2", got)
+	}
+	if got := f.Calls(); got != 6 {
+		t.Fatalf("Calls() = %d, want 6", got)
+	}
+
+	f.SetRate(1)
+	for i := 0; i < 3; i++ {
+		if err := f.Check(); err == nil {
+			t.Fatalf("rate-1 call %d did not fail", i)
+		}
+	}
+	f.SetRate(0)
+	if err := f.Check(); err != nil {
+		t.Fatalf("rate-0 call failed: %v", err)
+	}
+}
+
+// TestFailPointDefaultError checks the generic fault is returned when no
+// error was scripted.
+func TestFailPointDefaultError(t *testing.T) {
+	f := &FailPoint{}
+	f.FailNext(1)
+	if err := f.Check(); err == nil {
+		t.Fatal("scripted failure returned nil")
+	}
+}
+
+// TestTransportInjectsErrors proves a failing Transport never lets the
+// request reach the server — the shape of a network partition — and that
+// releasing the fault restores real round trips.
+func TestTransportInjectsErrors(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+
+	fp := &FailPoint{}
+	client := &http.Client{Transport: &Transport{Fail: fp}}
+
+	fp.FailNext(2)
+	for i := 0; i < 2; i++ {
+		if _, err := client.Get(ts.URL); err == nil {
+			t.Fatalf("injected call %d succeeded", i)
+		}
+	}
+	if n := hits.Load(); n != 0 {
+		t.Fatalf("server saw %d requests through a failing transport", n)
+	}
+
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("post-fault request failed: %v", err)
+	}
+	resp.Body.Close()
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server saw %d requests after the fault cleared, want 1", n)
+	}
+}
+
+// TestTransportLatencyHonorsContext checks injected latency is bounded by
+// the request's own deadline: a cancelled request returns promptly instead
+// of sleeping out the full injected delay.
+func TestTransportLatencyHonorsContext(t *testing.T) {
+	tr := &Transport{}
+	tr.SetLatency(10 * time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://127.0.0.1:0/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = tr.RoundTrip(req)
+	if err == nil {
+		t.Fatal("cancelled round trip succeeded")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("round trip slept %v past its 20ms deadline", waited)
+	}
+}
+
+// TestCorruptFile checks exactly one byte changes (so a checksum must
+// catch it) and that empty or missing files are reported, not "corrupted"
+// silently.
+func TestCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.bin")
+	orig := []byte("pelican artifact payload")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, orig) {
+		t.Fatal("file unchanged after CorruptFile")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if len(got) != len(orig) || diff != 1 {
+		t.Fatalf("CorruptFile changed %d bytes (len %d -> %d), want exactly 1", diff, len(orig), len(got))
+	}
+
+	empty := filepath.Join(dir, "empty.bin")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptFile(empty); err == nil {
+		t.Fatal("corrupting an empty file did not error")
+	}
+	if err := CorruptFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("corrupting a missing file did not error")
+	}
+}

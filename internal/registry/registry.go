@@ -62,6 +62,13 @@ type Stats struct {
 	MirrorDropped atomic.Int64
 	Agreements    atomic.Int64
 	Disagreements atomic.Int64
+	// Shed counts records fast-failed (429) by the admission controller
+	// because the slot's queue was over its watermark; DeadlineExpired
+	// counts records shed (503) because their request deadline ran out
+	// before a replica could score them. Both are overload-protection
+	// outcomes: the record was never scored.
+	Shed            atomic.Int64
+	DeadlineExpired atomic.Int64
 }
 
 // slot is one named registry entry.

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/data"
@@ -11,11 +13,23 @@ import (
 // item is one record awaiting a verdict. out points into the originating
 // request's verdict slice, so request↔verdict pairing is positional and
 // survives any batch boundary the dispatcher cuts; wg is the request's
-// completion barrier.
+// completion barrier. ctx, when non-nil, carries the request's deadline:
+// a worker sheds (never scores) a record whose ctx expired while it was
+// queued, counting it on expired — the per-request tally the caller
+// inspects to answer 503. Mirrored records carry a nil ctx (no deadline,
+// no shedding).
 type item struct {
-	rec *data.Record
-	out *nids.Verdict
-	wg  *sync.WaitGroup
+	rec     *data.Record
+	out     *nids.Verdict
+	wg      *sync.WaitGroup
+	ctx     context.Context
+	expired *atomic.Int64
+}
+
+// shed reports whether this record's deadline ran out (or its request was
+// abandoned) and it must not be scored.
+func (it *item) shed() bool {
+	return it.ctx != nil && it.ctx.Err() != nil
 }
 
 // batcherConfig tunes the dynamic batcher.
@@ -63,12 +77,16 @@ func newBatcher(cfg batcherConfig) *batcher {
 }
 
 // enqueue submits one record for scoring. With block, a full queue
-// applies backpressure (the request path); without, it returns false
-// instead (the shadow-mirroring path, where dropping a mirror beats
-// slowing live traffic). It also returns false — without enqueuing —
-// once the batcher is closed: the caller's slot was replaced and it must
-// retry on the successor generation. A true return guarantees the record
-// will be scored (close drains the queue before stopping).
+// applies backpressure (the request path) — bounded by the item's ctx,
+// whose expiry abandons the wait (the caller sheds the request rather
+// than parking a handler goroutine forever behind a saturated batcher).
+// Without block, a full queue returns false immediately (the
+// shadow-mirroring path, where dropping a mirror beats slowing live
+// traffic). It also returns false — without enqueuing — once the batcher
+// is closed: the caller's slot was replaced and it must retry on the
+// successor generation. Callers distinguish the two false cases by the
+// item's ctx error. A true return guarantees the record will be scored
+// or shed-with-accounting (close drains the queue before stopping).
 func (b *batcher) enqueue(it item, block bool) bool {
 	b.closeMu.RLock()
 	defer b.closeMu.RUnlock()
@@ -76,6 +94,14 @@ func (b *batcher) enqueue(it item, block bool) bool {
 		return false
 	}
 	if block {
+		if it.ctx != nil {
+			select {
+			case b.in <- it:
+				return true
+			case <-it.ctx.Done():
+				return false
+			}
+		}
 		b.in <- it
 		return true
 	}

@@ -1,0 +1,379 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/data"
+	"repro/internal/nids"
+)
+
+// fakeClock is the breaker's time seam for deterministic cool-down tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestBreakerLifecycle walks the full state machine on a fake clock:
+// closed absorbs sub-threshold failures, the threshold trips it open, open
+// fast-fails until the cool-down, half-open admits exactly one probe at a
+// time, a probe failure re-opens, and enough probe successes re-close.
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := &Breaker{FailureThreshold: 3, OpenFor: time.Second, HalfOpenSuccesses: 2, now: clk.now}
+
+	// Sub-threshold failures with a success in between never trip.
+	for _, ok := range []bool{false, false, true, false, false} {
+		if !b.Allow() {
+			t.Fatal("closed breaker refused a call")
+		}
+		b.Record(ok)
+	}
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state %s after interleaved failures, want closed", st)
+	}
+
+	// A third consecutive failure trips it.
+	if !b.Allow() {
+		t.Fatal("closed breaker refused the tripping call")
+	}
+	b.Record(false)
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state %s after threshold failures, want open", st)
+	}
+	if got := b.Opens(); got != 1 {
+		t.Fatalf("Opens() = %d, want 1", got)
+	}
+
+	// Open: everything fast-fails until the cool-down elapses.
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call inside the cool-down")
+	}
+	if got := b.ShortCircuits(); got != 1 {
+		t.Fatalf("ShortCircuits() = %d, want 1", got)
+	}
+
+	// Cool-down over: exactly one probe at a time.
+	clk.advance(time.Second)
+	if st := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("state %s after cool-down, want half-open", st)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the first probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe failure re-opens (and re-arms the cool-down).
+	b.Record(false)
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state %s after failed probe, want open", st)
+	}
+	if got := b.Opens(); got != 2 {
+		t.Fatalf("Opens() = %d after re-open, want 2", got)
+	}
+
+	// Recover: two successful probes (HalfOpenSuccesses) re-close.
+	clk.advance(time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("half-open breaker refused probe %d", i)
+		}
+		b.Record(true)
+	}
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state %s after successful probes, want closed", st)
+	}
+	if !b.Allow() {
+		t.Fatal("re-closed breaker refused a call")
+	}
+	b.Record(true)
+}
+
+// TestBreakerZeroValueDefaults checks a zero-value breaker works with the
+// documented defaults (threshold 5) rather than tripping instantly.
+func TestBreakerZeroValueDefaults(t *testing.T) {
+	b := &Breaker{}
+	for i := 0; i < 4; i++ {
+		if !b.Allow() {
+			t.Fatalf("call %d refused", i)
+		}
+		b.Record(false)
+	}
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("state %s after 4 failures, default threshold is 5", st)
+	}
+	b.Allow()
+	b.Record(false)
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("state %s after 5 failures, want open", st)
+	}
+}
+
+// TestClientDefaultTimeout pins the satellite fix: a Client without its
+// own *http.Client gets DefaultClientTimeout, never an unbounded wait.
+func TestClientDefaultTimeout(t *testing.T) {
+	c := NewClient("http://127.0.0.1:0")
+	if got := c.http().Timeout; got != DefaultClientTimeout {
+		t.Fatalf("default client timeout = %v, want %v", got, DefaultClientTimeout)
+	}
+	own := &http.Client{Timeout: time.Second}
+	c.HTTP = own
+	if c.http() != own {
+		t.Fatal("supplied *http.Client was not used")
+	}
+}
+
+// scriptedServer is a minimal scoring endpoint whose health is a switch:
+// unhealthy answers `status`, healthy answers well-formed verdicts (and
+// model info), counting every request that reaches it.
+type scriptedServer struct {
+	hits    atomic.Int64
+	failing atomic.Bool
+	status  int
+}
+
+func (ss *scriptedServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ss.hits.Add(1)
+		if ss.failing.Load() {
+			http.Error(w, "injected failure", ss.status)
+			return
+		}
+		switch r.URL.Path {
+		case "/v1/model":
+			json.NewEncoder(w).Encode(ModelInfo{Model: "scripted", Version: "v1"})
+		case "/v1/detect-batch", "/v2/detect-batch":
+			var req detectBatchRequest
+			json.NewDecoder(r.Body).Decode(&req)
+			resp := detectBatchResponse{ModelVersion: "v1", Verdicts: make([]VerdictJSON, len(req.Records))}
+			json.NewEncoder(w).Encode(resp)
+		default:
+			json.NewEncoder(w).Encode(struct{}{})
+		}
+	})
+}
+
+// TestClientRetriesIdempotentCalls checks the retry loop: transient 503s
+// on a scoring call are retried with backoff until the server recovers,
+// within MaxAttempts.
+func TestClientRetriesIdempotentCalls(t *testing.T) {
+	ss := &scriptedServer{status: http.StatusServiceUnavailable}
+	var failLeft atomic.Int64
+	failLeft.Store(2)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failLeft.Add(-1) >= 0 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		ss.handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, MaxAttempts: 3, RetryBase: time.Millisecond}
+	recs := []*data.Record{{Numeric: []float64{1}}}
+	verdicts, version, err := c.Score(recs)
+	if err != nil {
+		t.Fatalf("scoring did not survive 2 transient 503s: %v", err)
+	}
+	if version != "v1" || len(verdicts) != 1 {
+		t.Fatalf("got version %q, %d verdicts", version, len(verdicts))
+	}
+}
+
+// TestClientRetriesTransportErrors checks a dead-network fault (injected
+// via chaos.Transport) is retried and the call recovers once the fault
+// clears.
+func TestClientRetriesTransportErrors(t *testing.T) {
+	ss := &scriptedServer{}
+	ts := httptest.NewServer(ss.handler())
+	defer ts.Close()
+
+	fp := &chaos.FailPoint{}
+	fp.FailNext(2)
+	c := &Client{
+		BaseURL:     ts.URL,
+		HTTP:        &http.Client{Transport: &chaos.Transport{Fail: fp}},
+		MaxAttempts: 3,
+		RetryBase:   time.Millisecond,
+	}
+	info, err := c.Model()
+	if err != nil {
+		t.Fatalf("GET did not survive 2 injected transport faults: %v", err)
+	}
+	if info.Model != "scripted" {
+		t.Fatalf("got model %q", info.Model)
+	}
+	if n := ss.hits.Load(); n != 1 {
+		t.Fatalf("server saw %d requests, want exactly 1 (faults never arrive)", n)
+	}
+}
+
+// TestClientNeverRetriesMutatingCalls pins the idempotency split: promote
+// (and every control-plane mutation) is attempted exactly once even when
+// it fails with a retryable-looking status — promote twice is not promote
+// once.
+func TestClientNeverRetriesMutatingCalls(t *testing.T) {
+	ss := &scriptedServer{status: http.StatusInternalServerError}
+	ss.failing.Store(true)
+	ts := httptest.NewServer(ss.handler())
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, MaxAttempts: 5, RetryBase: time.Millisecond}
+	if _, err := c.Promote(); err == nil {
+		t.Fatal("promote against a failing server succeeded")
+	}
+	if n := ss.hits.Load(); n != 1 {
+		t.Fatalf("failing promote was sent %d times, want exactly 1", n)
+	}
+}
+
+// TestClientBreakerFastFailsAndRecovers is the client-resilience e2e: hard
+// failures trip the breaker, further calls fast-fail with ErrBreakerOpen
+// without touching the server, and once the server heals a half-open probe
+// restores service.
+func TestClientBreakerFastFailsAndRecovers(t *testing.T) {
+	ss := &scriptedServer{status: http.StatusInternalServerError}
+	ss.failing.Store(true)
+	ts := httptest.NewServer(ss.handler())
+	defer ts.Close()
+
+	br := &Breaker{FailureThreshold: 3, OpenFor: 50 * time.Millisecond}
+	c := &Client{BaseURL: ts.URL, MaxAttempts: 1, RetryBase: time.Millisecond, Breaker: br}
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.Model(); err == nil {
+			t.Fatalf("call %d against a failing server succeeded", i)
+		}
+	}
+	if st := br.State(); st != BreakerOpen {
+		t.Fatalf("breaker %s after %d hard failures, want open", st, 3)
+	}
+	sent := ss.hits.Load()
+	if _, err := c.Model(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open-breaker call error = %v, want ErrBreakerOpen", err)
+	}
+	if n := ss.hits.Load(); n != sent {
+		t.Fatalf("open breaker let %d requests through", n-sent)
+	}
+	if br.ShortCircuits() == 0 {
+		t.Fatal("no short-circuits counted")
+	}
+
+	// Heal the server, wait out the cool-down: the next call is the probe
+	// and must both succeed and re-close the breaker.
+	ss.failing.Store(false)
+	time.Sleep(60 * time.Millisecond)
+	if _, err := c.Model(); err != nil {
+		t.Fatalf("half-open probe failed against a healthy server: %v", err)
+	}
+	if st := br.State(); st != BreakerClosed {
+		t.Fatalf("breaker %s after successful probe, want closed", st)
+	}
+}
+
+// TestBreakerIgnoresSheddingStatuses pins the status classification: 429
+// and 503 are a live server shedding load — retryable, but never breaker
+// evidence. Only hard 5xx and transport faults may trip it.
+func TestBreakerIgnoresSheddingStatuses(t *testing.T) {
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		ss := &scriptedServer{status: status}
+		ss.failing.Store(true)
+		ts := httptest.NewServer(ss.handler())
+		br := &Breaker{FailureThreshold: 2, OpenFor: time.Hour}
+		c := &Client{BaseURL: ts.URL, MaxAttempts: 1, RetryBase: time.Millisecond, Breaker: br}
+		for i := 0; i < 5; i++ {
+			if _, err := c.Model(); err == nil {
+				t.Fatalf("status %d: call %d succeeded", status, i)
+			}
+		}
+		if st := br.State(); st != BreakerClosed {
+			t.Fatalf("status %d tripped the breaker to %s", status, st)
+		}
+		ts.Close()
+	}
+}
+
+// TestRemoteDetectorDegradesUnderBreaker proves the pipeline-facing
+// guarantee: with the server down and the breaker open, DetectBatch
+// returns promptly with Failed verdicts and a counted error — dropped
+// flows, never a hang and never a panic.
+func TestRemoteDetectorDegradesUnderBreaker(t *testing.T) {
+	ss := &scriptedServer{status: http.StatusBadGateway}
+	ss.failing.Store(true)
+	ts := httptest.NewServer(ss.handler())
+	defer ts.Close()
+
+	br := &Breaker{FailureThreshold: 1, OpenFor: time.Hour}
+	det := &RemoteDetector{Client: &Client{BaseURL: ts.URL, MaxAttempts: 1, RetryBase: time.Millisecond, Breaker: br}}
+
+	recs := []*data.Record{{Numeric: []float64{1}}, {Numeric: []float64{2}}}
+	verdicts := make([]nids.Verdict, len(recs))
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		det.DetectBatch(recs, verdicts)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("4 failed batches took %v — the breaker should fast-fail", waited)
+	}
+	for i, v := range verdicts {
+		if !v.Failed {
+			t.Fatalf("verdict %d not marked Failed", i)
+		}
+	}
+	if got := det.Errors(); got != 4 {
+		t.Fatalf("Errors() = %d, want 4", got)
+	}
+	if br.ShortCircuits() == 0 {
+		t.Fatal("breaker never short-circuited: every batch hit the dead server")
+	}
+}
+
+// TestRetryableClassification pins the status partition the retry loop
+// runs on.
+func TestRetryableClassification(t *testing.T) {
+	for status, want := range map[int]bool{
+		http.StatusTooManyRequests:     true,
+		http.StatusInternalServerError: true,
+		http.StatusBadGateway:          true,
+		http.StatusServiceUnavailable:  true,
+		http.StatusGatewayTimeout:      true,
+		http.StatusBadRequest:          false,
+		http.StatusNotFound:            false,
+		http.StatusConflict:            false,
+		http.StatusUnprocessableEntity: false,
+	} {
+		if got := retryable(&statusError{status: status}); got != want {
+			t.Errorf("retryable(%d) = %v, want %v", status, got, want)
+		}
+	}
+	if !retryable(errors.New("connection refused")) {
+		t.Error("transport error not retryable")
+	}
+	if retryable(ErrBreakerOpen) {
+		t.Error("ErrBreakerOpen retryable: the cool-down outlives any backoff")
+	}
+}
+
+// TestBackoffHonorsRetryAfter checks a server-sent Retry-After floors the
+// computed backoff.
+func TestBackoffHonorsRetryAfter(t *testing.T) {
+	c := &Client{RetryBase: time.Millisecond}
+	last := &statusError{status: http.StatusServiceUnavailable, retryAfter: time.Second}
+	for i := 1; i <= 3; i++ {
+		if d := c.backoffFor(i, last); d < time.Second {
+			t.Fatalf("attempt %d backoff %v under the server's Retry-After of 1s", i, d)
+		}
+	}
+	// Without Retry-After the jittered exponential stays near its base.
+	if d := c.backoffFor(1, errors.New("x")); d > 100*time.Millisecond {
+		t.Fatalf("first backoff %v with a 1ms base", d)
+	}
+}

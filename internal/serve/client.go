@@ -3,24 +3,62 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/nids"
 )
 
+// DefaultClientTimeout bounds every request made through a Client that
+// did not supply its own *http.Client. A scoring client must never hang
+// forever on a stalled server: a bounded failure is recoverable (retry,
+// breaker, drop the flow), an unbounded wait wedges the whole pipeline.
+const DefaultClientTimeout = 10 * time.Second
+
+// defaultHTTPClient is shared by every Client whose HTTP field is nil.
+var defaultHTTPClient = &http.Client{Timeout: DefaultClientTimeout}
+
 // Client is a typed HTTP client for the scoring server: the consumer side
-// of the /v1 API for Go callers (load generators, adaptation sidecars,
-// tests). It is safe for concurrent use.
+// of the /v1 and /v2 APIs for Go callers (load generators, adaptation
+// sidecars, tests). It is safe for concurrent use.
+//
+// Resilience: requests time out after DefaultClientTimeout (override by
+// supplying HTTP — set Timeout: 0 there to opt out entirely); idempotent
+// calls (scoring and every GET) are retried with jittered exponential
+// backoff on transport errors and retryable statuses (429, 500, 502,
+// 503, 504), honoring Retry-After; and an optional circuit Breaker
+// fast-fails calls while the server is down so a wedged scoring plane
+// degrades to counted errors instead of piled-up goroutines. Mutating
+// control-plane calls (reload, load, promote, rollback) are never
+// retried — promote twice is not promote once.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// HTTP is the underlying client; nil uses http.DefaultClient.
+	// HTTP is the underlying client; nil uses a shared client with
+	// DefaultClientTimeout. Supply your own to change the timeout, the
+	// transport (e.g. chaos.Transport), or connection pooling.
 	HTTP *http.Client
+	// MaxAttempts caps total tries per idempotent call (first try +
+	// retries). 0 means 3; 1 disables retries.
+	MaxAttempts int
+	// RetryBase is the first backoff delay; each retry doubles it (±50%
+	// jitter, capped at 2s, floored at a server-sent Retry-After). 0 means
+	// 50ms.
+	RetryBase time.Duration
+	// Breaker, when non-nil, guards every call: while open, calls fail
+	// immediately with ErrBreakerOpen. Transport errors and hard 5xx
+	// statuses (500/502/504) count as breaker failures; 429 and 503 are
+	// overload shedding — the server is alive and asking for backoff, so
+	// they are retried but never trip the breaker.
+	Breaker *Breaker
 }
 
 // NewClient builds a client for the server at base.
@@ -30,49 +68,195 @@ func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
-// postJSON posts body as JSON and decodes the response into out,
-// translating non-2xx statuses into errors carrying the server's message.
+func (c *Client) attempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 3
+}
+
+func (c *Client) retryBase() time.Duration {
+	if c.RetryBase > 0 {
+		return c.RetryBase
+	}
+	return 50 * time.Millisecond
+}
+
+// statusError is a non-2xx response, carrying what the retry policy
+// needs: the status and any server-requested backoff.
+type statusError struct {
+	path       string
+	status     int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *statusError) Error() string {
+	if e.msg != "" {
+		return fmt.Sprintf("serve: %s: %d: %s", e.path, e.status, e.msg)
+	}
+	return fmt.Sprintf("serve: %s: status %d", e.path, e.status)
+}
+
+// retryable reports whether err may be retried on an idempotent call:
+// transport errors (the request may never have arrived) and the
+// overload/transient statuses.
+func retryable(err error) bool {
+	if errors.Is(err, ErrBreakerOpen) {
+		return false // the breaker's cool-down outlives any backoff here
+	}
+	var se *statusError
+	if errors.As(err, &se) {
+		switch se.status {
+		case http.StatusTooManyRequests, http.StatusInternalServerError,
+			http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	return true // transport-level failure
+}
+
+// breakerFailure reports whether err is evidence the server is down (as
+// opposed to deliberately shedding load).
+func breakerFailure(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		switch se.status {
+		case http.StatusInternalServerError, http.StatusBadGateway, http.StatusGatewayTimeout:
+			return true
+		}
+		return false // 4xx and 503 are deliberate answers from a live server
+	}
+	return true // transport-level failure
+}
+
+// maxBackoff caps the exponential retry delay.
+const maxBackoff = 2 * time.Second
+
+// backoffFor computes the sleep before retry attempt i (1-based): base
+// doubled per attempt with ±50% jitter, capped, and floored at the
+// server's Retry-After when the last error carried one.
+func (c *Client) backoffFor(i int, last error) time.Duration {
+	d := c.retryBase() << (i - 1)
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d))) // [d/2, 3d/2)
+	var se *statusError
+	if errors.As(last, &se) && se.retryAfter > d {
+		d = se.retryAfter
+	}
+	return d
+}
+
+// once performs one HTTP exchange with breaker accounting. A nil out
+// discards the response body.
+func (c *Client) once(method, path string, body []byte, out any) error {
+	b := c.Breaker
+	if b != nil && !b.Allow() {
+		// Not Recorded: the call never happened, so it is not evidence.
+		return fmt.Errorf("%w (state %s): %s", ErrBreakerOpen, b.State(), path)
+	}
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, reader)
+	if err != nil {
+		if b != nil {
+			b.Record(true) // a malformed URL is the caller's bug, not the server's health
+		}
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		if b != nil {
+			b.Record(false)
+		}
+		return fmt.Errorf("serve: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		se := &statusError{path: path, status: resp.StatusCode}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			se.retryAfter = time.Duration(secs) * time.Second
+		}
+		var e errorResponse
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+			se.msg = e.Error
+		}
+		if b != nil {
+			b.Record(!breakerFailure(se))
+		}
+		return se
+	}
+	if b != nil {
+		b.Record(true)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// call performs the request, retrying idempotent calls on retryable
+// failures with jittered exponential backoff.
+func (c *Client) call(method, path string, body []byte, out any, idempotent bool) error {
+	attempts := 1
+	if idempotent {
+		attempts = c.attempts()
+	}
+	var last error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(c.backoffFor(i, last))
+		}
+		err := c.once(method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		last = err
+		if !retryable(err) {
+			return err
+		}
+	}
+	return last
+}
+
+// postJSON posts body as JSON exactly once (the mutating control-plane
+// path) and decodes the response into out, translating non-2xx statuses
+// into errors carrying the server's message.
 func (c *Client) postJSON(path string, body, out any) error {
 	b, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := c.http().Post(c.BaseURL+path, "application/json", bytes.NewReader(b))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		var e errorResponse
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
-			return fmt.Errorf("serve: %s: %d: %s", path, resp.StatusCode, e.Error)
-		}
-		return fmt.Errorf("serve: %s: status %d", path, resp.StatusCode)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return c.call(http.MethodPost, path, b, out, false)
 }
 
-// getJSON fetches path and decodes the response into out, translating
-// non-2xx statuses into errors carrying the server's message.
-func (c *Client) getJSON(path string, out any) error {
-	resp, err := c.http().Get(c.BaseURL + path)
+// postJSONIdempotent is postJSON with retries — for scoring calls, which
+// are pure functions of their payload.
+func (c *Client) postJSONIdempotent(path string, body, out any) error {
+	b, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		var e errorResponse
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
-			return fmt.Errorf("serve: %s: %d: %s", path, resp.StatusCode, e.Error)
-		}
-		return fmt.Errorf("serve: %s: status %d", path, resp.StatusCode)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return c.call(http.MethodPost, path, b, out, true)
+}
+
+// getJSON fetches path (with retries; GETs are idempotent) and decodes
+// the response into out.
+func (c *Client) getJSON(path string, out any) error {
+	return c.call(http.MethodGet, path, nil, out, true)
 }
 
 // Model fetches the currently served (live) model's description.
@@ -124,7 +308,7 @@ func (c *Client) scoreAt(path string, recs []*data.Record) ([]nids.Verdict, stri
 		req.Records[i] = RecordJSON{Numeric: r.Numeric, Categorical: r.Categorical}
 	}
 	var resp detectBatchResponse
-	if err := c.postJSON(path, req, &resp); err != nil {
+	if err := c.postJSONIdempotent(path, req, &resp); err != nil {
 		return nil, "", err
 	}
 	if len(resp.Verdicts) != len(recs) {
@@ -176,10 +360,12 @@ func (c *Client) Rollback() (ModelInfo, error) {
 // can score flows against a remote scoring server instead of an in-process
 // network — the deployment shape where an adaptation sidecar watches
 // exactly the model generation production traffic is scored by. Failed
-// requests yield verdicts marked Failed (excluded from pipeline detection
-// counters and ignored by the adaptation loop's monitors, so a server
-// hiccup can neither skew DR/FAR nor spuriously trip a retrain) and are
-// tallied in Errors.
+// requests — including calls fast-failed by the client's circuit breaker —
+// yield verdicts marked Failed (excluded from pipeline detection counters
+// and ignored by the adaptation loop's monitors, so a server hiccup can
+// neither skew DR/FAR nor spuriously trip a retrain) and are tallied in
+// Errors: a dead or overloaded server degrades the pipeline to dropped
+// flows with a counter, never to a hang.
 type RemoteDetector struct {
 	Client *Client
 	// Tag pins scoring to one registry slot via /v2 ("shadow", a canary

@@ -50,7 +50,13 @@ type serverMetrics struct {
 	attacks        atomic.Int64
 	requestErrors  atomic.Int64
 	reloads        atomic.Int64
-	latency        histogram
+	// shed counts records fast-failed by the admission controller (429);
+	// deadlineExpired counts records shed after their request deadline ran
+	// out while queued (503). Server-wide aggregates of the per-slot
+	// registry.Stats counters.
+	shed            atomic.Int64
+	deadlineExpired atomic.Int64
+	latency         histogram
 }
 
 // slotMetrics is one registry slot's exposition snapshot.
@@ -87,6 +93,8 @@ func (m *serverMetrics) writeProm(w io.Writer, snap promSnapshot) {
 	counter("pelican_serve_reloads_total", "Successful model loads into any slot after startup.", m.reloads.Load())
 	counter("pelican_serve_promotes_total", "Shadow-to-live promotions.", snap.promotes)
 	counter("pelican_serve_rollbacks_total", "Live rollbacks to the retained previous generation.", snap.rollbacks)
+	counter("pelican_serve_shed_total", "Records fast-failed (429) by the admission controller, all slots.", m.shed.Load())
+	counter("pelican_serve_deadline_expired_total", "Records shed (503) after their deadline expired while queued, all slots.", m.deadlineExpired.Load())
 
 	fmt.Fprintf(w, "# HELP pelican_serve_queue_depth Records waiting across all slot batcher queues.\n")
 	fmt.Fprintf(w, "# TYPE pelican_serve_queue_depth gauge\npelican_serve_queue_depth %d\n", snap.queueDepth)
@@ -118,6 +126,10 @@ func (m *serverMetrics) writeProm(w io.Writer, snap promSnapshot) {
 		func(st *registry.Stats) int64 { return st.Agreements.Load() })
 	slotCounter("pelican_serve_slot_disagreements_total", "Mirrored verdicts disagreeing with live.",
 		func(st *registry.Stats) int64 { return st.Disagreements.Load() })
+	slotCounter("pelican_serve_slot_shed_total", "Records fast-failed (429) by the slot's admission watermark.",
+		func(st *registry.Stats) int64 { return st.Shed.Load() })
+	slotCounter("pelican_serve_slot_deadline_expired_total", "Records shed (503) after their deadline expired in the slot's queue.",
+		func(st *registry.Stats) int64 { return st.DeadlineExpired.Load() })
 
 	fmt.Fprintf(w, "# HELP pelican_serve_slot_queue_depth Records waiting in the slot's batcher queue.\n")
 	fmt.Fprintf(w, "# TYPE pelican_serve_slot_queue_depth gauge\n")

@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/data"
@@ -16,16 +18,40 @@ import (
 // within one model generation — promotions and rollbacks re-point tags at
 // instances, they never tear a request across generations. A scorer is
 // immutable after construction; retiring a slot closes its scorer, which
-// drains the queue (every accepted record is scored) and stops the
-// workers.
+// drains the queue (every accepted record is scored or, past its
+// deadline, shed with accounting) and stops the workers.
 type scorer struct {
 	b         *batcher
 	detectors []nids.BatchDetector
 	maxBatch  int
 	gm        *serverMetrics
+	chaos     chaosDelayer
 	workerWG  sync.WaitGroup
 	closeOnce sync.Once
 }
+
+// chaosDelayer is the slice of chaos.Injector the scorer consumes: the
+// injected extra service time for one replica's next batch. Declared as a
+// local interface so the scorer stays testable without the chaos package.
+type chaosDelayer interface {
+	DelayFor(replica int) time.Duration
+}
+
+// submitResult is the outcome of funneling one request through a slot's
+// batcher.
+type submitResult int
+
+const (
+	// submitOK: every record was scored and its verdict written.
+	submitOK submitResult = iota
+	// submitClosed: the slot was swapped mid-request; the caller must
+	// re-resolve the tag and retry on the successor generation.
+	submitClosed
+	// submitExpired: the request's deadline ran out before every record
+	// could be scored; at least one record was shed (tallied on the
+	// caller's expired counter) and the verdicts must be discarded.
+	submitExpired
+)
 
 // newScorer builds the replicas for a (engine-selected) and starts the
 // scoring workers. gm (may be nil in tests) receives the server-wide batch
@@ -33,7 +59,7 @@ type scorer struct {
 // which tag a request resolved to, the scorer deliberately does not (a
 // promotion re-tags this scorer without touching it).
 func newScorer(a *Artifact, cfg Config, gm *serverMetrics) (*scorer, error) {
-	sc := &scorer{maxBatch: cfg.MaxBatch, gm: gm}
+	sc := &scorer{maxBatch: cfg.MaxBatch, gm: gm, chaos: cfg.Chaos}
 	for i := 0; i < cfg.Replicas; i++ {
 		var det nids.BatchDetector
 		var err error
@@ -60,72 +86,102 @@ func newScorer(a *Artifact, cfg Config, gm *serverMetrics) (*scorer, error) {
 	return sc, nil
 }
 
-// worker is one replica's scoring loop: it pulls flushed batches, scores
-// them on its own replica, and fans verdicts back out to the originating
-// requests.
+// worker is one replica's scoring loop: it pulls flushed batches, sheds
+// the records whose deadline expired while they queued, scores the rest
+// on its own replica, and fans verdicts back out to the originating
+// requests. Shedding happens here — at the last moment before the
+// network pass — because that is when queueing delay has actually been
+// paid: a record that waited out its budget gets a shed tally instead of
+// a stale verdict nobody is waiting for.
 func (sc *scorer) worker(i int) {
 	defer sc.workerWG.Done()
-	det := sc.detectors[i]
 	recs := make([]*data.Record, 0, sc.maxBatch)
+	live := make([]*item, 0, sc.maxBatch)
 	verdicts := make([]nids.Verdict, sc.maxBatch)
 	for batch := range sc.b.batches {
-		recs = recs[:0]
+		recs, live = recs[:0], live[:0]
 		for j := range batch {
-			recs = append(recs, batch[j].rec)
-		}
-		if len(batch) > len(verdicts) {
-			verdicts = make([]nids.Verdict, len(batch))
-		}
-		out := verdicts[:len(batch)]
-		det.DetectBatch(recs, out)
-		attacks := int64(0)
-		for j := range batch {
-			*batch[j].out = out[j]
-			if out[j].IsAttack {
-				attacks++
+			it := &batch[j]
+			if it.shed() {
+				it.expired.Add(1)
+				it.wg.Done()
+				continue
 			}
-			batch[j].wg.Done()
+			recs = append(recs, it.rec)
+			live = append(live, it)
 		}
-		if sc.gm != nil {
-			sc.gm.batches.Add(1)
-			sc.gm.batchRecords.Add(int64(len(batch)))
-			sc.gm.attacks.Add(attacks)
+		if len(recs) > 0 {
+			if sc.chaos != nil {
+				if d := sc.chaos.DelayFor(i); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			if len(recs) > len(verdicts) {
+				verdicts = make([]nids.Verdict, len(recs))
+			}
+			out := verdicts[:len(recs)]
+			sc.detectors[i].DetectBatch(recs, out)
+			attacks := int64(0)
+			for j, it := range live {
+				*it.out = out[j]
+				if out[j].IsAttack {
+					attacks++
+				}
+				it.wg.Done()
+			}
+			if sc.gm != nil {
+				sc.gm.batches.Add(1)
+				sc.gm.batchRecords.Add(int64(len(recs)))
+				sc.gm.attacks.Add(attacks)
+			}
 		}
 		sc.b.putSlab(batch)
 	}
 }
 
 // score funnels a request's records through the batcher and blocks until
-// every verdict is written. Pairing is positional: item i carries a
-// pointer to verdicts[i], so however the dispatcher cuts batches, each
-// record gets its own verdict. It returns false — with no verdicts
-// guaranteed — when the scorer was closed before every record could be
-// enqueued (the slot was replaced mid-request); the caller re-resolves the
-// slot and retries on the successor. Records accepted before the close are
-// still scored (close drains), so the wait below never hangs.
-func (sc *scorer) score(recs []data.Record, verdicts []nids.Verdict) bool {
-	return sc.submit(recs, verdicts, true)
+// every verdict is written (or the record is shed). Pairing is
+// positional: item i carries a pointer to verdicts[i], so however the
+// dispatcher cuts batches, each record gets its own verdict. ctx bounds
+// the whole interaction: a deadline that expires while records wait —
+// for queue space or, once queued, for a replica — sheds them (tallied
+// on expired) and returns submitExpired. submitClosed means the scorer
+// was closed before every record could be enqueued (the slot was
+// replaced mid-request); the caller re-resolves the slot and retries on
+// the successor. Records accepted before a close are still scored or
+// shed (close drains), so the wait below never hangs.
+func (sc *scorer) score(ctx context.Context, recs []data.Record, verdicts []nids.Verdict, expired *atomic.Int64) submitResult {
+	return sc.submit(ctx, recs, verdicts, expired, true)
 }
 
 // tryScore is score for the mirroring path: enqueues never block (a full
-// shadow queue drops the mirror rather than slowing anything), and a
-// partial enqueue counts as a drop — the caller must not compare verdicts
-// from a half-scored mirror.
+// shadow queue drops the mirror rather than slowing anything), records
+// carry no deadline, and a partial enqueue counts as a drop — the caller
+// must not compare verdicts from a half-scored mirror.
 func (sc *scorer) tryScore(recs []data.Record, verdicts []nids.Verdict) bool {
-	return sc.submit(recs, verdicts, false)
+	return sc.submit(nil, recs, verdicts, nil, false) == submitOK
 }
 
-func (sc *scorer) submit(recs []data.Record, verdicts []nids.Verdict, block bool) bool {
+func (sc *scorer) submit(ctx context.Context, recs []data.Record, verdicts []nids.Verdict, expired *atomic.Int64, block bool) submitResult {
 	var wg sync.WaitGroup
 	wg.Add(len(recs))
 	enqueued := len(recs)
-	ok := true
+	res := submitOK
 	for i := range recs {
-		if !sc.b.enqueue(item{rec: &recs[i], out: &verdicts[i], wg: &wg}, block) {
+		if !sc.b.enqueue(item{rec: &recs[i], out: &verdicts[i], wg: &wg, ctx: ctx, expired: expired}, block) {
 			// The unenqueued tail must release its WaitGroup slots, and the
 			// already-enqueued head must be waited out (its verdict writers
-			// hold pointers into verdicts) before the caller may retry.
-			enqueued, ok = i, false
+			// hold pointers into verdicts) before the caller may retry or
+			// answer. An expired ctx takes precedence over a concurrent
+			// close: the request is out of budget either way, and shedding
+			// is the deterministic answer.
+			enqueued = i
+			if ctx != nil && ctx.Err() != nil {
+				res = submitExpired
+				expired.Add(int64(len(recs) - i))
+			} else {
+				res = submitClosed
+			}
 			break
 		}
 	}
@@ -133,14 +189,20 @@ func (sc *scorer) submit(recs []data.Record, verdicts []nids.Verdict, block bool
 		wg.Done()
 	}
 	wg.Wait()
-	return ok
+	if res == submitOK && expired != nil && expired.Load() > 0 {
+		// Some queued records were shed by a worker: the request missed its
+		// deadline even though every record was accepted.
+		res = submitExpired
+	}
+	return res
 }
 
-// queueLen reports the batcher queue depth (for the /metrics gauge).
+// queueLen reports the batcher queue depth (for the /metrics gauge and
+// the admission controller's watermark check).
 func (sc *scorer) queueLen() int { return sc.b.queueLen() }
 
-// close drains the batcher (queued records are all scored) and stops the
-// workers. Safe to call more than once.
+// close drains the batcher (queued records are all scored or shed) and
+// stops the workers. Safe to call more than once.
 func (sc *scorer) close() {
 	sc.closeOnce.Do(func() {
 		sc.b.close()

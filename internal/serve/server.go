@@ -1,16 +1,19 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/data"
 	"repro/internal/nids"
 	"repro/internal/registry"
@@ -49,6 +52,27 @@ type Config struct {
 	// at once; beyond it mirrors are dropped (and counted), never queued —
 	// shadow evaluation must not be able to stall live serving. Default 16.
 	MirrorConcurrency int
+	// RequestTimeout is the scoring deadline budget: each scoring request
+	// runs under a context that expires this long after the handler
+	// accepts it (clients may shorten — never extend — it per request via
+	// the X-Timeout-Ms header). Records whose deadline expires while they
+	// wait for queue space or a replica are shed, never scored, and the
+	// request answers 503 with Retry-After. Default 5s; negative disables
+	// the server-side deadline (requests are then bounded only by client
+	// disconnect).
+	RequestTimeout time.Duration
+	// AdmitWatermark is the admission controller's queue-depth threshold:
+	// a scoring request whose slot already has this many records queued is
+	// fast-failed with 429 and Retry-After instead of parking the handler
+	// goroutine behind a saturated batcher. Default QueueDepth (admit
+	// until the queue is actually full); lower it to start shedding before
+	// the queue saturates. Negative disables admission control.
+	AdmitWatermark int
+	// Chaos, when non-nil, injects scoring faults (per-replica added
+	// latency) into every slot's workers — the fault-injection seam the
+	// chaos e2e suite and -chaos-score-delay drive. Leave nil in
+	// production.
+	Chaos *chaos.Injector
 }
 
 // Engine values accepted by Config.Engine.
@@ -78,6 +102,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MirrorConcurrency <= 0 {
 		c.MirrorConcurrency = 16
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.AdmitWatermark == 0 {
+		c.AdmitWatermark = c.QueueDepth
 	}
 	return c
 }
@@ -265,11 +295,17 @@ func (s *Server) Close() {
 
 // scoreSlot resolves tag, validates the wire records against that slot's
 // schema, and scores them on that slot's replicas — one generation end to
-// end. If the slot is swapped mid-request (its scorer closed before every
-// record was accepted), the request retries on the successor generation;
-// records accepted before a swap are still scored by it, so nothing is
-// dropped. On error the returned status is the HTTP code to answer.
-func (s *Server) scoreSlot(tag string, wire []RecordJSON) ([]nids.Verdict, *slotInstance, int, error) {
+// end, under ctx's deadline. The overload path answers before any work
+// queues: a slot whose queue is over the admission watermark fast-fails
+// the whole request with 429 (records counted as shed), and a deadline
+// that expires while records wait for queue space or a replica sheds
+// them and answers 503 — both with Retry-After, both leaving /healthz
+// untouched. If the slot is swapped mid-request (its scorer closed
+// before every record was accepted), the request retries on the
+// successor generation; records accepted before a swap are still scored
+// by it, so nothing is dropped. On error the returned status is the HTTP
+// code to answer.
+func (s *Server) scoreSlot(ctx context.Context, tag string, wire []RecordJSON) ([]nids.Verdict, *slotInstance, int, error) {
 	const maxAttempts = 4
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		si, ok := s.slot(tag)
@@ -280,11 +316,28 @@ func (s *Server) scoreSlot(tag string, wire []RecordJSON) ([]nids.Verdict, *slot
 		if err != nil {
 			return nil, nil, http.StatusBadRequest, err
 		}
-		verdicts := make([]nids.Verdict, len(recs))
-		if !si.scorer.score(recs, verdicts) {
-			continue // slot swapped mid-request: resolve again
-		}
 		st := s.reg.StatsFor(tag)
+		if wm := s.cfg.AdmitWatermark; wm > 0 && si.scorer.queueLen() >= wm {
+			st.Shed.Add(int64(len(recs)))
+			s.m.shed.Add(int64(len(recs)))
+			return nil, nil, http.StatusTooManyRequests,
+				fmt.Errorf("slot %q queue is over the admission watermark (%d queued, watermark %d); retry later", tag, si.scorer.queueLen(), wm)
+		}
+		verdicts := make([]nids.Verdict, len(recs))
+		// The expired tally is per attempt: a swap-aborted attempt's sheds
+		// are retried wholesale on the successor, so only the attempt that
+		// actually answers may account them.
+		var expired atomic.Int64
+		switch si.scorer.score(ctx, recs, verdicts, &expired) {
+		case submitClosed:
+			continue // slot swapped mid-request: resolve again
+		case submitExpired:
+			n := expired.Load()
+			st.DeadlineExpired.Add(n)
+			s.m.deadlineExpired.Add(n)
+			return nil, nil, http.StatusServiceUnavailable,
+				fmt.Errorf("deadline expired while queued: %d of %d records shed; retry with more budget", n, len(recs))
+		}
 		st.Records.Add(int64(len(recs)))
 		attacks := int64(0)
 		for i := range verdicts {
@@ -300,6 +353,34 @@ func (s *Server) scoreSlot(tag string, wire []RecordJSON) ([]nids.Verdict, *slot
 	}
 	return nil, nil, http.StatusServiceUnavailable,
 		fmt.Errorf("slot %q was replaced %d times mid-request; retry", tag, maxAttempts)
+}
+
+// scoreCtx derives the scoring deadline for one request: the handler's
+// context (cancelled on client disconnect) bounded by RequestTimeout,
+// further shortened — never extended — by an X-Timeout-Ms request header.
+// The returned cancel must be called when scoring completes.
+func (s *Server) scoreCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	budget := s.cfg.RequestTimeout
+	if h := r.Header.Get("X-Timeout-Ms"); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			if d := time.Duration(ms) * time.Millisecond; budget < 0 || d < budget {
+				budget = d
+			}
+		}
+	}
+	if budget < 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), budget)
+}
+
+// retryAfter marks an overload rejection as retryable: 429 (admission
+// shed) and 503 (deadline shed, drain, swap churn) tell well-behaved
+// clients when to come back.
+func retryAfter(w http.ResponseWriter, status int) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 }
 
 // mirror duplicates a live request onto the shadow slot, asynchronously
@@ -491,6 +572,7 @@ func (s *Server) acceptScoring(w http.ResponseWriter, r *http.Request) bool {
 		return false
 	}
 	if s.draining.Load() {
+		retryAfter(w, http.StatusServiceUnavailable)
 		s.httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return false
 	}
@@ -528,8 +610,11 @@ func (s *Server) detectOn(w http.ResponseWriter, r *http.Request, tag, echoTag s
 	if !s.decodeBody(w, r, &rec) {
 		return
 	}
-	verdicts, si, status, err := s.scoreSlot(tag, []RecordJSON{rec})
+	ctx, cancel := s.scoreCtx(r)
+	defer cancel()
+	verdicts, si, status, err := s.scoreSlot(ctx, tag, []RecordJSON{rec})
 	if err != nil {
+		retryAfter(w, status)
 		s.httpError(w, status, "%v", err)
 		return
 	}
@@ -567,8 +652,11 @@ func (s *Server) detectBatchOn(w http.ResponseWriter, r *http.Request, tag, echo
 		s.httpError(w, http.StatusBadRequest, "empty records")
 		return
 	}
-	verdicts, si, status, err := s.scoreSlot(tag, req.Records)
+	ctx, cancel := s.scoreCtx(r)
+	defer cancel()
+	verdicts, si, status, err := s.scoreSlot(ctx, tag, req.Records)
 	if err != nil {
+		retryAfter(w, status)
 		s.httpError(w, status, "%v", err)
 		return
 	}
@@ -601,12 +689,14 @@ type ModelInfo struct {
 
 // SlotStatsJSON is the wire form of a slot's scoring counters.
 type SlotStatsJSON struct {
-	Records       int64 `json:"records"`
-	Attacks       int64 `json:"attacks"`
-	Mirrored      int64 `json:"mirrored"`
-	MirrorDropped int64 `json:"mirror_dropped"`
-	Agreements    int64 `json:"agreements"`
-	Disagreements int64 `json:"disagreements"`
+	Records         int64 `json:"records"`
+	Attacks         int64 `json:"attacks"`
+	Mirrored        int64 `json:"mirrored"`
+	MirrorDropped   int64 `json:"mirror_dropped"`
+	Agreements      int64 `json:"agreements"`
+	Disagreements   int64 `json:"disagreements"`
+	Shed            int64 `json:"shed"`
+	DeadlineExpired int64 `json:"deadline_expired"`
 }
 
 // SlotInfo is one /v2/models entry: the slot's model plus its counters.
@@ -685,12 +775,14 @@ func (s *Server) Models() ModelsResponse {
 		resp.Slots = append(resp.Slots, SlotInfo{
 			ModelInfo: s.infoFor(tag, si),
 			Stats: SlotStatsJSON{
-				Records:       st.Records.Load(),
-				Attacks:       st.Attacks.Load(),
-				Mirrored:      st.Mirrored.Load(),
-				MirrorDropped: st.MirrorDropped.Load(),
-				Agreements:    st.Agreements.Load(),
-				Disagreements: st.Disagreements.Load(),
+				Records:         st.Records.Load(),
+				Attacks:         st.Attacks.Load(),
+				Mirrored:        st.Mirrored.Load(),
+				MirrorDropped:   st.MirrorDropped.Load(),
+				Agreements:      st.Agreements.Load(),
+				Disagreements:   st.Disagreements.Load(),
+				Shed:            st.Shed.Load(),
+				DeadlineExpired: st.DeadlineExpired.Load(),
 			},
 		})
 	}
