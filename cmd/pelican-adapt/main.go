@@ -34,6 +34,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/flow"
 	"repro/internal/nids"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/synth"
 )
@@ -70,12 +71,23 @@ func run(args []string, out io.Writer) error {
 		reportEvery = fs.Int("report-every", 2000, "print realized stats every N flows (0 = off)")
 		healthEvery = fs.Duration("healthz-every", 0, "poll -target/healthz at this interval and fail on any non-200 (0 = off)")
 		mustRetrain = fs.Bool("require-retrain", false, "exit non-zero unless at least one retrain was published")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6061; empty disables)")
+		logLevel    = fs.String("log-level", "info", "structured log level: debug, info, warn, error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *model == "" {
 		return fmt.Errorf("-model is required (the artifact the server is serving)")
+	}
+	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel))
+	if *pprofAddr != "" {
+		bound, stop, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof: %w", err)
+		}
+		defer stop()
+		fmt.Fprintf(out, "pprof on http://%s/debug/pprof/\n", bound)
 	}
 
 	var cfg synth.Config
@@ -128,6 +140,12 @@ func run(args []string, out io.Writer) error {
 		GateOff:       *gateOff,
 		ArtifactDir:   *artifactDir,
 		Publisher:     adapt.HTTPPublisher{Client: client},
+		Logger:        logger.With("component", "adapt"),
+		// Stamp each drift trip with the server-echoed request ID of the
+		// scoring call whose verdict closed the window: the retrain's
+		// structured records then join to the server's /debug/traces entry
+		// for that request.
+		TraceIDFn: client.LastRequestID,
 		OnEvent: func(e adapt.Event) {
 			if e.Rejected {
 				rejected.Add(1)

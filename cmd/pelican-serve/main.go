@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/synth"
 )
@@ -58,6 +59,10 @@ func run(args []string, out io.Writer) error {
 		reqTimeout = fs.Duration("request-timeout", 5*time.Second, "scoring deadline budget; queued records past it are shed with 503 (negative disables)")
 		watermark  = fs.Int("admit-watermark", 0, "queue depth beyond which scoring requests fast-fail 429 (0 = queue size, negative disables)")
 		chaosDelay = fs.Duration("chaos-score-delay", 0, "TESTING: inject this much extra latency into every replica's scoring batches")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6060; empty disables)")
+		logLevel   = fs.String("log-level", "info", "structured log level: debug, info, warn, error")
+		traceCap   = fs.Int("trace-cap", 512, "completed request traces retained for /debug/traces")
+		obsOff     = fs.Bool("obs-off", false, "disable request tracing and stage timing (the observability-overhead A/B switch)")
 
 		loadgen     = fs.Bool("loadgen", false, "run as load generator instead of server")
 		target      = fs.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
@@ -70,6 +75,7 @@ func run(args []string, out io.Writer) error {
 		minAttacks  = fs.Int("min-attacks", 0, "loadgen: fail unless at least this many attack verdicts came back")
 		minShed     = fs.Int("min-shed", 0, "loadgen: fail unless at least this many requests were shed (429/503) — overload-test assertion")
 		maxP99      = fs.Duration("max-p99", 0, "loadgen: fail if accepted-request p99 latency exceeds this (0 = no bound)")
+		jsonOut     = fs.String("json", "", "loadgen: also write the run summary (throughput, latency, stage breakdown) as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,17 +85,28 @@ func run(args []string, out io.Writer) error {
 			target: *target, duration: *duration, concurrency: *concurrency,
 			batch: *batch, dataset: *dataset, records: *records, seed: *seed,
 			minAttacks: *minAttacks, minShed: *minShed, maxP99: *maxP99,
+			jsonOut: *jsonOut,
 		})
 	}
 	cfg := serve.Config{
 		Replicas: *replicas, MaxBatch: *maxBatch, MaxWait: *maxWait, QueueDepth: *queue,
 		MaxBodyBytes: *maxBody, Engine: *engine, MirrorOff: *noMirror,
 		RequestTimeout: *reqTimeout, AdmitWatermark: *watermark,
+		TraceCap: *traceCap, ObsOff: *obsOff,
+		Logger: obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel)),
 	}
 	if *chaosDelay > 0 {
 		inj := &chaos.Injector{}
 		inj.SetScoreDelay(*chaosDelay)
 		cfg.Chaos = inj
+	}
+	if *pprofAddr != "" {
+		bound, stop, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof: %w", err)
+		}
+		defer stop()
+		fmt.Fprintf(out, "pprof on http://%s/debug/pprof/\n", bound)
 	}
 	return runServer(out, *model, *shadow, *addr, cfg)
 }
@@ -164,6 +181,68 @@ type loadgenConfig struct {
 	minAttacks  int
 	minShed     int
 	maxP99      time.Duration
+	jsonOut     string
+}
+
+// stageSummary is one stage's slice of the run, from the server's own
+// stage histograms (scraped before and after, delta'd).
+type stageSummary struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P95US  float64 `json:"p95_us"`
+}
+
+// loadgenSummary is the -json run report.
+type loadgenSummary struct {
+	Target     string                  `json:"target"`
+	DurationS  float64                 `json:"duration_s"`
+	Requests   int                     `json:"requests"`
+	Records    int                     `json:"records"`
+	Shed       int                     `json:"shed"`
+	Errors     int                     `json:"errors"`
+	Attacks    int                     `json:"attacks"`
+	RecordsPS  float64                 `json:"records_per_sec"`
+	RequestsPS float64                 `json:"requests_per_sec"`
+	P50US      float64                 `json:"p50_us"`
+	P95US      float64                 `json:"p95_us"`
+	P99US      float64                 `json:"p99_us"`
+	MaxUS      float64                 `json:"max_us"`
+	Stages     map[string]stageSummary `json:"stages,omitempty"`
+}
+
+// stageFamilies maps the printed stage names to their /metrics histogram
+// families, in display order.
+var stageFamilies = []struct{ stage, family string }{
+	{"queue_wait", "pelican_serve_queue_wait_seconds"},
+	{"batch_assembly", "pelican_serve_batch_assembly_seconds"},
+	{"infer", "pelican_serve_infer_seconds"},
+	{"encode", "pelican_serve_encode_seconds"},
+}
+
+// scrapeStages fetches the target's live-slot stage histograms. A missing
+// /metrics or missing stage families (server running -obs-off) returns
+// nil — the stage breakdown is then simply omitted.
+func scrapeStages(target string) map[string]*obs.PromHist {
+	resp, err := http.Get(target + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	fams, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		return nil
+	}
+	match := map[string]string{"slot": "live"}
+	out := make(map[string]*obs.PromHist)
+	for _, sf := range stageFamilies {
+		if h := fams[sf.family].Histogram(match); h != nil {
+			out[sf.stage] = h
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 type workerResult struct {
@@ -238,6 +317,7 @@ func runLoadgen(out io.Writer, cfg loadgenConfig) error {
 	}
 
 	fmt.Fprintf(out, "driving %d clients x %d-record batches for %s...\n", cfg.concurrency, cfg.batch, cfg.duration)
+	stagesBefore := scrapeStages(cfg.target)
 	deadline := time.Now().Add(cfg.duration)
 	results := make([]workerResult, cfg.concurrency)
 	var wg sync.WaitGroup
@@ -316,6 +396,57 @@ func runLoadgen(out io.Writer, cfg loadgenConfig) error {
 	fmt.Fprintf(out, "latency: p50=%s p95=%s p99=%s max=%s\n",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), total.latencies[len(total.latencies)-1].Round(time.Microsecond))
+
+	// Per-stage breakdown, from the server's own stage histograms: the
+	// delta between the pre- and post-run scrapes is this run's share, so
+	// earlier traffic against the same server never pollutes it. Absent
+	// when the server runs -obs-off.
+	stages := make(map[string]stageSummary)
+	if after := scrapeStages(cfg.target); after != nil {
+		fmt.Fprintf(out, "stage breakdown (live slot, server-side):\n")
+		fmt.Fprintf(out, "  %-16s %10s %12s %12s\n", "stage", "count", "mean", "p95")
+		for _, sf := range stageFamilies {
+			h := after[sf.stage].Sub(stagesBefore[sf.stage])
+			if h == nil || h.Count == 0 {
+				continue
+			}
+			mean := time.Duration(h.Mean() * float64(time.Second))
+			p95 := time.Duration(h.Quantile(0.95) * float64(time.Second))
+			fmt.Fprintf(out, "  %-16s %10d %12s %12s\n", sf.stage, h.Count,
+				mean.Round(time.Microsecond), p95.Round(time.Microsecond))
+			stages[sf.stage] = stageSummary{
+				Count:  h.Count,
+				MeanUS: h.Mean() * 1e6,
+				P95US:  h.Quantile(0.95) * 1e6,
+			}
+		}
+	}
+
+	if cfg.jsonOut != "" {
+		summary := loadgenSummary{
+			Target: cfg.target, DurationS: elapsed.Seconds(),
+			Requests: total.requests, Records: total.records,
+			Shed: total.shed, Errors: total.errors, Attacks: total.attacks,
+			RecordsPS:  float64(total.records) / elapsed.Seconds(),
+			RequestsPS: float64(total.requests) / elapsed.Seconds(),
+			P50US:      float64(pct(0.50).Microseconds()),
+			P95US:      float64(pct(0.95).Microseconds()),
+			P99US:      float64(pct(0.99).Microseconds()),
+			MaxUS:      float64(total.latencies[len(total.latencies)-1].Microseconds()),
+		}
+		if len(stages) > 0 {
+			summary.Stages = stages
+		}
+		b, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonOut, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("-json: %w", err)
+		}
+		fmt.Fprintf(out, "summary written to %s\n", cfg.jsonOut)
+	}
+
 	if total.attacks < cfg.minAttacks {
 		return fmt.Errorf("only %d attack verdicts, -min-attacks requires %d", total.attacks, cfg.minAttacks)
 	}

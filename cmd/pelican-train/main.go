@@ -20,6 +20,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/synth"
 	"repro/internal/tensor"
@@ -47,10 +48,12 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		save     = fs.String("save", "", "write a pelican-serve model artifact to this path after training")
 		verbose  = fs.Bool("v", false, "per-epoch logging")
+		logLevel = fs.String("log-level", "warn", "structured log level on stderr: debug, info, warn, error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel)).With("component", "train")
 
 	var cfg synth.Config
 	switch *dataset {
@@ -106,6 +109,9 @@ func run(args []string, out io.Writer) error {
 	s := metrics.Summarize(*model, conf, 0)
 	fmt.Fprintf(out, "test: DR=%.2f%%  ACC=%.2f%%  FAR=%.2f%%  (TP=%d FP=%d over %d records)\n",
 		s.DR, s.ACC, s.FAR, s.TP, s.FP, conf.Total())
+	logger.Info("training complete", "model", *model, "dataset", cfg.Name,
+		"records", *records, "epochs", *epochs, "dur", time.Since(start),
+		"dr", s.DR, "acc", s.ACC, "far", s.FAR)
 
 	if *save != "" {
 		artifact, err := serve.NewArtifact(*model, blockCfg, gen.Schema(), pipe, net)
@@ -116,6 +122,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("save artifact: %w", err)
 		}
 		fmt.Fprintf(out, "model artifact written to %s (version %s)\n", *save, artifact.Version())
+		logger.Info("artifact saved", "path", *save, "version", artifact.Version(), "model", *model)
 	}
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/nids"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/tensor"
@@ -151,6 +152,15 @@ type Config struct {
 	// OnEvent, when non-nil, observes every adaptation attempt (from the
 	// Run goroutine).
 	OnEvent func(Event)
+	// Logger receives structured lifecycle records (drift trips, retrains,
+	// gate verdicts, publish retries); nil silences them.
+	Logger *obs.Logger
+	// TraceIDFn, when non-nil, is sampled at each monitor trip to stamp
+	// the Trigger with the trace ID of the scoring request whose verdict
+	// closed the drift window — typically a serve.Client's LastRequestID.
+	// It joins an adaptation event back to the /debug/traces entry (and
+	// server logs) of the flow that tripped it.
+	TraceIDFn func() string
 	// Seed drives retraining shuffles and balancing draws. Default 1.
 	Seed int64
 }
@@ -202,6 +212,9 @@ type Trigger struct {
 	Signal string
 	// Z is the drift statistic at the trip.
 	Z float64
+	// TraceID is the request trace that closed the drift window (from
+	// Config.TraceIDFn); "" when unknown.
+	TraceID string
 }
 
 // Event is one adaptation attempt: a monitor trip and what came of it.
@@ -399,6 +412,10 @@ func (l *Loop) Observe(f *flow.Flow, v nids.Verdict) {
 // already pending, the extra trigger is dropped (the pending retrain will
 // see the same buffered flows).
 func (l *Loop) trip(t Trigger) {
+	if l.cfg.TraceIDFn != nil {
+		t.TraceID = l.cfg.TraceIDFn()
+	}
+	l.cfg.Logger.Info("drift tripped", "signal", t.Signal, "z", t.Z, "trace_id", t.TraceID)
 	select {
 	case l.trips <- t:
 	default:
@@ -414,10 +431,49 @@ func (l *Loop) Run(ctx context.Context) error {
 			return ctx.Err()
 		case trig := <-l.trips:
 			ev := l.adapt(trig)
+			l.logEvent(ev)
 			if l.cfg.OnEvent != nil {
 				l.cfg.OnEvent(ev)
 			}
 		}
+	}
+}
+
+// logEvent emits one structured record per adaptation attempt, carrying
+// the trace ID of the request that closed the drift window so the whole
+// retrain lineage joins back to /debug/traces on the serving side.
+func (l *Loop) logEvent(ev Event) {
+	log := l.cfg.Logger
+	if log == nil {
+		return
+	}
+	kv := []any{
+		"signal", ev.Trigger.Signal, "z", ev.Trigger.Z,
+		"trace_id", ev.Trigger.TraceID, "buffered", ev.Buffered,
+	}
+	switch {
+	case ev.Skipped:
+		log.Info("retrain skipped", kv...)
+	case ev.Err != nil:
+		log.Error("adaptation failed", append(kv, "error", ev.Err, "publish_tries", ev.PublishTries)...)
+	case ev.Rejected:
+		log.Warn("candidate rejected by gate", append(kv,
+			"version", ev.Version, "train_flows", ev.TrainFlows,
+			"candidate_dr", ev.CandidateDR, "candidate_far", ev.CandidateFAR,
+			"live_dr", ev.LiveDR, "live_far", ev.LiveFAR,
+			"holdout_flows", ev.HoldoutFlows)...)
+	default:
+		kv = append(kv, "version", ev.Version, "train_flows", ev.TrainFlows,
+			"train_loss", ev.TrainLoss, "publish_tries", ev.PublishTries,
+			"dur", ev.Duration)
+		if ev.HoldoutFlows > 0 {
+			kv = append(kv, "candidate_dr", ev.CandidateDR, "live_dr", ev.LiveDR,
+				"holdout_flows", ev.HoldoutFlows)
+		}
+		if ev.LowerErr != nil {
+			kv = append(kv, "lower_error", ev.LowerErr)
+		}
+		log.Info("model published", kv...)
 	}
 }
 
@@ -523,6 +579,9 @@ func (l *Loop) adapt(trig Trigger) Event {
 		ev.CandidateDR, ev.CandidateFAR = cand.dr, cand.far
 		ev.LiveDR, ev.LiveFAR = live.dr, live.far
 		pass = cand.dr >= live.dr && cand.far <= live.far+l.cfg.GateFARSlack
+		l.cfg.Logger.Info("gate verdict", "pass", pass, "version", ev.Version,
+			"trace_id", trig.TraceID, "candidate_dr", cand.dr, "candidate_far", cand.far,
+			"live_dr", live.dr, "live_far", live.far, "holdout_flows", holdN)
 	}
 
 	staged, isStaged := l.cfg.Publisher.(StagedPublisher)
@@ -591,6 +650,9 @@ func (l *Loop) retryPublish(ev *Event, fn func() error) error {
 		if err = fn(); err == nil {
 			return nil
 		}
+		l.cfg.Logger.Warn("publish attempt failed", "attempt", i+1,
+			"of", l.cfg.PublishAttempts, "version", ev.Version,
+			"trace_id", ev.Trigger.TraceID, "error", err)
 	}
 	return err
 }

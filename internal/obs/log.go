@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity. Records below a logger's level are dropped
+// before any encoding work.
+type Level int32
+
+// Severities, lowest first.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel maps a flag value to a Level (unknown values mean info).
+func ParseLevel(s string) Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	default:
+		return LevelInfo
+	}
+}
+
+// Logger emits one JSON object per record: {"ts":...,"level":...,
+// "msg":..., <base fields>, <record fields>}. Fields are alternating
+// key, value pairs; values are encoded with encoding/json (errors render
+// as their Error() string). A nil *Logger is valid and silent, so every
+// layer can take a logger without nil checks on the hot path.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	level Level
+	base  []byte // pre-encoded `,"k":v` prefix from With
+}
+
+// NewLogger builds a logger writing JSON lines at or above level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, level: level}
+}
+
+// Enabled reports whether records at level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.level
+}
+
+// With returns a logger that prepends the given fields to every record —
+// the carrier for request ID, slot, and version context.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	nl := &Logger{mu: l.mu, w: l.w, level: l.level}
+	nl.base = appendFields(append([]byte(nil), l.base...), kv)
+	return nl
+}
+
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+func (l *Logger) Info(msg string, kv ...any)  { l.log(LevelInfo, msg, kv) }
+func (l *Logger) Warn(msg string, kv ...any)  { l.log(LevelWarn, msg, kv) }
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, `{"ts":"`...)
+	buf = time.Now().UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, `","level":"`...)
+	buf = append(buf, level.String()...)
+	buf = append(buf, `","msg":`...)
+	buf = appendJSON(buf, msg)
+	buf = append(buf, l.base...)
+	buf = appendFields(buf, kv)
+	buf = append(buf, '}', '\n')
+	l.mu.Lock()
+	l.w.Write(buf)
+	l.mu.Unlock()
+}
+
+// appendFields encodes alternating key, value pairs as `,"k":v`. A
+// trailing odd value is recorded under "!missing-key" rather than lost.
+func appendFields(buf []byte, kv []any) []byte {
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := "!missing-key", false
+		var val any
+		if i+1 < len(kv) {
+			key, ok = kv[i].(string), true
+			val = kv[i+1]
+		} else {
+			val = kv[i]
+		}
+		if !ok && i+1 < len(kv) {
+			key = fmt.Sprint(kv[i])
+		}
+		buf = append(buf, ',')
+		buf = appendJSON(buf, key)
+		buf = append(buf, ':')
+		buf = appendJSON(buf, val)
+	}
+	return buf
+}
+
+// appendJSON encodes v, falling back to its string rendering when it
+// cannot be marshaled (channels, functions) — a log line must never fail.
+func appendJSON(buf []byte, v any) []byte {
+	if err, isErr := v.(error); isErr && err != nil {
+		v = err.Error()
+	}
+	if d, isDur := v.(time.Duration); isDur {
+		v = d.String()
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return append(buf, b...)
+}

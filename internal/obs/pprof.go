@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// PprofHandler returns a mux serving the net/http/pprof endpoints
+// (/debug/pprof/, .../profile, .../heap, ...) without touching
+// http.DefaultServeMux — profiling stays off the serving port and off any
+// mux the application registers its own handlers on.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartPprof serves the pprof handlers on a side listener at addr
+// (e.g. "127.0.0.1:6060"; port 0 picks a free port). It returns the bound
+// address and a stop function; the listener runs until stopped. Profiling
+// on its own port keeps CPU/heap capture available even when the serving
+// port is saturated, and keeps it off any publicly exposed address.
+func StartPprof(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: PprofHandler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one exposition sample line: a metric name, its label set,
+// and the value.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's value for key ("" when absent).
+func (s PromSample) Label(key string) string { return s.Labels[key] }
+
+// PromFamily groups the samples of one metric family with its HELP/TYPE
+// metadata. Histogram families hold their _bucket/_sum/_count series.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []PromSample
+}
+
+// ParseProm parses the Prometheus text exposition format (version 0.0.4):
+// the producer side is WritePromHeader/Histogram.WriteProm, and this is
+// its verifying consumer — the loadgen's stage scrape and the exposition
+// round-trip tests. It returns families keyed by base name (histogram
+// _bucket/_sum/_count series fold into their family) and errors on
+// malformed lines, duplicate HELP/TYPE, or samples whose family was
+// declared with a conflicting type.
+func ParseProm(r io.Reader) (map[string]*PromFamily, error) {
+	fams := make(map[string]*PromFamily)
+	get := func(name string) *PromFamily {
+		if f, ok := fams[name]; ok {
+			return f
+		}
+		f := &PromFamily{Name: name}
+		fams[name] = f
+		return f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if name == "" {
+				return nil, fmt.Errorf("line %d: HELP without a metric name", lineNo)
+			}
+			f := get(name)
+			if f.Help != "" {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			f.Help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			f := get(parts[0])
+			if f.Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, parts[0])
+			}
+			f.Type = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal and ignored
+		}
+		sample, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := get(promFamilyName(sample.Name, fams))
+		fam.Samples = append(fam.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// promFamilyName folds a histogram series name onto its declared family:
+// x_bucket/x_sum/x_count belong to family x when x was TYPEd histogram.
+func promFamilyName(name string, fams map[string]*PromFamily) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if f, ok := fams[base]; ok && f.Type == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// parsePromSample parses `name{k="v",...} value` (labels optional).
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{}
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd <= 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:nameEnd]
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parsePromLabels(rest[1:end])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromLabels(s string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for s != "" {
+		eq := strings.Index(s, "=")
+		if eq <= 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed label in %q", s)
+		}
+		key := s[:eq]
+		rest := s[eq+2:]
+		// Find the closing quote, honoring \" escapes.
+		end, esc := -1, false
+		for i := 0; i < len(rest); i++ {
+			if esc {
+				esc = false
+				continue
+			}
+			switch rest[i] {
+			case '\\':
+				esc = true
+			case '"':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated label value for %q", key)
+		}
+		val := strings.NewReplacer(`\"`, `"`, `\\`, `\`, `\n`, "\n").Replace(rest[:end])
+		labels[key] = val
+		s = rest[end+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return labels, nil
+}
+
+// PromHist is one parsed histogram series (one label set of a histogram
+// family): cumulative bucket counts by upper bound, plus sum and count.
+type PromHist struct {
+	Bounds []float64 // finite upper bounds, ascending; +Inf is implicit
+	Counts []int64   // cumulative, aligned with Bounds
+	Inf    int64     // the +Inf bucket (== total count)
+	Sum    float64
+	Count  int64
+}
+
+// Histogram extracts the histogram series whose labels include match
+// (ignoring le). Returns nil when the family holds no such series.
+func (f *PromFamily) Histogram(match map[string]string) *PromHist {
+	if f == nil || f.Type != "histogram" {
+		return nil
+	}
+	matches := func(s PromSample) bool {
+		for k, v := range match {
+			if s.Labels[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	type bkt struct {
+		le float64
+		n  int64
+	}
+	var (
+		bkts  []bkt
+		h     PromHist
+		found bool
+	)
+	for _, s := range f.Samples {
+		if !matches(s) {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le, err := strconv.ParseFloat(s.Labels["le"], 64)
+			if err != nil {
+				if s.Labels["le"] == "+Inf" {
+					le = math.Inf(1)
+				} else {
+					continue
+				}
+			}
+			bkts = append(bkts, bkt{le: le, n: int64(s.Value)})
+			found = true
+		case strings.HasSuffix(s.Name, "_sum"):
+			h.Sum = s.Value
+			found = true
+		case strings.HasSuffix(s.Name, "_count"):
+			h.Count = int64(s.Value)
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+	for _, b := range bkts {
+		if math.IsInf(b.le, 1) {
+			h.Inf = b.n
+			continue
+		}
+		h.Bounds = append(h.Bounds, b.le)
+		h.Counts = append(h.Counts, b.n)
+	}
+	return &h
+}
+
+// Sub returns the histogram delta h - prev (bucket-wise, sum, count) —
+// how the distribution moved between two scrapes. prev may be nil (no
+// earlier scrape), which returns h unchanged.
+func (h *PromHist) Sub(prev *PromHist) *PromHist {
+	if h == nil {
+		return nil
+	}
+	if prev == nil {
+		return h
+	}
+	out := &PromHist{
+		Bounds: h.Bounds,
+		Counts: append([]int64(nil), h.Counts...),
+		Inf:    h.Inf - prev.Inf,
+		Sum:    h.Sum - prev.Sum,
+		Count:  h.Count - prev.Count,
+	}
+	for i := range out.Counts {
+		if i < len(prev.Counts) {
+			out.Counts[i] -= prev.Counts[i]
+		}
+	}
+	return out
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *PromHist) Mean() float64 {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile from the cumulative buckets with
+// linear interpolation (the same estimate Prometheus's histogram_quantile
+// computes). Returns 0 on an empty histogram.
+func (h *PromHist) Quantile(q float64) float64 {
+	if h == nil || h.Inf == 0 {
+		return 0
+	}
+	rank := q * float64(h.Inf)
+	prevN, prevBound := int64(0), 0.0
+	for i, n := range h.Counts {
+		if float64(n) >= rank {
+			width := h.Bounds[i] - prevBound
+			inBucket := float64(n - prevN)
+			if inBucket == 0 {
+				return h.Bounds[i]
+			}
+			return prevBound + width*(rank-float64(prevN))/inBucket
+		}
+		prevN, prevBound = n, h.Bounds[i]
+	}
+	if len(h.Bounds) > 0 {
+		return h.Bounds[len(h.Bounds)-1]
+	}
+	return 0
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+const promFixture = `# HELP x_seconds A histogram.
+# TYPE x_seconds histogram
+x_seconds_bucket{slot="live",le="0.001"} 3
+x_seconds_bucket{slot="live",le="0.01"} 7
+x_seconds_bucket{slot="live",le="+Inf"} 9
+x_seconds_sum{slot="live"} 0.042
+x_seconds_count{slot="live"} 9
+# HELP y_total A counter.
+# TYPE y_total counter
+y_total{code="4xx"} 2
+y_total{code="5xx"} 0
+`
+
+func TestParsePromFoldsHistogramSeries(t *testing.T) {
+	fams, err := ParseProm(strings.NewReader(promFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("%d families, want 2 (histogram series must fold into their family)", len(fams))
+	}
+	f := fams["x_seconds"]
+	if f == nil || f.Type != "histogram" || f.Help != "A histogram." {
+		t.Fatalf("x_seconds family = %+v", f)
+	}
+	if len(f.Samples) != 5 {
+		t.Fatalf("x_seconds holds %d samples, want 5", len(f.Samples))
+	}
+	h := f.Histogram(map[string]string{"slot": "live"})
+	if h == nil {
+		t.Fatal("Histogram(slot=live) = nil")
+	}
+	if len(h.Bounds) != 2 || h.Bounds[0] != 0.001 || h.Bounds[1] != 0.01 {
+		t.Fatalf("bounds %v", h.Bounds)
+	}
+	if h.Counts[0] != 3 || h.Counts[1] != 7 || h.Inf != 9 || h.Count != 9 || h.Sum != 0.042 {
+		t.Fatalf("parsed histogram %+v", h)
+	}
+	if f.Histogram(map[string]string{"slot": "shadow"}) != nil {
+		t.Fatal("Histogram matched a label set that has no series")
+	}
+	c := fams["y_total"]
+	if c == nil || c.Type != "counter" || len(c.Samples) != 2 {
+		t.Fatalf("y_total family = %+v", c)
+	}
+	if c.Samples[0].Label("code") != "4xx" || c.Samples[0].Value != 2 {
+		t.Fatalf("first counter sample = %+v", c.Samples[0])
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"duplicate HELP": "# HELP a b\n# HELP a c\n",
+		"duplicate TYPE": "# TYPE a counter\n# TYPE a gauge\n",
+		"nameless HELP":  "# HELP  missing the metric name\n",
+		"malformed TYPE": "# TYPE a\n",
+		"no value":       "a{k=\"v\"}\n",
+		"bad value":      "a xyz\n",
+		"open labels":    "a{k=\"v\" 1\n",
+		"bad label":      "a{k} 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseProm(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestParsePromLabelEscapes(t *testing.T) {
+	in := `m{msg="a \"quoted\" value, with \\ and comma"} 1` + "\n"
+	fams, err := ParseProm(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fams["m"].Samples[0].Label("msg")
+	if want := `a "quoted" value, with \ and comma`; got != want {
+		t.Fatalf("unescaped label = %q, want %q", got, want)
+	}
+}
+
+// TestParsePromRoundTrip pins producer/consumer agreement: what
+// Histogram.WriteProm emits, ParseProm must read back exactly.
+func TestParsePromRoundTrip(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	WritePromHeader(&buf, "rt_seconds", "histogram", "Round-trip fixture.")
+	h.WriteProm(&buf, "rt_seconds", `slot="live"`)
+
+	fams, err := ParseProm(&buf)
+	if err != nil {
+		t.Fatalf("own output does not parse: %v", err)
+	}
+	got := fams["rt_seconds"].Histogram(map[string]string{"slot": "live"})
+	if got == nil {
+		t.Fatal("round-tripped histogram series missing")
+	}
+	if got.Count != 4 || got.Inf != 4 {
+		t.Fatalf("count %d inf %d, want 4", got.Count, got.Inf)
+	}
+	if want := []int64{1, 2, 3}; len(got.Counts) != 3 || got.Counts[0] != want[0] || got.Counts[1] != want[1] || got.Counts[2] != want[2] {
+		t.Fatalf("cumulative counts %v, want %v", got.Counts, want)
+	}
+	if math.Abs(got.Sum-55.55) > 1e-9 {
+		t.Fatalf("sum %g, want 55.55", got.Sum)
+	}
+}
+
+func TestPromHistSubMeanQuantile(t *testing.T) {
+	prev := &PromHist{Bounds: []float64{1, 2}, Counts: []int64{1, 2}, Inf: 2, Sum: 3, Count: 2}
+	cur := &PromHist{Bounds: []float64{1, 2}, Counts: []int64{3, 8}, Inf: 10, Sum: 15, Count: 10}
+	d := cur.Sub(prev)
+	if d.Counts[0] != 2 || d.Counts[1] != 6 || d.Inf != 8 || d.Sum != 12 || d.Count != 8 {
+		t.Fatalf("delta %+v", d)
+	}
+	if m := d.Mean(); m != 1.5 {
+		t.Fatalf("mean %g, want 1.5", m)
+	}
+	// Sub must not mutate its receiver (the loadgen reuses the scrape).
+	if cur.Counts[0] != 3 {
+		t.Fatal("Sub mutated the receiver's buckets")
+	}
+	if cur.Sub(nil) != cur {
+		t.Fatal("Sub(nil) must return the receiver unchanged")
+	}
+	var nilH *PromHist
+	if nilH.Sub(prev) != nil || nilH.Mean() != 0 || nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil PromHist helpers must be safe no-ops")
+	}
+
+	// Quantile: 10 observations, 3 at or under 1, 8 at or under 2.
+	// rank(0.5) = 5 lands in the (1, 2] bucket with 5 in-bucket entries.
+	q := cur.Quantile(0.5)
+	if want := 1 + (5.0-3.0)/5.0; math.Abs(q-want) > 1e-9 {
+		t.Fatalf("p50 = %g, want %g", q, want)
+	}
+	if q := cur.Quantile(0.99); q < 2 {
+		// Rank beyond the last finite bucket clamps to the top bound.
+		t.Fatalf("p99 = %g, want clamped to top bound 2", q)
+	}
+}

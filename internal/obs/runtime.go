@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// WriteRuntimeProm renders process runtime telemetry in the Prometheus
+// text format: goroutine count, heap usage, cumulative GC pause time and
+// cycle count, and uptime since start. It reads runtime.MemStats without
+// forcing a GC, so it is cheap enough for every /metrics scrape.
+func WriteRuntimeProm(w io.Writer, start time.Time) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge := func(name, help string, v float64) {
+		WritePromHeader(w, name, "gauge", help)
+		writeSample(w, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		WritePromHeader(w, name, "counter", help)
+		writeSample(w, name, v)
+	}
+	gauge("pelican_runtime_goroutines", "Live goroutines.", float64(runtime.NumGoroutine()))
+	gauge("pelican_runtime_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	gauge("pelican_runtime_heap_sys_bytes", "Heap memory obtained from the OS.", float64(ms.HeapSys))
+	counter("pelican_runtime_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", float64(ms.PauseTotalNs)/1e9)
+	counter("pelican_runtime_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
+	gauge("pelican_runtime_uptime_seconds", "Seconds since the process started serving.", time.Since(start).Seconds())
+}
+
+func writeSample(w io.Writer, name string, v float64) {
+	fmt.Fprintf(w, "%s %g\n", name, v)
+}

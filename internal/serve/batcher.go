@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/nids"
+	"repro/internal/obs"
 )
 
 // item is one record awaiting a verdict. out points into the originating
@@ -17,13 +18,28 @@ import (
 // a worker sheds (never scores) a record whose ctx expired while it was
 // queued, counting it on expired — the per-request tally the caller
 // inspects to answer 503. Mirrored records carry a nil ctx (no deadline,
-// no shedding).
+// no shedding). enqueuedAt and trace are the observability carriers: the
+// worker turns enqueuedAt into the queue_wait stage observation and
+// appends stage spans to trace; both are zero when the server runs with
+// stage timing and tracing off.
 type item struct {
-	rec     *data.Record
-	out     *nids.Verdict
-	wg      *sync.WaitGroup
-	ctx     context.Context
-	expired *atomic.Int64
+	rec        *data.Record
+	out        *nids.Verdict
+	wg         *sync.WaitGroup
+	ctx        context.Context
+	expired    *atomic.Int64
+	enqueuedAt time.Time
+	trace      *obs.Trace
+}
+
+// flushedBatch is one cut batch plus its assembly timing: openedAt is when
+// the dispatcher received the batch's first record, flushedAt when the
+// batch was cut (MaxBatch reached or MaxWait expired). The difference is
+// the batch_assembly stage.
+type flushedBatch struct {
+	items     []item
+	openedAt  time.Time
+	flushedAt time.Time
 }
 
 // shed reports whether this record's deadline ran out (or its request was
@@ -51,7 +67,7 @@ type batcherConfig struct {
 type batcher struct {
 	cfg     batcherConfig
 	in      chan item
-	batches chan []item
+	batches chan flushedBatch
 	slabs   sync.Pool // [] item backing arrays recycled across batches
 	done    chan struct{}
 
@@ -69,7 +85,7 @@ func newBatcher(cfg batcherConfig) *batcher {
 	b := &batcher{
 		cfg:     cfg,
 		in:      make(chan item, cfg.QueueDepth),
-		batches: make(chan []item, 1),
+		batches: make(chan flushedBatch, 1),
 		done:    make(chan struct{}),
 	}
 	go b.dispatch()
@@ -169,6 +185,7 @@ func (b *batcher) dispatch() {
 		if !ok {
 			return
 		}
+		opened := time.Now()
 		batch := append(b.getSlab(), first)
 		timer.Reset(b.cfg.MaxWait)
 		timerFired := false
@@ -177,7 +194,7 @@ func (b *batcher) dispatch() {
 			select {
 			case it, ok := <-b.in:
 				if !ok {
-					b.batches <- batch
+					b.batches <- flushedBatch{items: batch, openedAt: opened, flushedAt: time.Now()}
 					return
 				}
 				batch = append(batch, it)
@@ -189,6 +206,6 @@ func (b *batcher) dispatch() {
 		if !timerFired && !timer.Stop() {
 			<-timer.C
 		}
-		b.batches <- batch
+		b.batches <- flushedBatch{items: batch, openedAt: opened, flushedAt: time.Now()}
 	}
 }

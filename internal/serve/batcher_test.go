@@ -10,7 +10,8 @@ import (
 )
 
 func collectBatches(b *batcher, out chan<- int) {
-	for batch := range b.batches {
+	for fb := range b.batches {
+		batch := fb.items
 		n := len(batch)
 		for i := range batch {
 			batch[i].wg.Done()

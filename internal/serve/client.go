@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/nids"
+	"repro/internal/obs"
 )
 
 // DefaultClientTimeout bounds every request made through a Client that
@@ -59,6 +60,19 @@ type Client struct {
 	// overload shedding — the server is alive and asking for backoff, so
 	// they are retried but never trip the breaker.
 	Breaker *Breaker
+
+	// lastRequestID holds the X-Request-Id echoed by the most recent
+	// response (string). Every logical call sends one generated ID, shared
+	// across its retries, so all attempts correlate to one trace lineage.
+	lastRequestID atomic.Value
+}
+
+// LastRequestID returns the X-Request-Id the server echoed on the most
+// recent response ("" before the first) — the handle for joining a
+// client-observed outcome against the server's /debug/traces and logs.
+func (c *Client) LastRequestID() string {
+	id, _ := c.lastRequestID.Load().(string)
+	return id
 }
 
 // NewClient builds a client for the server at base.
@@ -155,7 +169,7 @@ func (c *Client) backoffFor(i int, last error) time.Duration {
 
 // once performs one HTTP exchange with breaker accounting. A nil out
 // discards the response body.
-func (c *Client) once(method, path string, body []byte, out any) error {
+func (c *Client) once(method, path string, body []byte, out any, requestID string) error {
 	b := c.Breaker
 	if b != nil && !b.Allow() {
 		// Not Recorded: the call never happened, so it is not evidence.
@@ -175,6 +189,9 @@ func (c *Client) once(method, path string, body []byte, out any) error {
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if requestID != "" {
+		req.Header.Set(obs.RequestIDHeader, requestID)
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		if b != nil {
@@ -183,6 +200,9 @@ func (c *Client) once(method, path string, body []byte, out any) error {
 		return fmt.Errorf("serve: %s: %w", path, err)
 	}
 	defer resp.Body.Close()
+	if id := resp.Header.Get(obs.RequestIDHeader); id != "" {
+		c.lastRequestID.Store(id)
+	}
 	if resp.StatusCode/100 != 2 {
 		se := &statusError{path: path, status: resp.StatusCode}
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
@@ -215,12 +235,15 @@ func (c *Client) call(method, path string, body []byte, out any, idempotent bool
 	if idempotent {
 		attempts = c.attempts()
 	}
+	// One ID per logical call: retried attempts reuse it, so however many
+	// times the request lands, the server's traces share one request ID.
+	requestID := obs.NewID()
 	var last error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			time.Sleep(c.backoffFor(i, last))
 		}
-		err := c.once(method, path, body, out)
+		err := c.once(method, path, body, out, requestID)
 		if err == nil {
 			return nil
 		}

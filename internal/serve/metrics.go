@@ -6,41 +6,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
-// latencyBuckets are the request-latency histogram upper bounds in
-// seconds, spanning sub-millisecond in-process scoring to multi-second
-// overload tails. It is an array so numLatencyBuckets is a compile-time
-// constant that cannot drift from the bound list.
-var latencyBuckets = [...]float64{
-	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
-}
-
-const numLatencyBuckets = len(latencyBuckets)
-
-// histogram is a fixed-bucket Prometheus-style latency histogram with
-// lock-free observation.
-type histogram struct {
-	counts   [numLatencyBuckets + 1]atomic.Int64 // +1 for +Inf
-	sumNanos atomic.Int64
-	total    atomic.Int64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	sec := d.Seconds()
-	i := 0
-	for i < len(latencyBuckets) && sec > latencyBuckets[i] {
-		i++
-	}
-	h.counts[i].Add(1)
-	h.sumNanos.Add(int64(d))
-	h.total.Add(1)
-}
-
 // serverMetrics holds the server-wide counters exported at /metrics.
-// Per-slot counters live in the model registry (registry.Stats) and are
-// rendered with {slot=...} labels.
+// Per-slot counters live in the model registry (registry.Stats), per-slot
+// stage histograms on each slot's scorer; both are rendered with
+// {slot=...} labels.
 type serverMetrics struct {
 	detectRequests atomic.Int64
 	batchRequests  atomic.Int64
@@ -48,15 +21,56 @@ type serverMetrics struct {
 	batches        atomic.Int64
 	batchRecords   atomic.Int64
 	attacks        atomic.Int64
-	requestErrors  atomic.Int64
-	reloads        atomic.Int64
+	// requestErrors4xx counts client-side rejections (malformed bodies,
+	// schema mismatches, unknown tags, deliberate 429 shedding);
+	// requestErrors5xx counts server-side failures and overload 503s.
+	// Split so dashboards never conflate deliberate shedding with broken
+	// clients or broken servers.
+	requestErrors4xx atomic.Int64
+	requestErrors5xx atomic.Int64
+	reloads          atomic.Int64
 	// shed counts records fast-failed by the admission controller (429);
 	// deadlineExpired counts records shed after their request deadline ran
 	// out while queued (503). Server-wide aggregates of the per-slot
 	// registry.Stats counters.
 	shed            atomic.Int64
 	deadlineExpired atomic.Int64
-	latency         histogram
+	latency         *obs.Histogram
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{latency: obs.NewHistogram(obs.LatencyBuckets)}
+}
+
+// observeLatency records one accepted request's end-to-end latency.
+func (m *serverMetrics) observeLatency(d time.Duration) {
+	if m != nil && m.latency != nil {
+		m.latency.ObserveDuration(d)
+	}
+}
+
+// stageMetrics are one slot's per-stage latency decomposition: fixed-bucket
+// histograms for each stage of the request path plus the realized batch
+// size distribution. They live on the slot's scorer, so — like the queue
+// gauge — they travel with the generation through promotions and are
+// rendered under whichever tag currently serves it. Nil when the server
+// runs with ObsOff.
+type stageMetrics struct {
+	queueWait *obs.Histogram // enqueue → worker pickup (includes assembly + worker wait)
+	assembly  *obs.Histogram // batch open (first record at dispatcher) → flush
+	infer     *obs.Histogram // replica engine run, per batch (includes injected chaos delay)
+	encode    *obs.Histogram // response JSON encode, per request
+	batchSize *obs.Histogram // records per flushed batch
+}
+
+func newStageMetrics() *stageMetrics {
+	return &stageMetrics{
+		queueWait: obs.NewHistogram(obs.StageBuckets),
+		assembly:  obs.NewHistogram(obs.StageBuckets),
+		infer:     obs.NewHistogram(obs.StageBuckets),
+		encode:    obs.NewHistogram(obs.StageBuckets),
+		batchSize: obs.NewHistogram(obs.BatchSizeBuckets),
+	}
 }
 
 // slotMetrics is one registry slot's exposition snapshot.
@@ -66,6 +80,7 @@ type slotMetrics struct {
 	version string
 	queue   int
 	stats   *registry.Stats
+	stages  *stageMetrics
 }
 
 // promSnapshot carries the registry-side state /metrics renders alongside
@@ -76,12 +91,14 @@ type promSnapshot struct {
 	promotes        int64
 	rollbacks       int64
 	previousVersion string
+	started         time.Time
 }
 
 // writeProm renders the metrics in the Prometheus text exposition format.
 func (m *serverMetrics) writeProm(w io.Writer, snap promSnapshot) {
 	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		obs.WritePromHeader(w, name, "counter", help)
+		fmt.Fprintf(w, "%s %d\n", name, v)
 	}
 	counter("pelican_serve_detect_requests_total", "Requests to /v1/detect and /v2/detect.", m.detectRequests.Load())
 	counter("pelican_serve_detect_batch_requests_total", "Requests to /v1/detect-batch and /v2/detect-batch.", m.batchRequests.Load())
@@ -89,18 +106,22 @@ func (m *serverMetrics) writeProm(w io.Writer, snap promSnapshot) {
 	counter("pelican_serve_batches_total", "Dynamic batches flushed to a replica (all slots).", m.batches.Load())
 	counter("pelican_serve_batch_records_total", "Records carried by flushed batches (all slots).", m.batchRecords.Load())
 	counter("pelican_serve_attack_verdicts_total", "Verdicts flagged as attacks (all slots).", m.attacks.Load())
-	counter("pelican_serve_request_errors_total", "Requests rejected with a 4xx/5xx status.", m.requestErrors.Load())
+
+	obs.WritePromHeader(w, "pelican_serve_request_errors_total", "counter",
+		"Requests rejected, by status class: 4xx covers client errors and deliberate 429 shedding, 5xx server failures and overload 503s.")
+	fmt.Fprintf(w, "pelican_serve_request_errors_total{code=\"4xx\"} %d\n", m.requestErrors4xx.Load())
+	fmt.Fprintf(w, "pelican_serve_request_errors_total{code=\"5xx\"} %d\n", m.requestErrors5xx.Load())
+
 	counter("pelican_serve_reloads_total", "Successful model loads into any slot after startup.", m.reloads.Load())
 	counter("pelican_serve_promotes_total", "Shadow-to-live promotions.", snap.promotes)
 	counter("pelican_serve_rollbacks_total", "Live rollbacks to the retained previous generation.", snap.rollbacks)
 	counter("pelican_serve_shed_total", "Records fast-failed (429) by the admission controller, all slots.", m.shed.Load())
 	counter("pelican_serve_deadline_expired_total", "Records shed (503) after their deadline expired while queued, all slots.", m.deadlineExpired.Load())
 
-	fmt.Fprintf(w, "# HELP pelican_serve_queue_depth Records waiting across all slot batcher queues.\n")
-	fmt.Fprintf(w, "# TYPE pelican_serve_queue_depth gauge\npelican_serve_queue_depth %d\n", snap.queueDepth)
+	obs.WritePromHeader(w, "pelican_serve_queue_depth", "gauge", "Records waiting across all slot batcher queues.")
+	fmt.Fprintf(w, "pelican_serve_queue_depth %d\n", snap.queueDepth)
 
-	fmt.Fprintf(w, "# HELP pelican_serve_model_info Loaded model per registry slot (value is always 1).\n")
-	fmt.Fprintf(w, "# TYPE pelican_serve_model_info gauge\n")
+	obs.WritePromHeader(w, "pelican_serve_model_info", "gauge", "Loaded model per registry slot (value is always 1).")
 	for _, sl := range snap.slots {
 		fmt.Fprintf(w, "pelican_serve_model_info{slot=%q,model=%q,version=%q} 1\n", sl.tag, sl.model, sl.version)
 	}
@@ -109,7 +130,7 @@ func (m *serverMetrics) writeProm(w io.Writer, snap promSnapshot) {
 	}
 
 	slotCounter := func(name, help string, load func(*registry.Stats) int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		obs.WritePromHeader(w, name, "counter", help)
 		for _, sl := range snap.slots {
 			fmt.Fprintf(w, "%s{slot=%q,version=%q} %d\n", name, sl.tag, sl.version, load(sl.stats))
 		}
@@ -131,24 +152,48 @@ func (m *serverMetrics) writeProm(w io.Writer, snap promSnapshot) {
 	slotCounter("pelican_serve_slot_deadline_expired_total", "Records shed (503) after their deadline expired in the slot's queue.",
 		func(st *registry.Stats) int64 { return st.DeadlineExpired.Load() })
 
-	fmt.Fprintf(w, "# HELP pelican_serve_slot_queue_depth Records waiting in the slot's batcher queue.\n")
-	fmt.Fprintf(w, "# TYPE pelican_serve_slot_queue_depth gauge\n")
+	obs.WritePromHeader(w, "pelican_serve_slot_queue_depth", "gauge", "Records waiting in the slot's batcher queue.")
 	for _, sl := range snap.slots {
 		fmt.Fprintf(w, "pelican_serve_slot_queue_depth{slot=%q} %d\n", sl.tag, sl.queue)
 	}
 
-	fmt.Fprintf(w, "# HELP pelican_serve_request_seconds Scoring request latency.\n")
-	fmt.Fprintf(w, "# TYPE pelican_serve_request_seconds histogram\n")
-	cum := int64(0)
-	for i, ub := range &latencyBuckets {
-		cum += m.latency.counts[i].Load()
-		fmt.Fprintf(w, "pelican_serve_request_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
-	}
-	cum += m.latency.counts[len(latencyBuckets)].Load()
-	fmt.Fprintf(w, "pelican_serve_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "pelican_serve_request_seconds_sum %g\n", float64(m.latency.sumNanos.Load())/1e9)
-	fmt.Fprintf(w, "pelican_serve_request_seconds_count %d\n", m.latency.total.Load())
-}
+	obs.WritePromHeader(w, "pelican_serve_request_seconds", "histogram", "Scoring request latency.")
+	m.latency.WriteProm(w, "pelican_serve_request_seconds", "")
 
-// trimFloat renders a bucket bound without trailing zeros (0.0005, 0.01, 1).
-func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }
+	// Stage-level latency decomposition, per slot. Absent entirely under
+	// ObsOff (the stage timers are off, not silently zero).
+	writeStages := false
+	for _, sl := range snap.slots {
+		if sl.stages != nil {
+			writeStages = true
+		}
+	}
+	if writeStages {
+		stageHist := func(name, help string, pick func(*stageMetrics) *obs.Histogram) {
+			obs.WritePromHeader(w, name, "histogram", help)
+			for _, sl := range snap.slots {
+				if sl.stages == nil {
+					continue
+				}
+				pick(sl.stages).WriteProm(w, name, fmt.Sprintf("slot=%q", sl.tag))
+			}
+		}
+		stageHist("pelican_serve_queue_wait_seconds",
+			"Stage: record enqueue to worker pickup (queueing, co-traveler wait, and replica wait).",
+			func(st *stageMetrics) *obs.Histogram { return st.queueWait })
+		stageHist("pelican_serve_batch_assembly_seconds",
+			"Stage: batch open (first record at the dispatcher) to flush.",
+			func(st *stageMetrics) *obs.Histogram { return st.assembly })
+		stageHist("pelican_serve_infer_seconds",
+			"Stage: replica engine run per flushed batch (includes any injected chaos delay).",
+			func(st *stageMetrics) *obs.Histogram { return st.infer })
+		stageHist("pelican_serve_encode_seconds",
+			"Stage: response JSON encode per request.",
+			func(st *stageMetrics) *obs.Histogram { return st.encode })
+		stageHist("pelican_serve_batch_size",
+			"Records per flushed batch.",
+			func(st *stageMetrics) *obs.Histogram { return st.batchSize })
+	}
+
+	obs.WriteRuntimeProm(w, snap.started)
+}

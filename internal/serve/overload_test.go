@@ -294,7 +294,8 @@ func TestBatcherMaxWaitUnderSlowConsumer(t *testing.T) {
 	}
 	deliveries := make(chan delivery, 4)
 	go func() {
-		for batch := range b.batches {
+		for fb := range b.batches {
+			batch := fb.items
 			deliveries <- delivery{at: time.Now(), size: len(batch)}
 			time.Sleep(100 * time.Millisecond) // slow replica
 			for i := range batch {

@@ -3,12 +3,14 @@ package serve
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/data"
 	"repro/internal/nids"
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -25,6 +27,10 @@ type scorer struct {
 	detectors []nids.BatchDetector
 	maxBatch  int
 	gm        *serverMetrics
+	// stages holds this slot's per-stage latency histograms and drives the
+	// per-record timestamping; nil disables all stage timing and span
+	// recording (Config.ObsOff).
+	stages    *stageMetrics
 	chaos     chaosDelayer
 	workerWG  sync.WaitGroup
 	closeOnce sync.Once
@@ -60,6 +66,9 @@ const (
 // promotion re-tags this scorer without touching it).
 func newScorer(a *Artifact, cfg Config, gm *serverMetrics) (*scorer, error) {
 	sc := &scorer{maxBatch: cfg.MaxBatch, gm: gm, chaos: cfg.Chaos}
+	if !cfg.ObsOff {
+		sc.stages = newStageMetrics()
+	}
 	for i := 0; i < cfg.Replicas; i++ {
 		var det nids.BatchDetector
 		var err error
@@ -86,20 +95,41 @@ func newScorer(a *Artifact, cfg Config, gm *serverMetrics) (*scorer, error) {
 	return sc, nil
 }
 
+// traceAgg accumulates one request's slice of a batch so the worker can
+// append one span set per (trace, batch) instead of one per record.
+type traceAgg struct {
+	tr       *obs.Trace
+	firstEnq time.Time
+}
+
 // worker is one replica's scoring loop: it pulls flushed batches, sheds
 // the records whose deadline expired while they queued, scores the rest
 // on its own replica, and fans verdicts back out to the originating
 // requests. Shedding happens here — at the last moment before the
 // network pass — because that is when queueing delay has actually been
 // paid: a record that waited out its budget gets a shed tally instead of
-// a stale verdict nobody is waiting for.
+// a stale verdict nobody is waiting for. With stage metrics enabled the
+// worker also feeds the queue_wait/batch_assembly/infer histograms and
+// appends the matching spans to each request's trace — before releasing
+// the request's WaitGroup, so a trace is complete by the time its handler
+// can finish it.
 func (sc *scorer) worker(i int) {
 	defer sc.workerWG.Done()
+	replica := strconv.Itoa(i)
 	recs := make([]*data.Record, 0, sc.maxBatch)
 	live := make([]*item, 0, sc.maxBatch)
 	verdicts := make([]nids.Verdict, sc.maxBatch)
-	for batch := range sc.b.batches {
-		recs, live = recs[:0], live[:0]
+	aggs := make([]traceAgg, 0, 8)
+	for fb := range sc.b.batches {
+		batch := fb.items
+		st := sc.stages
+		var pickup time.Time
+		if st != nil {
+			pickup = time.Now()
+			st.assembly.ObserveDuration(fb.flushedAt.Sub(fb.openedAt))
+			st.batchSize.Observe(float64(len(batch)))
+		}
+		recs, live, aggs = recs[:0], live[:0], aggs[:0]
 		for j := range batch {
 			it := &batch[j]
 			if it.shed() {
@@ -109,10 +139,37 @@ func (sc *scorer) worker(i int) {
 			}
 			recs = append(recs, it.rec)
 			live = append(live, it)
+			if st != nil {
+				st.queueWait.ObserveDuration(pickup.Sub(it.enqueuedAt))
+				if it.trace != nil {
+					found := false
+					for k := range aggs {
+						if aggs[k].tr == it.trace {
+							if it.enqueuedAt.Before(aggs[k].firstEnq) {
+								aggs[k].firstEnq = it.enqueuedAt
+							}
+							found = true
+							break
+						}
+					}
+					if !found {
+						aggs = append(aggs, traceAgg{tr: it.trace, firstEnq: it.enqueuedAt})
+					}
+				}
+			}
 		}
 		if len(recs) > 0 {
+			var chaosDelay time.Duration
+			inferStart := pickup
+			if st != nil && inferStart.IsZero() {
+				inferStart = time.Now()
+			}
 			if sc.chaos != nil {
+				// The injected stall is charged to the infer stage: chaos
+				// models a slow replica, and stage attribution is exactly what
+				// the chaos e2e asserts on.
 				if d := sc.chaos.DelayFor(i); d > 0 {
+					chaosDelay = d
 					time.Sleep(d)
 				}
 			}
@@ -121,12 +178,32 @@ func (sc *scorer) worker(i int) {
 			}
 			out := verdicts[:len(recs)]
 			sc.detectors[i].DetectBatch(recs, out)
+			var inferDur time.Duration
+			if st != nil {
+				inferDur = time.Since(inferStart)
+				st.infer.ObserveDuration(inferDur)
+			}
 			attacks := int64(0)
 			for j, it := range live {
 				*it.out = out[j]
 				if out[j].IsAttack {
 					attacks++
 				}
+			}
+			// Spans must land before the WaitGroup releases: once every
+			// record is Done the handler may Finish (seal) the trace.
+			batchSize := strconv.Itoa(len(recs))
+			for k := range aggs {
+				a := &aggs[k]
+				a.tr.Span("queue_wait", a.firstEnq, pickup.Sub(a.firstEnq))
+				a.tr.Span("batch_assembly", fb.openedAt, fb.flushedAt.Sub(fb.openedAt), "batch", batchSize)
+				attrs := []string{"replica", replica, "batch", batchSize}
+				if chaosDelay > 0 {
+					attrs = append(attrs, "chaos_delay_ms", strconv.FormatInt(chaosDelay.Milliseconds(), 10))
+				}
+				a.tr.Span("infer", inferStart, inferDur, attrs...)
+			}
+			for _, it := range live {
 				it.wg.Done()
 			}
 			if sc.gm != nil {
@@ -149,26 +226,31 @@ func (sc *scorer) worker(i int) {
 // was closed before every record could be enqueued (the slot was
 // replaced mid-request); the caller re-resolves the slot and retries on
 // the successor. Records accepted before a close are still scored or
-// shed (close drains), so the wait below never hangs.
-func (sc *scorer) score(ctx context.Context, recs []data.Record, verdicts []nids.Verdict, expired *atomic.Int64) submitResult {
-	return sc.submit(ctx, recs, verdicts, expired, true)
+// shed (close drains), so the wait below never hangs. tr, when non-nil,
+// receives the stage spans the workers record for this request.
+func (sc *scorer) score(ctx context.Context, recs []data.Record, verdicts []nids.Verdict, expired *atomic.Int64, tr *obs.Trace) submitResult {
+	return sc.submit(ctx, recs, verdicts, expired, true, tr)
 }
 
 // tryScore is score for the mirroring path: enqueues never block (a full
 // shadow queue drops the mirror rather than slowing anything), records
 // carry no deadline, and a partial enqueue counts as a drop — the caller
 // must not compare verdicts from a half-scored mirror.
-func (sc *scorer) tryScore(recs []data.Record, verdicts []nids.Verdict) bool {
-	return sc.submit(nil, recs, verdicts, nil, false) == submitOK
+func (sc *scorer) tryScore(recs []data.Record, verdicts []nids.Verdict, tr *obs.Trace) bool {
+	return sc.submit(nil, recs, verdicts, nil, false, tr) == submitOK
 }
 
-func (sc *scorer) submit(ctx context.Context, recs []data.Record, verdicts []nids.Verdict, expired *atomic.Int64, block bool) submitResult {
+func (sc *scorer) submit(ctx context.Context, recs []data.Record, verdicts []nids.Verdict, expired *atomic.Int64, block bool, tr *obs.Trace) submitResult {
 	var wg sync.WaitGroup
 	wg.Add(len(recs))
 	enqueued := len(recs)
 	res := submitOK
+	var enqAt time.Time
+	if sc.stages != nil {
+		enqAt = time.Now()
+	}
 	for i := range recs {
-		if !sc.b.enqueue(item{rec: &recs[i], out: &verdicts[i], wg: &wg, ctx: ctx, expired: expired}, block) {
+		if !sc.b.enqueue(item{rec: &recs[i], out: &verdicts[i], wg: &wg, ctx: ctx, expired: expired, enqueuedAt: enqAt, trace: tr}, block) {
 			// The unenqueued tail must release its WaitGroup slots, and the
 			// already-enqueued head must be waited out (its verdict writers
 			// hold pointers into verdicts) before the caller may retry or

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/data"
 	"repro/internal/nids"
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -73,6 +75,19 @@ type Config struct {
 	// chaos e2e suite and -chaos-score-delay drive. Leave nil in
 	// production.
 	Chaos *chaos.Injector
+	// TraceCap bounds the in-memory ring of completed request traces served
+	// at /debug/traces (oldest overwritten once full; rounded up to a power
+	// of two). Default 512.
+	TraceCap int
+	// ObsOff disables per-request tracing and per-stage latency timing —
+	// the A/B switch for measuring observability overhead. Aggregate
+	// counters, the request-latency histogram, and runtime telemetry stay
+	// on; /debug/traces answers 404 and the stage histogram families are
+	// absent from /metrics.
+	ObsOff bool
+	// Logger receives structured serving-plane logs (slot lifecycle,
+	// request errors); nil silences them.
+	Logger *obs.Logger
 }
 
 // Engine values accepted by Config.Engine.
@@ -109,6 +124,9 @@ func (c Config) withDefaults() Config {
 	if c.AdmitWatermark == 0 {
 		c.AdmitWatermark = c.QueueDepth
 	}
+	if c.TraceCap <= 0 {
+		c.TraceCap = 512
+	}
 	return c
 }
 
@@ -126,8 +144,11 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg       Config
 	reg       *registry.Registry
-	m         serverMetrics
+	m         *serverMetrics
 	mux       *http.ServeMux
+	traces    *obs.TraceRing // nil under Config.ObsOff
+	log       *obs.Logger
+	started   time.Time
 	draining  atomic.Bool
 	adminMu   sync.Mutex // serializes load/reload/promote/rollback/unload
 	retireWG  sync.WaitGroup
@@ -140,7 +161,17 @@ type Server struct {
 // workers.
 func New(a *Artifact, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, mux: http.NewServeMux(), mirrorSem: make(chan struct{}, cfg.MirrorConcurrency)}
+	s := &Server{
+		cfg:       cfg,
+		m:         newServerMetrics(),
+		mux:       http.NewServeMux(),
+		log:       cfg.Logger,
+		started:   time.Now(),
+		mirrorSem: make(chan struct{}, cfg.MirrorConcurrency),
+	}
+	if !cfg.ObsOff {
+		s.traces = obs.NewTraceRing(cfg.TraceCap)
+	}
 	s.reg = registry.New(func(inst registry.Instance) {
 		// A displaced generation drains in the background: requests that
 		// already enqueued onto it still get their verdicts (close flushes
@@ -159,6 +190,7 @@ func New(a *Artifact, cfg Config) (*Server, error) {
 	if err := s.reg.Load(registry.Live, si); err != nil {
 		return nil, err
 	}
+	s.log.Info("model loaded", "slot", registry.Live, "version", a.Version(), "model", a.ModelName)
 
 	s.mux.HandleFunc("/v1/detect", s.handleDetect)
 	s.mux.HandleFunc("/v1/detect-batch", s.handleDetectBatch)
@@ -173,13 +205,14 @@ func New(a *Artifact, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v2/rollback", s.handleRollback)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/traces", s.handleTraces)
 	return s, nil
 }
 
 // newInstance builds a ready slot instance (replicas + private batcher)
 // for a. Nothing is registered: a failing artifact never disturbs serving.
 func (s *Server) newInstance(a *Artifact) (*slotInstance, error) {
-	sc, err := newScorer(a, s.cfg, &s.m)
+	sc, err := newScorer(a, s.cfg, s.m)
 	if err != nil {
 		return nil, err
 	}
@@ -235,6 +268,7 @@ func (s *Server) LoadSlot(tag string, a *Artifact) error {
 		return err
 	}
 	s.m.reloads.Add(1)
+	s.log.Info("model loaded", "slot", tag, "version", a.Version(), "model", a.ModelName)
 	return nil
 }
 
@@ -251,7 +285,10 @@ func (s *Server) Reload(a *Artifact) error { return s.LoadSlot(registry.Live, a)
 func (s *Server) Promote() error {
 	s.adminMu.Lock()
 	defer s.adminMu.Unlock()
-	_, err := s.reg.Promote()
+	inst, err := s.reg.Promote()
+	if err == nil {
+		s.log.Info("model promoted", "slot", registry.Live, "version", inst.Version())
+	}
 	return err
 }
 
@@ -261,7 +298,10 @@ func (s *Server) Promote() error {
 func (s *Server) Rollback() error {
 	s.adminMu.Lock()
 	defer s.adminMu.Unlock()
-	_, err := s.reg.Rollback()
+	inst, err := s.reg.Rollback()
+	if err == nil {
+		s.log.Warn("model rolled back", "slot", registry.Live, "version", inst.Version())
+	}
 	return err
 }
 
@@ -305,9 +345,10 @@ func (s *Server) Close() {
 // successor generation; records accepted before a swap are still scored
 // by it, so nothing is dropped. On error the returned status is the HTTP
 // code to answer.
-func (s *Server) scoreSlot(ctx context.Context, tag string, wire []RecordJSON) ([]nids.Verdict, *slotInstance, int, error) {
+func (s *Server) scoreSlot(ctx context.Context, tag string, wire []RecordJSON, tr *obs.Trace) ([]nids.Verdict, *slotInstance, int, error) {
 	const maxAttempts = 4
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		admitStart := time.Now()
 		si, ok := s.slot(tag)
 		if !ok {
 			return nil, nil, http.StatusNotFound, fmt.Errorf("no model loaded under tag %q", tag)
@@ -316,6 +357,7 @@ func (s *Server) scoreSlot(ctx context.Context, tag string, wire []RecordJSON) (
 		if err != nil {
 			return nil, nil, http.StatusBadRequest, err
 		}
+		tr.SetSlot(tag, si.artifact.Version())
 		st := s.reg.StatsFor(tag)
 		if wm := s.cfg.AdmitWatermark; wm > 0 && si.scorer.queueLen() >= wm {
 			st.Shed.Add(int64(len(recs)))
@@ -323,12 +365,17 @@ func (s *Server) scoreSlot(ctx context.Context, tag string, wire []RecordJSON) (
 			return nil, nil, http.StatusTooManyRequests,
 				fmt.Errorf("slot %q queue is over the admission watermark (%d queued, watermark %d); retry later", tag, si.scorer.queueLen(), wm)
 		}
+		if attempt == 0 {
+			// Resolve + validate + watermark check; later attempts (slot
+			// swapped mid-request, rare) are folded into queue_wait.
+			tr.Span("admit", admitStart, time.Since(admitStart))
+		}
 		verdicts := make([]nids.Verdict, len(recs))
 		// The expired tally is per attempt: a swap-aborted attempt's sheds
 		// are retried wholesale on the successor, so only the attempt that
 		// actually answers may account them.
 		var expired atomic.Int64
-		switch si.scorer.score(ctx, recs, verdicts, &expired) {
+		switch si.scorer.score(ctx, recs, verdicts, &expired, tr) {
 		case submitClosed:
 			continue // slot swapped mid-request: resolve again
 		case submitExpired:
@@ -347,7 +394,7 @@ func (s *Server) scoreSlot(ctx context.Context, tag string, wire []RecordJSON) (
 		}
 		st.Attacks.Add(attacks)
 		if tag == registry.Live {
-			s.mirror(si, recs, verdicts)
+			s.mirror(si, recs, verdicts, tr)
 		}
 		return verdicts, si, 0, nil
 	}
@@ -374,6 +421,32 @@ func (s *Server) scoreCtx(r *http.Request) (context.Context, context.CancelFunc)
 	return context.WithTimeout(r.Context(), budget)
 }
 
+// traceFor assigns the request its ID — honoring an incoming
+// X-Request-Id, generating one otherwise — echoes it on the response, and
+// (when tracing is enabled) opens the request's trace. Returns nil under
+// ObsOff; every consumer of the trace is nil-safe.
+func (s *Server) traceFor(w http.ResponseWriter, r *http.Request) *obs.Trace {
+	id := r.Header.Get(obs.RequestIDHeader)
+	if id == "" {
+		id = obs.NewID()
+	}
+	w.Header().Set(obs.RequestIDHeader, id)
+	if s.traces == nil {
+		return nil
+	}
+	return obs.NewTrace(id, r.URL.Path)
+}
+
+// putTrace seals tr with the request's outcome and publishes it to the
+// /debug/traces ring. Nil traces (ObsOff) are ignored.
+func (s *Server) putTrace(tr *obs.Trace, status int, errMsg string) {
+	if tr == nil {
+		return
+	}
+	tr.Finish(status, errMsg)
+	s.traces.Put(tr)
+}
+
 // retryAfter marks an overload rejection as retryable: 429 (admission
 // shed) and 503 (deadline shed, drain, swap churn) tell well-behaved
 // clients when to come back.
@@ -389,8 +462,11 @@ func retryAfter(w http.ResponseWriter, status int) {
 // all drop the mirror (counted) rather than delay anything. Completed
 // mirrors accumulate the shadow slot's records/attacks counters and the
 // per-record agreement split against live's verdicts — the side-by-side
-// evidence a promotion decision reads.
-func (s *Server) mirror(live *slotInstance, recs []data.Record, liveVerdicts []nids.Verdict) {
+// evidence a promotion decision reads. With tracing on, each mirror gets
+// its own trace child-linked (ParentID) to the live request that spawned
+// it: the mirror outlives the parent's response, so it cannot share the
+// parent's sealed trace.
+func (s *Server) mirror(live *slotInstance, recs []data.Record, liveVerdicts []nids.Verdict, parent *obs.Trace) {
 	if s.cfg.MirrorOff {
 		return
 	}
@@ -417,6 +493,15 @@ func (s *Server) mirror(live *slotInstance, recs []data.Record, liveVerdicts []n
 	// attack/normal agreement — always comparable — unless the class lists
 	// match exactly.
 	classComparable := sameClasses(live.artifact.Schema.ClassNames, sh.artifact.Schema.ClassNames)
+	var child *obs.Trace
+	if s.traces != nil {
+		child = obs.NewTrace(obs.NewID(), "mirror")
+		if parent != nil {
+			child.ParentID = parent.ID
+		}
+		child.Records = len(recs)
+		child.SetSlot(registry.Shadow, sh.artifact.Version())
+	}
 	s.mirrorWG.Add(1)
 	go func() {
 		defer func() {
@@ -424,10 +509,12 @@ func (s *Server) mirror(live *slotInstance, recs []data.Record, liveVerdicts []n
 			s.mirrorWG.Done()
 		}()
 		verdicts := make([]nids.Verdict, len(recs))
-		if !sh.scorer.tryScore(recs, verdicts) {
+		if !sh.scorer.tryScore(recs, verdicts, child) {
 			stats.MirrorDropped.Add(int64(len(recs)))
+			s.putTrace(child, http.StatusServiceUnavailable, "mirror dropped: shadow queue full or slot swapped")
 			return
 		}
+		s.putTrace(child, http.StatusOK, "")
 		stats.Mirrored.Add(int64(len(recs)))
 		stats.Records.Add(int64(len(recs)))
 		var attacks, agree int64
@@ -492,13 +579,24 @@ type detectResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// RequestID echoes the request's trace ID so a client error report can
+	// be joined against /debug/traces and the server logs.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func (s *Server) httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	s.m.requestErrors.Add(1)
+	msg := fmt.Sprintf(format, args...)
+	id := w.Header().Get(obs.RequestIDHeader)
+	if status >= 500 {
+		s.m.requestErrors5xx.Add(1)
+		s.log.Warn("request error", "status", status, "request_id", id, "error", msg)
+	} else {
+		s.m.requestErrors4xx.Add(1)
+		s.log.Debug("request rejected", "status", status, "request_id", id, "error", msg)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+	json.NewEncoder(w).Encode(errorResponse{Error: msg, RequestID: id})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -606,25 +704,33 @@ func (s *Server) detectOn(w http.ResponseWriter, r *http.Request, tag, echoTag s
 	}
 	s.m.detectRequests.Add(1)
 	start := time.Now()
+	tr := s.traceFor(w, r)
 	var rec RecordJSON
 	if !s.decodeBody(w, r, &rec) {
+		s.putTrace(tr, http.StatusBadRequest, "bad request body")
 		return
+	}
+	if tr != nil {
+		tr.Records = 1
 	}
 	ctx, cancel := s.scoreCtx(r)
 	defer cancel()
-	verdicts, si, status, err := s.scoreSlot(ctx, tag, []RecordJSON{rec})
+	verdicts, si, status, err := s.scoreSlot(ctx, tag, []RecordJSON{rec}, tr)
 	if err != nil {
 		retryAfter(w, status)
 		s.httpError(w, status, "%v", err)
+		s.putTrace(tr, status, err.Error())
 		return
 	}
 	s.m.records.Add(1)
-	s.m.latency.observe(time.Since(start))
+	encStart := time.Now()
 	writeJSON(w, detectResponse{
 		ModelVersion: si.artifact.Version(),
 		Tag:          echoTag,
 		Verdict:      toVerdictsJSON(si.artifact.Schema, verdicts)[0],
 	})
+	s.finishScored(tr, si, encStart, 1)
+	s.m.observeLatency(time.Since(start))
 }
 
 // handleDetectBatch is POST /v1/detect-batch: score records on the live slot.
@@ -644,29 +750,58 @@ func (s *Server) detectBatchOn(w http.ResponseWriter, r *http.Request, tag, echo
 	}
 	s.m.batchRequests.Add(1)
 	start := time.Now()
+	tr := s.traceFor(w, r)
 	var req detectBatchRequest
 	if !s.decodeBody(w, r, &req) {
+		s.putTrace(tr, http.StatusBadRequest, "bad request body")
 		return
 	}
 	if len(req.Records) == 0 {
 		s.httpError(w, http.StatusBadRequest, "empty records")
+		s.putTrace(tr, http.StatusBadRequest, "empty records")
 		return
+	}
+	if tr != nil {
+		tr.Records = len(req.Records)
 	}
 	ctx, cancel := s.scoreCtx(r)
 	defer cancel()
-	verdicts, si, status, err := s.scoreSlot(ctx, tag, req.Records)
+	verdicts, si, status, err := s.scoreSlot(ctx, tag, req.Records, tr)
 	if err != nil {
 		retryAfter(w, status)
 		s.httpError(w, status, "%v", err)
+		s.putTrace(tr, status, err.Error())
 		return
 	}
 	s.m.records.Add(int64(len(verdicts)))
-	s.m.latency.observe(time.Since(start))
+	encStart := time.Now()
 	writeJSON(w, detectBatchResponse{
 		ModelVersion: si.artifact.Version(),
 		Tag:          echoTag,
 		Verdicts:     toVerdictsJSON(si.artifact.Schema, verdicts),
 	})
+	s.finishScored(tr, si, encStart, len(verdicts))
+	s.m.observeLatency(time.Since(start))
+}
+
+// finishScored closes out one successfully scored request: the encode
+// stage observation on the answering slot's histograms, the encode span,
+// and publication of the sealed trace.
+func (s *Server) finishScored(tr *obs.Trace, si *slotInstance, encStart time.Time, records int) {
+	encDur := time.Since(encStart)
+	if st := si.scorer.stages; st != nil {
+		st.encode.ObserveDuration(encDur)
+	}
+	if tr == nil {
+		return
+	}
+	tr.Span("encode", encStart, encDur)
+	s.putTrace(tr, http.StatusOK, "")
+	if s.log.Enabled(obs.LevelDebug) {
+		s.log.Debug("request scored", "request_id", tr.ID, "endpoint", tr.Endpoint,
+			"slot", tr.Slot, "version", tr.Version, "records", records,
+			"dur", time.Since(tr.Start))
+	}
 }
 
 // ModelInfo describes one loaded model slot.
@@ -993,6 +1128,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			version: si.artifact.Version(),
 			queue:   q,
 			stats:   s.reg.StatsFor(tag),
+			stages:  si.scorer.stages,
 		})
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -1002,5 +1138,58 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		promotes:        s.reg.Promotes(),
 		rollbacks:       s.reg.Rollbacks(),
 		previousVersion: s.reg.PreviousVersion(),
+		started:         s.started,
 	})
+}
+
+// tracesResponse is the /debug/traces body.
+type tracesResponse struct {
+	Count  int          `json:"count"`
+	Traces []*obs.Trace `json:"traces"`
+}
+
+// handleTraces is GET /debug/traces: the ring of completed request traces
+// as JSON, newest first. Query parameters: ?slowest=N returns the N
+// slowest held traces instead of the newest; ?errors=1 keeps only failed
+// requests (status >= 400); ?slot= filters by the serving slot;
+// ?limit=N caps the response size (default 64).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.traces == nil {
+		s.httpError(w, http.StatusNotFound, "tracing is disabled (server started with observability off)")
+		return
+	}
+	traces := s.traces.Snapshot()
+	q := r.URL.Query()
+	if slot := q.Get("slot"); slot != "" {
+		traces = filterTraces(traces, func(t *obs.Trace) bool { return t.Slot == slot })
+	}
+	if e := q.Get("errors"); e == "1" || e == "true" {
+		traces = filterTraces(traces, func(t *obs.Trace) bool { return t.Status >= 400 || t.Error != "" })
+	}
+	limit := 64
+	if n, err := strconv.Atoi(q.Get("limit")); err == nil && n > 0 {
+		limit = n
+	}
+	if n, err := strconv.Atoi(q.Get("slowest")); err == nil && n > 0 {
+		sort.SliceStable(traces, func(i, j int) bool { return traces[i].DurUS > traces[j].DurUS })
+		limit = n
+	}
+	if len(traces) > limit {
+		traces = traces[:limit]
+	}
+	writeJSON(w, tracesResponse{Count: len(traces), Traces: traces})
+}
+
+func filterTraces(in []*obs.Trace, keep func(*obs.Trace) bool) []*obs.Trace {
+	out := in[:0:0]
+	for _, t := range in {
+		if keep(t) {
+			out = append(out, t)
+		}
+	}
+	return out
 }
