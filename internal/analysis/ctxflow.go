@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow returns the analyzer enforcing context discipline on the request
+// path:
+//
+//   - no context.Background()/context.TODO() — the request path receives
+//     its context from the transport; minting a fresh root silently
+//     detaches work from the caller's deadline and cancellation;
+//   - no dropped ctx parameters — a function that accepts a
+//     context.Context must actually use it (plumb it onward, check Done,
+//     or derive from it); accepting and ignoring one advertises deadline
+//     support it does not deliver;
+//   - goroutine-leak heuristic — every `go` statement must show some
+//     cancellation or completion discipline: the spawned work references
+//     a context, a WaitGroup, or a channel (or is handed one as an
+//     argument). A goroutine with none of those can outlive the request
+//     and the process's shutdown sequence unobserved.
+func CtxFlow() *Analyzer {
+	return &Analyzer{
+		Name:  "ctxflow",
+		Doc:   "request-path code must thread context and give goroutines cancellation/completion discipline",
+		Scope: []string{"internal/serve", "internal/nids"},
+		Run:   runCtxFlow,
+	}
+}
+
+func runCtxFlow(p *Pass) {
+	info := p.Pkg.Info
+	// Index this package's function bodies so `go f()` / `go s.m()` can be
+	// checked through the named callee.
+	bodies := map[types.Object]*ast.FuncDecl{}
+	for _, f := range p.Pkg.Syntax {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := info.Defs[fd.Name]; obj != nil {
+					bodies[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range p.Pkg.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFreshContext(p, fd)
+			checkDroppedCtx(p, fd)
+			checkGoroutines(p, fd, bodies)
+		}
+	}
+}
+
+// checkFreshContext flags context.Background()/TODO() calls.
+func checkFreshContext(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range []string{"Background", "TODO"} {
+			if isPkgCall(p.Pkg.Info, call, "context", name) {
+				p.Reportf(call.Pos(), "context.%s() mints a fresh root on the request path; thread the caller's ctx instead", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkDroppedCtx flags context.Context parameters the function never uses.
+func checkDroppedCtx(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	if fd.Type.Params == nil {
+		return
+	}
+	var ctxParams []types.Object
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				ctxParams = append(ctxParams, obj)
+			}
+		}
+	}
+	if len(ctxParams) == 0 {
+		return
+	}
+	used := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				used[obj] = true
+			}
+		}
+		return true
+	})
+	for _, obj := range ctxParams {
+		if !used[obj] {
+			p.Reportf(obj.Pos(), "ctx parameter is never used; thread it onward or drop it from the signature")
+		}
+	}
+}
+
+// checkGoroutines applies the leak heuristic to each go statement.
+func checkGoroutines(p *Pass, fd *ast.FuncDecl, bodies map[types.Object]*ast.FuncDecl) {
+	info := p.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		// Arguments handed to the goroutine count as discipline when they
+		// carry a context or channel.
+		for _, arg := range gs.Call.Args {
+			if tv, ok := info.Types[arg]; ok && (isContextType(tv.Type) || isChanType(tv.Type)) {
+				return true
+			}
+		}
+		var body *ast.BlockStmt
+		switch fun := unparen(gs.Call.Fun).(type) {
+		case *ast.FuncLit:
+			body = fun.Body
+		default:
+			obj := calleeObject(info, gs.Call)
+			if decl, ok := bodies[obj]; ok {
+				body = decl.Body
+			} else {
+				return true // cross-package callee: give it the benefit of the doubt
+			}
+		}
+		if !hasCompletionDiscipline(info, body) {
+			p.Reportf(gs.Pos(), "goroutine has no cancellation or completion discipline (no ctx, WaitGroup, or channel operation); it can leak past shutdown")
+		}
+		return true
+	})
+}
+
+// hasCompletionDiscipline scans a goroutine body for any sign the
+// goroutine can be cancelled, joined, or observed.
+func hasCompletionDiscipline(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && isChanType(tv.Type) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "close") {
+				found = true
+			}
+			if sel, ok := unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if tv, ok := info.Types[sel.X]; ok && isSyncType(tv.Type, "WaitGroup") {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

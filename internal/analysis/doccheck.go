@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// docMetricRE pulls backticked metric names out of the catalog section.
+var docMetricRE = regexp.MustCompile("`(pelican[a-z0-9_]*)`")
+
+const (
+	docBeginMarker = "<!-- metrics:begin -->"
+	docEndMarker   = "<!-- metrics:end -->"
+)
+
+// CheckMetricsDoc compares the declared metric families against the
+// catalog section of docPath (the region between <!-- metrics:begin -->
+// and <!-- metrics:end -->, one backticked family name per row) and
+// returns one message per drift: families emitted by the code but missing
+// from the catalog, and catalog rows no code emits. An unmarked document
+// is itself drift — the catalog contract requires the markers.
+func CheckMetricsDoc(docPath string, declared map[string]string) ([]string, error) {
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		return nil, err
+	}
+	text := string(data)
+	begin := strings.Index(text, docBeginMarker)
+	end := strings.Index(text, docEndMarker)
+	if begin < 0 || end < 0 || end < begin {
+		return []string{fmt.Sprintf("%s: metric catalog markers %s / %s not found", docPath, docBeginMarker, docEndMarker)}, nil
+	}
+	catalog := text[begin+len(docBeginMarker) : end]
+
+	documented := map[string]bool{}
+	for _, m := range docMetricRE.FindAllStringSubmatch(catalog, -1) {
+		documented[m[1]] = true
+	}
+
+	var drift []string
+	var undocumented, stale []string
+	for name := range declared {
+		if !documented[name] {
+			undocumented = append(undocumented, name)
+		}
+	}
+	for name := range documented {
+		if _, ok := declared[name]; !ok {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(undocumented)
+	sort.Strings(stale)
+	for _, name := range undocumented {
+		drift = append(drift, fmt.Sprintf("%s: metric %s (%s) is emitted but not in the catalog", docPath, name, declared[name]))
+	}
+	for _, name := range stale {
+		drift = append(drift, fmt.Sprintf("%s: catalog lists %s but no code emits it", docPath, name))
+	}
+	return drift, nil
+}

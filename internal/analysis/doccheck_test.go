@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "SERVING.md")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckMetricsDocClean(t *testing.T) {
+	path := writeDoc(t, `# Metrics
+<!-- metrics:begin -->
+| `+"`pelican_a_total`"+` | counter |
+| `+"`pelican_b_depth`"+` | gauge |
+<!-- metrics:end -->
+`)
+	drift, err := CheckMetricsDoc(path, map[string]string{
+		"pelican_a_total": "counter",
+		"pelican_b_depth": "gauge",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drift) != 0 {
+		t.Fatalf("want no drift, got %v", drift)
+	}
+}
+
+func TestCheckMetricsDocDrift(t *testing.T) {
+	path := writeDoc(t, `<!-- metrics:begin -->
+`+"`pelican_stale_total`"+`
+`+"`pelican_a_total`"+`
+<!-- metrics:end -->
+`)
+	drift, err := CheckMetricsDoc(path, map[string]string{
+		"pelican_a_total":      "counter",
+		"pelican_undocumented": "gauge",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drift) != 2 {
+		t.Fatalf("want 2 drift messages, got %d: %v", len(drift), drift)
+	}
+	if !strings.Contains(drift[0], "pelican_undocumented") || !strings.Contains(drift[0], "not in the catalog") {
+		t.Errorf("unexpected first drift message: %s", drift[0])
+	}
+	if !strings.Contains(drift[1], "pelican_stale_total") || !strings.Contains(drift[1], "no code emits it") {
+		t.Errorf("unexpected second drift message: %s", drift[1])
+	}
+}
+
+func TestCheckMetricsDocMissingMarkers(t *testing.T) {
+	path := writeDoc(t, "# Metrics\n\nno markers here\n")
+	drift, err := CheckMetricsDoc(path, map[string]string{"pelican_a_total": "counter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drift) != 1 || !strings.Contains(drift[0], "markers") {
+		t.Fatalf("want one marker-drift message, got %v", drift)
+	}
+}

@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages of one Go module without shelling
+// out to the go tool or importing anything beyond the standard library.
+// Imports inside the module resolve by walking the module tree from go.mod;
+// standard-library imports resolve through go/importer's source importer
+// (which type-checks GOROOT packages from source, cached per Loader).
+type Loader struct {
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	modPath string
+	modRoot string
+	// typed caches packages by import path so shared deps check once.
+	typed map[string]*Package
+	// checking guards against import cycles inside the module.
+	checking map[string]bool
+	// IncludeTests, when set, also parses _test.go files of the target
+	// packages (external test packages excluded). The analyzers default to
+	// production code only: test files assert on hot paths, they are not
+	// hot paths.
+	IncludeTests bool
+}
+
+// NewLoader finds the enclosing module of dir (walking up to go.mod) and
+// returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		modPath:  modPath,
+		modRoot:  root,
+		typed:    map[string]*Package{},
+		checking: map[string]bool{},
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(strings.Trim(strings.TrimSpace(rest), `"`)), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// ModulePath returns the loaded module's path.
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load resolves patterns ("./...", "./internal/serve", import paths) into
+// parsed, type-checked packages. Directories without non-test .go files are
+// skipped; testdata, hidden, and underscore-prefixed directories are never
+// walked.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	seen := map[string]bool{}
+	addDir := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := l.walk(l.modRoot, addDir); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := l.resolveDir(strings.TrimSuffix(pat, "/..."))
+			if err := l.walk(base, addDir); err != nil {
+				return nil, err
+			}
+		default:
+			addDir(l.resolveDir(pat))
+		}
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		if !hasGoFiles(dir) {
+			continue
+		}
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("analysis: no Go packages matched %v", patterns)
+	}
+	return pkgs, nil
+}
+
+// resolveDir maps a pattern to a directory: module-relative import paths
+// and ./-relative paths both land inside the module root.
+func (l *Loader) resolveDir(pat string) string {
+	if pat == l.modPath {
+		return l.modRoot
+	}
+	if rest, ok := strings.CutPrefix(pat, l.modPath+"/"); ok {
+		return filepath.Join(l.modRoot, rest)
+	}
+	if filepath.IsAbs(pat) {
+		return filepath.Clean(pat)
+	}
+	return filepath.Join(l.modRoot, pat)
+}
+
+// walk collects candidate package directories under base.
+func (l *Loader) walk(base string, add func(string)) error {
+	return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		add(path)
+		return nil
+	})
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks the package in dir. Directories inside
+// the module get their real import path (so intra-module imports of them
+// are shared); directories outside (testdata trees) are checked as
+// stand-alone packages that may import the stdlib only.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	dir = filepath.Clean(dir)
+	pkgPath := l.importPathFor(dir)
+	if pkg, ok := l.typed[pkgPath]; ok {
+		return pkg, nil
+	}
+	return l.check(pkgPath, dir)
+}
+
+// importPathFor maps a directory to its import path. Directories outside
+// the module root get a synthetic testdata path.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.modRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") || strings.Contains(rel, "testdata") {
+		return "vet.test/" + filepath.Base(dir)
+	}
+	if rel == "." {
+		return l.modPath
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// from the module tree, everything else falls through to the stdlib
+// source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		pkg, err := l.LoadDir(filepath.Join(l.modRoot, rel))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// check parses and type-checks one directory.
+func (l *Loader) check(pkgPath, dir string) (*Package, error) {
+	if l.checking[pkgPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", pkgPath)
+	}
+	l.checking[pkgPath] = true
+	defer func() { l.checking[pkgPath] = false }()
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !l.IncludeTests {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(name, "_test.go") && f.Name.Name != pkgName && pkgName != "" {
+			continue // external test package (foo_test): out of scope
+		}
+		if !strings.HasSuffix(name, "_test.go") {
+			pkgName = f.Name.Name
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", pkgPath, err)
+	}
+	pkg := &Package{Path: pkgPath, Dir: dir, Fset: l.fset, Syntax: files, Types: tpkg, Info: info}
+	l.typed[pkgPath] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// LockScope returns the analyzer enforcing the serving-plane locking rule
+// from PRs 1/2: a mutex covers in-memory state transitions only — never a
+// blocking operation. While a sync.Mutex or write-locked sync.RWMutex is
+// held, the analyzer flags channel sends/receives, selects without a
+// default, ranges over channels, time.Sleep, WaitGroup.Wait, and calls
+// into the net/net/http packages. Under a *read* lock, channel operations
+// are permitted: the batcher's close-safe enqueue deliberately sends on
+// its intake channel under closeMu.RLock so a concurrent close (which
+// takes the write lock) cannot race the send — the canonical pattern the
+// rule must not outlaw. Sleeps, network calls, and WaitGroup.Wait stay
+// forbidden under either lock mode. sync.Cond.Wait is exempt (it requires
+// the lock by contract and releases it while parked).
+//
+// The flow analysis is intentionally simple: statements are scanned in
+// order, nested blocks see a copy of the held-lock set (so an early-return
+// unlock inside an if-body does not leak out), and closure bodies are
+// skipped (they run later, usually without the lock).
+func LockScope() *Analyzer {
+	return &Analyzer{
+		Name:  "lockscope",
+		Doc:   "no blocking operation while holding a mutex in the serving plane",
+		Scope: []string{"internal/serve", "internal/registry", "internal/nids"},
+		Run:   runLockScope,
+	}
+}
+
+type lockKind int
+
+const (
+	lockRead lockKind = iota
+	lockWrite
+)
+
+// heldLock records one acquired lock and where it was taken.
+type heldLock struct {
+	kind lockKind
+	pos  token.Pos
+}
+
+func runLockScope(p *Pass) {
+	for _, f := range p.Pkg.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ls := &lockScopeCheck{p: p}
+			ls.walkStmts(fd.Body.List, map[string]heldLock{})
+		}
+	}
+}
+
+type lockScopeCheck struct {
+	p *Pass
+}
+
+// lockMethod classifies a call as a lock-state transition on a
+// sync.Mutex/RWMutex receiver, returning the lock's exprKey.
+func (ls *lockScopeCheck) lockMethod(call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	m := sel.Sel.Name
+	switch m {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	tv, has := ls.p.Pkg.Info.Types[sel.X]
+	if !has || (!isSyncType(tv.Type, "Mutex") && !isSyncType(tv.Type, "RWMutex")) {
+		return "", "", false
+	}
+	key = exprKey(sel.X)
+	if key == "" {
+		key = "<lock>"
+	}
+	return key, m, true
+}
+
+func cloneHeld(held map[string]heldLock) map[string]heldLock {
+	c := make(map[string]heldLock, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func anyWrite(held map[string]heldLock) (string, heldLock, bool) {
+	for k, h := range held {
+		if h.kind == lockWrite {
+			return k, h, true
+		}
+	}
+	return "", heldLock{}, false
+}
+
+func anyHeld(held map[string]heldLock) (string, heldLock, bool) {
+	if k, h, ok := anyWrite(held); ok {
+		return k, h, true
+	}
+	for k, h := range held {
+		return k, h, true
+	}
+	return "", heldLock{}, false
+}
+
+// walkStmts scans a statement list in order, mutating held as locks are
+// taken and released.
+func (ls *lockScopeCheck) walkStmts(stmts []ast.Stmt, held map[string]heldLock) {
+	for _, s := range stmts {
+		ls.walkStmt(s, held)
+	}
+}
+
+func (ls *lockScopeCheck) walkStmt(s ast.Stmt, held map[string]heldLock) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, m, ok := ls.lockMethod(call); ok {
+				switch m {
+				case "Lock":
+					held[key] = heldLock{kind: lockWrite, pos: call.Pos()}
+				case "RLock":
+					held[key] = heldLock{kind: lockRead, pos: call.Pos()}
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				return
+			}
+		}
+		ls.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end — leave
+		// state as-is. Deferred closures run after return: skip.
+		if _, m, ok := ls.lockMethod(s.Call); ok && (m == "Unlock" || m == "RUnlock") {
+			return
+		}
+	case *ast.AssignStmt:
+		// v, ok := mu.TryLock() style and receive-assignments.
+		for _, e := range s.Rhs {
+			if call, ok := unparen(e).(*ast.CallExpr); ok {
+				if key, m, ok := ls.lockMethod(call); ok {
+					switch m {
+					case "TryLock":
+						held[key] = heldLock{kind: lockWrite, pos: call.Pos()}
+					case "TryRLock":
+						held[key] = heldLock{kind: lockRead, pos: call.Pos()}
+					}
+					continue
+				}
+			}
+			ls.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			ls.checkExpr(e, held)
+		}
+	case *ast.BlockStmt:
+		ls.walkStmts(s.List, cloneHeld(held))
+	case *ast.IfStmt:
+		ls.walkStmt(s.Init, held)
+		ls.checkExpr(s.Cond, held)
+		ls.walkStmts(s.Body.List, cloneHeld(held))
+		ls.walkStmt(s.Else, held)
+	case *ast.ForStmt:
+		ls.walkStmt(s.Init, held)
+		ls.checkExpr(s.Cond, held)
+		ls.walkStmts(s.Body.List, cloneHeld(held))
+	case *ast.RangeStmt:
+		if tv, ok := ls.p.Pkg.Info.Types[s.X]; ok && isChanType(tv.Type) {
+			ls.flagChanOp(s.Pos(), "range over channel", held)
+		}
+		ls.checkExpr(s.X, held)
+		ls.walkStmts(s.Body.List, cloneHeld(held))
+	case *ast.SwitchStmt:
+		ls.walkStmt(s.Init, held)
+		ls.checkExpr(s.Tag, held)
+		for _, cc := range s.Body.List {
+			ls.walkStmts(cc.(*ast.CaseClause).Body, cloneHeld(held))
+		}
+	case *ast.TypeSwitchStmt:
+		ls.walkStmt(s.Init, held)
+		for _, cc := range s.Body.List {
+			ls.walkStmts(cc.(*ast.CaseClause).Body, cloneHeld(held))
+		}
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			ls.flagChanOp(s.Pos(), "select without default", held)
+		}
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CommClause)
+			inner := cloneHeld(held)
+			// The comm clause's own chan op is already covered by the
+			// select-level check; still scan nested expressions.
+			if clause.Comm != nil {
+				switch comm := clause.Comm.(type) {
+				case *ast.AssignStmt:
+					for _, e := range comm.Rhs {
+						ls.checkExprSkipTopRecv(e, inner)
+					}
+				case *ast.ExprStmt:
+					ls.checkExprSkipTopRecv(comm.X, inner)
+				}
+			}
+			ls.walkStmts(clause.Body, inner)
+		}
+	case *ast.SendStmt:
+		ls.flagChanOp(s.Arrow, "channel send", held)
+		ls.checkExpr(s.Chan, held)
+		ls.checkExpr(s.Value, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			ls.checkExpr(e, held)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the caller's locks.
+	case *ast.LabeledStmt:
+		ls.walkStmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						ls.checkExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		ls.checkExpr(s.X, held)
+	}
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cc := range s.Body.List {
+		if cc.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// flagChanOp reports a channel operation if an exclusive lock is held;
+// read locks permit channel ops (the close-safe enqueue pattern).
+func (ls *lockScopeCheck) flagChanOp(pos token.Pos, what string, held map[string]heldLock) {
+	if key, h, ok := anyWrite(held); ok {
+		lockLine := ls.p.Pkg.Fset.Position(h.pos).Line
+		ls.p.Reportf(pos, "%s while holding exclusive lock %s (locked at line %d); a blocked sender stalls every waiter", what, key, lockLine)
+	}
+}
+
+// checkExpr scans an expression tree for blocking operations, skipping
+// closure bodies.
+func (ls *lockScopeCheck) checkExpr(e ast.Expr, held map[string]heldLock) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ls.flagChanOp(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			ls.checkCall(n, held)
+		}
+		return true
+	})
+}
+
+// checkExprSkipTopRecv is checkExpr minus a top-level receive (used for
+// select comm clauses, whose blocking is attributed to the select itself).
+func (ls *lockScopeCheck) checkExprSkipTopRecv(e ast.Expr, held map[string]heldLock) {
+	if u, ok := unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		ls.checkExpr(u.X, held)
+		return
+	}
+	ls.checkExpr(e, held)
+}
+
+// checkCall flags blocking calls — sleeps, WaitGroup.Wait, and network
+// I/O — while any lock is held.
+func (ls *lockScopeCheck) checkCall(call *ast.CallExpr, held map[string]heldLock) {
+	key, h, isHeld := anyHeld(held)
+	if !isHeld {
+		return
+	}
+	info := ls.p.Pkg.Info
+	lockLine := ls.p.Pkg.Fset.Position(h.pos).Line
+	if isPkgCall(info, call, "time", "Sleep") {
+		ls.p.Reportf(call.Pos(), "time.Sleep while holding lock %s (locked at line %d)", key, lockLine)
+		return
+	}
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+		if tv, has := info.Types[sel.X]; has && isSyncType(tv.Type, "WaitGroup") {
+			ls.p.Reportf(call.Pos(), "WaitGroup.Wait while holding lock %s (locked at line %d); waiters may need the lock to finish", key, lockLine)
+			return
+		}
+	}
+	if pkg := pkgPathOfCallee(info, call); pkg == "net" || strings.HasPrefix(pkg, "net/") {
+		ls.p.Reportf(call.Pos(), "network call %s.%s while holding lock %s (locked at line %d); the lock covers the in-memory pass only", pkg, calleeName(call), key, lockLine)
+	}
+}

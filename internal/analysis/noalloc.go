@@ -1,0 +1,544 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAllocDirective marks a function as steady-state allocation-free; the
+// noalloc analyzer enforces the contract.
+const NoAllocDirective = "//pelican:noalloc"
+
+// NoAlloc returns the analyzer enforcing the //pelican:noalloc contract:
+// annotated functions must not contain steady-state allocating constructs.
+//
+// The contract — matching the hot-path idioms PR 1/4 established — permits:
+//
+//   - make/new/&T{} guarded by a cap()/len() comparison or nil check (the
+//     guarded-grow and pool-miss patterns: they allocate only until
+//     capacity converges, then never again);
+//   - append whose destination is recycled in the same function (assigned
+//     x = x[:n] somewhere, or re-made under a cap/len guard) — growth is
+//     amortized away by the recycling;
+//   - anything inside panic(...) arguments (the crash path may allocate);
+//   - setup statements before a worker's service loop (a top-level
+//     `for {` or range-over-channel) — those run once per goroutine, not
+//     per item.
+//
+// Everything else that allocates is flagged: unguarded make/new,
+// slice/map/&struct literals, unguarded append, closures and go
+// statements, string concatenation, byte/string conversions, fmt calls,
+// method values, and interface boxing of non-pointer values at call sites.
+func NoAlloc() *Analyzer {
+	return &Analyzer{
+		Name: "noalloc",
+		Doc:  "//pelican:noalloc functions must be free of steady-state allocating constructs",
+		Run:  runNoAlloc,
+	}
+}
+
+func runNoAlloc(p *Pass) {
+	for _, f := range p.Pkg.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, NoAllocDirective) {
+				continue
+			}
+			checkNoAllocFunc(p, fd)
+		}
+	}
+}
+
+// noallocCheck carries per-function state for one annotated function.
+type noallocCheck struct {
+	p    *Pass
+	info *types.Info
+	// recycled holds exprKeys of storage the function demonstrably
+	// recycles: assigned x = x[:n], or re-made under a cap/len/nil guard.
+	// Appends into recycled storage are amortized-free.
+	recycled map[string]bool
+	// prologueEnd bounds the one-time setup region: statements of the
+	// function body that end before the first top-level service loop
+	// (`for {` or range-over-channel) are exempt. NoPos when the function
+	// has no service loop.
+	prologueEnd token.Pos
+	// callFuns records every expression in CallExpr.Fun position so method
+	// values used as call targets are not misflagged as captured closures.
+	callFuns map[ast.Expr]bool
+}
+
+func checkNoAllocFunc(p *Pass, fd *ast.FuncDecl) {
+	c := &noallocCheck{
+		p:        p,
+		info:     p.Pkg.Info,
+		recycled: map[string]bool{},
+		callFuns: map[ast.Expr]bool{},
+	}
+	for _, stmt := range fd.Body.List {
+		if isServiceLoop(p.Pkg.Info, stmt) {
+			c.prologueEnd = stmt.Pos()
+			break
+		}
+	}
+	// Slice parameters follow the append-helper idiom (dst comes in, the
+	// appended slice goes back out): the capacity contract is the
+	// caller's, so appends into them are the caller's allocation to
+	// account for, not this function's.
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := p.Pkg.Info.Defs[name]; obj != nil {
+					if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+						c.recycled[name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	c.prescan(fd.Body, false)
+	c.walkStmts(fd.Body.List, false)
+}
+
+// isServiceLoop reports whether stmt is an unconditional for-loop or a
+// range over a channel — the shapes a worker's steady-state loop takes.
+func isServiceLoop(info *types.Info, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ForStmt:
+		return s.Init == nil && s.Cond == nil && s.Post == nil
+	case *ast.RangeStmt:
+		if tv, ok := info.Types[s.X]; ok {
+			return isChanType(tv.Type)
+		}
+	}
+	return false
+}
+
+// guardCond reports whether an if-condition establishes an allocation
+// guard — a capacity comparison (cap(x) vs anything, len(x) vs len/cap(y),
+// len(x) vs a non-constant bound) or a nil check. Plain emptiness tests
+// like len(recs) > 0 are control flow, not capacity guards, and do not
+// license allocation in their branch.
+func guardCond(info *types.Info, cond ast.Expr) bool {
+	mentions := func(e ast.Expr, builtin string) bool {
+		hit := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isBuiltin(info, call, builtin) {
+				hit = true
+			}
+			return !hit
+		})
+		return hit
+	}
+	isConst := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		return ok && tv.Value != nil
+	}
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || found {
+			return !found
+		}
+		switch b.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		if isNilComparison(b) {
+			found = true
+			return false
+		}
+		sideGuards := func(x, y ast.Expr) bool {
+			if mentions(x, "cap") {
+				return true
+			}
+			if !mentions(x, "len") {
+				return false
+			}
+			return mentions(y, "len") || mentions(y, "cap") || !isConst(y)
+		}
+		if sideGuards(b.X, b.Y) || sideGuards(b.Y, b.X) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// prescan populates the recycled set before flagging starts, so recycling
+// after first use still counts.
+func (c *noallocCheck) prescan(body ast.Node, guarded bool) {
+	var scan func(n ast.Node, guarded bool)
+	scanStmt := func(s ast.Stmt, guarded bool) {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return
+			}
+			for i, lhs := range s.Lhs {
+				key := exprKey(lhs)
+				if key == "" {
+					continue
+				}
+				switch rhs := unparen(s.Rhs[i]).(type) {
+				case *ast.SliceExpr:
+					if exprKey(rhs.X) == key {
+						c.recycled[key] = true
+					}
+				case *ast.CallExpr:
+					if guarded && isBuiltin(c.info, rhs, "make") {
+						c.recycled[key] = true
+					}
+					// x = append(x[:n], ...) truncate-and-refill also
+					// recycles x.
+					if isBuiltin(c.info, rhs, "append") && len(rhs.Args) > 0 {
+						if se, ok := unparen(rhs.Args[0]).(*ast.SliceExpr); ok && exprKey(se.X) == key {
+							c.recycled[key] = true
+						}
+					}
+				case *ast.UnaryExpr:
+					if guarded && rhs.Op == token.AND {
+						c.recycled[key] = true
+					}
+				}
+			}
+		}
+	}
+	scan = func(n ast.Node, g bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.IfStmt:
+			inner := g || guardCond(c.info, n.Cond)
+			scan(n.Body, inner)
+			scan(n.Else, g)
+			return
+		case *ast.BlockStmt:
+			for _, s := range n.List {
+				scanStmt(s, g)
+				scan(s, g)
+			}
+			return
+		case *ast.ForStmt:
+			scan(n.Body, g)
+			return
+		case *ast.RangeStmt:
+			scan(n.Body, g)
+			return
+		case *ast.SwitchStmt:
+			for _, cc := range n.Body.List {
+				for _, s := range cc.(*ast.CaseClause).Body {
+					scanStmt(s, g)
+					scan(s, g)
+				}
+			}
+			return
+		case *ast.SelectStmt:
+			for _, cc := range n.Body.List {
+				for _, s := range cc.(*ast.CommClause).Body {
+					scanStmt(s, g)
+					scan(s, g)
+				}
+			}
+			return
+		case ast.Stmt:
+			scanStmt(n, g)
+		}
+	}
+	scan(body, guarded)
+}
+
+// inPrologue reports whether n sits wholly inside the one-time setup
+// region before the service loop.
+func (c *noallocCheck) inPrologue(n ast.Node) bool {
+	return c.prologueEnd.IsValid() && n.End() <= c.prologueEnd
+}
+
+func (c *noallocCheck) walkStmts(stmts []ast.Stmt, guarded bool) {
+	for _, s := range stmts {
+		c.walkStmt(s, guarded)
+	}
+}
+
+func (c *noallocCheck) walkStmt(s ast.Stmt, guarded bool) {
+	if s == nil || c.inPrologue(s) {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		c.walkStmt(s.Init, guarded)
+		c.walkExpr(s.Cond, guarded)
+		inner := guarded || guardCond(c.info, s.Cond)
+		c.walkStmts(s.Body.List, inner)
+		c.walkStmt(s.Else, guarded)
+	case *ast.BlockStmt:
+		c.walkStmts(s.List, guarded)
+	case *ast.ForStmt:
+		c.walkStmt(s.Init, guarded)
+		c.walkExpr(s.Cond, guarded)
+		c.walkStmt(s.Post, guarded)
+		c.walkStmts(s.Body.List, guarded)
+	case *ast.RangeStmt:
+		c.walkExpr(s.X, guarded)
+		c.walkStmts(s.Body.List, guarded)
+	case *ast.SwitchStmt:
+		c.walkStmt(s.Init, guarded)
+		c.walkExpr(s.Tag, guarded)
+		for _, cc := range s.Body.List {
+			c.walkStmts(cc.(*ast.CaseClause).Body, guarded)
+		}
+	case *ast.TypeSwitchStmt:
+		c.walkStmt(s.Init, guarded)
+		c.walkStmt(s.Assign, guarded)
+		for _, cc := range s.Body.List {
+			c.walkStmts(cc.(*ast.CaseClause).Body, guarded)
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CommClause)
+			c.walkStmt(clause.Comm, guarded)
+			c.walkStmts(clause.Body, guarded)
+		}
+	case *ast.GoStmt:
+		c.p.Reportf(s.Pos(), "go statement launches a goroutine (allocates); move the worker start out of the noalloc path")
+		c.walkExpr(s.Call, guarded)
+	case *ast.DeferStmt:
+		c.walkExpr(s.Call, guarded)
+	case *ast.AssignStmt:
+		for _, e := range s.Lhs {
+			c.walkExpr(e, guarded)
+		}
+		for _, e := range s.Rhs {
+			c.walkExpr(e, guarded)
+		}
+	case *ast.ExprStmt:
+		c.walkExpr(s.X, guarded)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.walkExpr(e, guarded)
+		}
+	case *ast.SendStmt:
+		c.walkExpr(s.Chan, guarded)
+		c.walkExpr(s.Value, guarded)
+	case *ast.IncDecStmt:
+		c.walkExpr(s.X, guarded)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.walkExpr(v, guarded)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, guarded)
+	}
+}
+
+func (c *noallocCheck) walkExpr(e ast.Expr, guarded bool) {
+	if e == nil || c.inPrologue(e) {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		c.checkCall(e, guarded)
+	case *ast.FuncLit:
+		c.p.Reportf(e.Pos(), "closure allocates (captured environment escapes); hoist it out of the noalloc path")
+		// Do not descend: one finding per closure is enough.
+	case *ast.CompositeLit:
+		c.checkComposite(e, guarded, false)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if cl, ok := unparen(e.X).(*ast.CompositeLit); ok {
+				c.checkComposite(cl, guarded, true)
+				return
+			}
+		}
+		c.walkExpr(e.X, guarded)
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			if tv, ok := c.info.Types[e]; ok && tv.Type != nil {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					c.p.Reportf(e.Pos(), "string concatenation allocates; precompute or use a recycled byte buffer")
+				}
+			}
+		}
+		c.walkExpr(e.X, guarded)
+		c.walkExpr(e.Y, guarded)
+	case *ast.SelectorExpr:
+		c.checkMethodValue(e)
+		c.walkExpr(e.X, guarded)
+	case *ast.ParenExpr:
+		c.walkExpr(e.X, guarded)
+	case *ast.IndexExpr:
+		c.walkExpr(e.X, guarded)
+		c.walkExpr(e.Index, guarded)
+	case *ast.SliceExpr:
+		c.walkExpr(e.X, guarded)
+		c.walkExpr(e.Low, guarded)
+		c.walkExpr(e.High, guarded)
+		c.walkExpr(e.Max, guarded)
+	case *ast.StarExpr:
+		c.walkExpr(e.X, guarded)
+	case *ast.TypeAssertExpr:
+		c.walkExpr(e.X, guarded)
+	case *ast.KeyValueExpr:
+		c.walkExpr(e.Key, guarded)
+		c.walkExpr(e.Value, guarded)
+	}
+}
+
+// checkComposite flags slice/map composite literals always and struct
+// literals only when their address is taken (&T{} heap-allocates; a plain
+// struct value does not).
+func (c *noallocCheck) checkComposite(cl *ast.CompositeLit, guarded, addressed bool) {
+	if guarded {
+		// Guarded pool-miss / grow path: allowed, but still look inside.
+		for _, el := range cl.Elts {
+			c.walkExpr(el, guarded)
+		}
+		return
+	}
+	tv, ok := c.info.Types[cl]
+	if ok && tv.Type != nil {
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice:
+			c.p.Reportf(cl.Pos(), "slice literal allocates its backing array; hoist it or recycle a buffer")
+		case *types.Map:
+			c.p.Reportf(cl.Pos(), "map literal allocates; hoist it to package or struct scope")
+		default:
+			if addressed {
+				c.p.Reportf(cl.Pos(), "&composite literal escapes to the heap; reuse pooled or preallocated storage")
+			}
+		}
+	}
+	for _, el := range cl.Elts {
+		c.walkExpr(el, guarded)
+	}
+}
+
+// checkMethodValue flags method values (m := x.Method) which allocate a
+// bound-method closure; method *calls* are exempted via callFuns.
+func (c *noallocCheck) checkMethodValue(sel *ast.SelectorExpr) {
+	if c.callFuns[sel] {
+		return
+	}
+	s, ok := c.info.Selections[sel]
+	if ok && s.Kind() == types.MethodVal {
+		c.p.Reportf(sel.Pos(), "method value %s allocates a bound closure; call it directly or hoist", sel.Sel.Name)
+	}
+}
+
+func (c *noallocCheck) checkCall(call *ast.CallExpr, guarded bool) {
+	if fun, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		c.callFuns[fun] = true
+	}
+	// panic(...) may allocate freely: the crash path is not steady state.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isb := c.info.Uses[id].(*types.Builtin); isb {
+			return
+		}
+	}
+	switch {
+	case isBuiltin(c.info, call, "make"):
+		if !guarded {
+			c.p.Reportf(call.Pos(), "unguarded make allocates; guard with a cap()/len() check or preallocate")
+		}
+	case isBuiltin(c.info, call, "new"):
+		if !guarded {
+			c.p.Reportf(call.Pos(), "unguarded new allocates; guard with a nil check or preallocate")
+		}
+	case isBuiltin(c.info, call, "append"):
+		if !guarded && len(call.Args) > 0 {
+			dest := unparen(call.Args[0])
+			// append(x[:n], ...) recycles in place.
+			if se, ok := dest.(*ast.SliceExpr); ok {
+				dest = unparen(se.X)
+			}
+			key := exprKey(dest)
+			if key == "" || !c.recycled[key] {
+				c.p.Reportf(call.Pos(), "append may grow its backing array; recycle the destination (x = x[:0]) or cap-guard it")
+			}
+		}
+	default:
+		if pkgPathOfCallee(c.info, call) == "fmt" {
+			c.p.Reportf(call.Pos(), "fmt.%s allocates (formatting and interface boxing); move it off the hot path", calleeName(call))
+		} else {
+			c.checkConversion(call)
+			c.checkBoxing(call)
+		}
+	}
+	c.walkExpr(call.Fun, guarded)
+	for _, a := range call.Args {
+		c.walkExpr(a, guarded)
+	}
+}
+
+// checkConversion flags string<->[]byte/[]rune conversions, which copy.
+func (c *noallocCheck) checkConversion(call *ast.CallExpr) {
+	tv, ok := c.info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	to := tv.Type.Underlying()
+	argTV, ok := c.info.Types[call.Args[0]]
+	if !ok || argTV.Type == nil {
+		return
+	}
+	from := argTV.Type.Underlying()
+	isStr := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	_, toSlice := to.(*types.Slice)
+	_, fromSlice := from.(*types.Slice)
+	if (isStr(to) && fromSlice) || (toSlice && isStr(from)) {
+		c.p.Reportf(call.Pos(), "string/slice conversion copies and allocates")
+	}
+}
+
+// checkBoxing flags call arguments where a concrete non-pointer value is
+// passed to an interface parameter — that conversion heap-allocates the
+// boxed copy. Pointer, channel, function, map and interface values are
+// pointer-shaped and do not box.
+func (c *noallocCheck) checkBoxing(call *ast.CallExpr) {
+	obj := calleeObject(c.info, call)
+	if obj == nil {
+		return
+	}
+	sig, ok := obj.Type().Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		atv, ok := c.info.Types[arg]
+		if !ok || atv.Type == nil || atv.IsNil() {
+			continue
+		}
+		switch atv.Type.Underlying().(type) {
+		case *types.Interface, *types.Pointer, *types.Chan, *types.Signature, *types.Map:
+			continue
+		}
+		c.p.Reportf(arg.Pos(), "passing %s to interface parameter boxes the value (allocates)", atv.Type.String())
+	}
+}

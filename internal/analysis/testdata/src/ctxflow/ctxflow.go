@@ -1,0 +1,51 @@
+// Package ctxflow exercises the request-path context discipline rules.
+package ctxflow
+
+import (
+	"context"
+	"sync"
+)
+
+func badFreshRoot() context.Context {
+	return context.Background() // want "context.Background"
+}
+
+func badTodoRoot() context.Context {
+	return context.TODO() // want "context.TODO"
+}
+
+func badDroppedCtx(ctx context.Context, n int) int { // want "ctx parameter is never used"
+	return n * 2
+}
+
+func goodThreadedCtx(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func badGoroutine() {
+	go func() { // want "no cancellation or completion discipline"
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}
+
+func goodGoroutineWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func goodGoroutineCtxArg(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+func goodGoroutineChannel(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}

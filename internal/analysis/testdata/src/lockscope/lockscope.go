@@ -1,0 +1,108 @@
+// Package lockscope exercises the serving-plane locking rule: a mutex
+// covers in-memory state transitions only, never a blocking operation.
+package lockscope
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	wg sync.WaitGroup
+	n  int
+}
+
+func badSendUnderLock(g *guarded) {
+	g.mu.Lock()
+	g.ch <- 1 // want "channel send while holding exclusive lock g.mu"
+	g.mu.Unlock()
+}
+
+func badRecvUnderLock(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want "channel receive while holding exclusive lock g.mu"
+}
+
+func badRangeUnderLock(g *guarded) {
+	g.mu.Lock()
+	for v := range g.ch { // want "range over channel while holding exclusive lock g.mu"
+		g.n += v
+	}
+	g.mu.Unlock()
+}
+
+func badSleepUnderLock(g *guarded) {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding lock g.mu"
+	g.mu.Unlock()
+}
+
+func badSleepUnderReadLock(g *guarded) {
+	g.rw.RLock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding lock g.rw"
+	g.rw.RUnlock()
+}
+
+func badWaitUnderLock(g *guarded) {
+	g.mu.Lock()
+	g.wg.Wait() // want "WaitGroup.Wait while holding lock g.mu"
+	g.mu.Unlock()
+}
+
+func badNetUnderLock(g *guarded, addr string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, _ = net.Dial("tcp", addr) // want "network call net.Dial while holding lock g.mu"
+}
+
+func badSelectUnderLock(g *guarded) {
+	g.mu.Lock()
+	select { // want "select without default while holding exclusive lock g.mu"
+	case v := <-g.ch:
+		g.n = v
+	}
+	g.mu.Unlock()
+}
+
+// cleanSendUnderReadLock is the batcher's close-safe enqueue pattern:
+// channel ops under a read lock are explicitly permitted.
+func cleanSendUnderReadLock(g *guarded) {
+	g.rw.RLock()
+	g.ch <- 1
+	g.rw.RUnlock()
+}
+
+// cleanEarlyUnlock releases on the fast path before blocking.
+func cleanEarlyUnlock(g *guarded) int {
+	g.mu.Lock()
+	if g.n == 0 {
+		g.mu.Unlock()
+		return <-g.ch
+	}
+	g.n++
+	g.mu.Unlock()
+	return g.n
+}
+
+// cleanAfterUnlock blocks only once the lock is released.
+func cleanAfterUnlock(g *guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	g.ch <- g.n
+}
+
+// cleanNonBlockingSelect cannot stall: it has a default clause.
+func cleanNonBlockingSelect(g *guarded) {
+	g.mu.Lock()
+	select {
+	case g.ch <- 1:
+	default:
+	}
+	g.mu.Unlock()
+}

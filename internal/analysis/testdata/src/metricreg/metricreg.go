@@ -1,0 +1,71 @@
+// Package metricreg exercises the pelican_* metric registry rules. The
+// exposition primitives are modeled locally — the analyzer recognizes
+// WritePromHeader, writeSample, and (*T).WriteProm by shape and name, so
+// this package mirrors internal/obs with stdlib imports only.
+package metricreg
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePromHeader mirrors obs.WritePromHeader (a recognized primitive).
+func WritePromHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// writeSample mirrors obs.writeSample (a recognized primitive).
+func writeSample(w io.Writer, name string, v float64) {
+	fmt.Fprintf(w, "%s %g\n", name, v)
+}
+
+// hist mirrors obs.Histogram; WriteProm emits the derived series.
+type hist struct{ count uint64 }
+
+// WriteProm mirrors obs.Histogram.WriteProm (a recognized primitive).
+func (h *hist) WriteProm(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.count)
+}
+
+var latency hist
+
+func emitAll(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		WritePromHeader(w, name, "counter", help)
+		fmt.Fprintf(w, "%s %d\n", name, v)
+	}
+
+	// Clean counter through the wrapper: declared once, emitted once.
+	counter("pelican_test_requests_total", "Requests handled.", 1)
+
+	// Clean gauge: explicit declaration plus one sample.
+	WritePromHeader(w, "pelican_test_queue_depth", "gauge", "Queue depth.")
+	writeSample(w, "pelican_test_queue_depth", 2)
+
+	WritePromHeader(w, "pelican_test_queue_depth", "gauge", "Again.") // want "declared more than once"
+
+	counter("pelican_test_hits", "Cache hits.", 3) // want "must end in _total"
+
+	fmt.Fprintf(w, "pelican_test_orphan 1\n") // want "emitted but never declared"
+
+	WritePromHeader(w, "pelican_test_ghost_total", "counter", "Never emitted.") // want "declared but never emitted"
+
+	WritePromHeader(w, "pelican_test_errors_total", "counter", "Errors by code.")
+	fmt.Fprintf(w, "pelican_test_errors_total{code=%q} %d\n", "4xx", 1)
+	fmt.Fprintf(w, "pelican_test_errors_total{kind=%q} %d\n", "5xx", 1) // want "label set"
+
+	WritePromHeader(w, "pelican_Bad_Name", "gauge", "Badly named.") // want "naming conventions"
+	writeSample(w, "pelican_Bad_Name", 1)
+
+	// Clean histogram; the scrape table below references a derived series.
+	WritePromHeader(w, "pelican_test_latency_seconds", "histogram", "Latency.")
+	latency.WriteProm(w, "pelican_test_latency_seconds", "")
+}
+
+// scrapeTable models a dashboard's family list: every entry must resolve
+// to a declared family or a histogram's derived series.
+var scrapeTable = []string{
+	"pelican_test_requests_total",
+	"pelican_test_latency_seconds_count",
+	"pelican_test_missing_total", // want "reference to undeclared metric"
+}

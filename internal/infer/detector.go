@@ -52,6 +52,8 @@ func (d *Detector) Detect(rec *data.Record) nids.Verdict {
 // DetectBatch implements nids.BatchDetector: records are encoded and
 // narrowed to float32 on a pooled slab before the lock is taken, then the
 // whole batch runs through the compiled plan in one pass.
+//
+//pelican:noalloc
 func (d *Detector) DetectBatch(recs []*data.Record, verdicts []nids.Verdict) {
 	rows := len(recs)
 	if rows == 0 {

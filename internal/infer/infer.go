@@ -587,6 +587,8 @@ func (p *Plan) NewEngine() *Engine {
 func (e *Engine) Plan() *Plan { return e.plan }
 
 // grow ensures the arena holds every buffer at the given batch capacity.
+//
+//pelican:noalloc
 func (e *Engine) grow(rows int) {
 	if rows <= e.rowsCap {
 		return
@@ -604,6 +606,8 @@ func (e *Engine) grow(rows int) {
 }
 
 // buf returns buffer i's slice for the given row count.
+//
+//pelican:noalloc
 func (e *Engine) buf(i, rows int) []float32 {
 	w := e.plan.widths[i]
 	return e.arena[e.bufOff[i] : e.bufOff[i]+w*rows]
@@ -613,6 +617,8 @@ func (e *Engine) buf(i, rows int) []float32 {
 // float32s), growing the arena if needed. Fill it, then call Run with at
 // most the same row count. The input buffer is preserved across Run
 // calls, so one fill may be scored repeatedly.
+//
+//pelican:noalloc
 func (e *Engine) In(rows int) []float32 {
 	e.grow(rows)
 	e.inRows = rows
@@ -624,6 +630,8 @@ func (e *Engine) In(rows int) []float32 {
 // rows must not exceed the preceding In's row count: growing the arena
 // inside Run would reallocate it and silently drop the written input, so
 // that is a panic instead of a wrong answer.
+//
+//pelican:noalloc
 func (e *Engine) Run(rows int) []float32 {
 	if rows > e.inRows {
 		panic(fmt.Sprintf("infer: Run(%d) exceeds the %d rows written via In", rows, e.inRows))
@@ -668,6 +676,7 @@ func (e *Engine) Forward(x []float32, rows int) []float32 {
 	return e.Run(rows)
 }
 
+//pelican:noalloc
 func runAffine(dst, src, scale, shift []float32) {
 	w := len(scale)
 	for r := 0; r*w < len(src); r++ {
@@ -681,6 +690,8 @@ func runAffine(dst, src, scale, shift []float32) {
 
 // runGRUGate combines packed (B, 2H) GRU pre-activations [z | h~] into
 // (B, H) hidden states for zero initial state: h = (1 − hardsig(z))·tanh(h~).
+//
+//pelican:noalloc
 func runGRUGate(dst, src []float32, h int) {
 	for r := 0; r*2*h < len(src); r++ {
 		arow := src[r*2*h : (r+1)*2*h]
@@ -694,6 +705,8 @@ func runGRUGate(dst, src []float32, h int) {
 // runLSTMGate combines packed (B, 3H) LSTM pre-activations [i | g | o]
 // into (B, H) hidden states for zero initial state:
 // h = sig(o)·tanh(sig(i)·tanh(g)).
+//
+//pelican:noalloc
 func runLSTMGate(dst, src []float32, h int) {
 	for r := 0; r*3*h < len(src); r++ {
 		arow := src[r*3*h : (r+1)*3*h]
@@ -706,6 +719,8 @@ func runLSTMGate(dst, src []float32, h int) {
 }
 
 // hardSigmoid32 is Keras's piecewise-linear sigmoid max(0, min(1, 0.2x+0.5)).
+//
+//pelican:noalloc
 func hardSigmoid32(v float32) float32 {
 	y := 0.2*v + 0.5
 	if y < 0 {

@@ -96,6 +96,8 @@ func (d *ModelDetector) Detect(rec *data.Record) Verdict {
 // into one contiguous tensor and scored in a single network pass. Encoding
 // happens on a pooled slab before the lock is taken, so concurrent callers
 // only contend for the network pass itself.
+//
+//pelican:noalloc
 func (d *ModelDetector) DetectBatch(recs []*data.Record, verdicts []Verdict) {
 	rows := len(recs)
 	if rows == 0 {

@@ -280,7 +280,7 @@ func TestAlertCountedOnlyAfterDelivery(t *testing.T) {
 	p := New(det, Config{Workers: 1})
 
 	ctx, cancel := context.WithCancel(context.Background())
-	cancel() // already dead: every enqueue on a full channel must abandon
+	cancel()                   // already dead: every enqueue on a full channel must abandon
 	alerts := make(chan Alert) // unbuffered and never read
 	f := flow.Flow{TrueClass: 1}
 	p.record(ctx, &f, Verdict{IsAttack: true, Class: 1}, alerts)

@@ -20,6 +20,8 @@ func NewReLU() *ReLU { return &ReLU{} }
 var _ Layer = (*ReLU)(nil)
 
 // Forward implements Layer.
+//
+//pelican:noalloc
 func (l *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	out := ensureLike(&l.out, x)
 	if cap(l.mask) < x.Len() {
@@ -40,6 +42,8 @@ func (l *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//pelican:noalloc
 func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	out := ensureLike(&l.dx, grad)
 	gd, od := grad.Data(), out.Data()
@@ -71,6 +75,8 @@ func NewTanh() *Tanh { return &Tanh{} }
 var _ Layer = (*Tanh)(nil)
 
 // Forward implements Layer.
+//
+//pelican:noalloc
 func (l *Tanh) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	out := ensureLike(&l.out, x)
 	xd, od := x.Data(), out.Data()
@@ -81,6 +87,8 @@ func (l *Tanh) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//pelican:noalloc
 func (l *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	out := ensureLike(&l.dx, grad)
 	gd, od, yd := grad.Data(), out.Data(), l.out.Data()

@@ -41,6 +41,8 @@ func NewDenseNoBias(rng *rand.Rand, in, out int) *Dense {
 var _ Layer = (*Dense)(nil)
 
 // Forward implements Layer.
+//
+//pelican:noalloc
 func (l *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	mustRank("Dense", x, 2)
 	if x.Dim(1) != l.In {
@@ -56,6 +58,8 @@ func (l *Dense) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//pelican:noalloc
 func (l *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	mustRank("Dense.Backward", grad, 2)
 	// dW += xᵀ @ grad

@@ -151,6 +151,8 @@ func setGateCols(dst *tensor.Tensor, src *tensor.Tensor, g, h int) {
 // reclaimSteps returns the previous pass's step caches to the workspace.
 // Each step owns its gate tensors and its output h; hPrev of step i aliases
 // h of step i−1, so only step 0's initial state is returned separately.
+//
+//pelican:noalloc
 func (l *GRU) reclaimSteps() {
 	for i := range l.steps {
 		st := &l.steps[i]
@@ -170,6 +172,8 @@ func (l *GRU) reclaimSteps() {
 
 // uGateInto materializes gate g's recurrent kernel as a contiguous (H, H)
 // matrix in dst.
+//
+//pelican:noalloc
 func (l *GRU) uGateInto(dst *tensor.Tensor, g int) *tensor.Tensor {
 	h := l.H
 	ud, od := l.u.Value.Data(), dst.Data()
@@ -180,6 +184,8 @@ func (l *GRU) uGateInto(dst *tensor.Tensor, g int) *tensor.Tensor {
 }
 
 // Forward implements Layer.
+//
+//pelican:noalloc
 func (l *GRU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	mustRank("GRU", x, 3)
 	if x.Dim(2) != l.InC {
@@ -296,6 +302,8 @@ func (l *GRU) addUGateGrad(g int, dU *tensor.Tensor) {
 }
 
 // Backward implements Layer.
+//
+//pelican:noalloc
 func (l *GRU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	b, t := l.x.Dim(0), l.x.Dim(1)
 	h := l.H

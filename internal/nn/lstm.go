@@ -88,6 +88,8 @@ func (l *LSTM) addUGateGrad(g int, dU *tensor.Tensor) {
 // reclaimSteps returns the previous pass's step caches to the workspace.
 // hPrev/cPrev of step i alias h/c of step i−1, so only step 0's initial
 // states and the final hidden state are returned separately.
+//
+//pelican:noalloc
 func (l *LSTM) reclaimSteps() {
 	for i := range l.steps {
 		st := &l.steps[i]
@@ -112,6 +114,8 @@ func (l *LSTM) reclaimSteps() {
 }
 
 // Forward implements Layer.
+//
+//pelican:noalloc
 func (l *LSTM) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	mustRank("LSTM", x, 3)
 	if x.Dim(2) != l.InC {
@@ -194,6 +198,8 @@ func (l *LSTM) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//pelican:noalloc
 func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	b, t := l.x.Dim(0), l.x.Dim(1)
 	h := l.H

@@ -18,6 +18,8 @@ import "repro/internal/tensor"
 // ensure returns a tensor of the given shape stored at *buf, reusing its
 // backing array when capacity allows. Contents are unspecified; callers
 // either overwrite every element or use ensureZeroed.
+//
+//pelican:noalloc
 func ensure(buf **tensor.Tensor, shape ...int) *tensor.Tensor {
 	if *buf == nil {
 		*buf = tensor.New(shape...)
@@ -27,6 +29,8 @@ func ensure(buf **tensor.Tensor, shape ...int) *tensor.Tensor {
 }
 
 // ensureZeroed is ensure followed by zero-filling.
+//
+//pelican:noalloc
 func ensureZeroed(buf **tensor.Tensor, shape ...int) *tensor.Tensor {
 	t := ensure(buf, shape...)
 	t.Zero()
@@ -35,6 +39,8 @@ func ensureZeroed(buf **tensor.Tensor, shape ...int) *tensor.Tensor {
 
 // ensureLike is ensure with the shape of like; it avoids the variadic
 // shape-slice allocation on the common same-rank path.
+//
+//pelican:noalloc
 func ensureLike(buf **tensor.Tensor, like *tensor.Tensor) *tensor.Tensor {
 	if *buf == nil {
 		*buf = tensor.New(like.Shape()...)
@@ -45,6 +51,8 @@ func ensureLike(buf **tensor.Tensor, like *tensor.Tensor) *tensor.Tensor {
 
 // appendShape appends t's dimensions to dst without the copy that
 // t.Shape() would allocate.
+//
+//pelican:noalloc
 func appendShape(dst []int, t *tensor.Tensor) []int {
 	for i := 0; i < t.Rank(); i++ {
 		dst = append(dst, t.Dim(i))

@@ -61,8 +61,8 @@ type Trace struct {
 	// Records is how many flow records the request carried.
 	Records int `json:"records"`
 	// Status is the HTTP status answered; Error the error body's message.
-	Status int    `json:"status"`
-	Error  string `json:"error,omitempty"`
+	Status int       `json:"status"`
+	Error  string    `json:"error,omitempty"`
 	Start  time.Time `json:"start"`
 	// DurUS is the end-to-end duration in microseconds.
 	DurUS int64  `json:"dur_us"`

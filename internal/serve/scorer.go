@@ -113,6 +113,8 @@ type traceAgg struct {
 // appends the matching spans to each request's trace — before releasing
 // the request's WaitGroup, so a trace is complete by the time its handler
 // can finish it.
+//
+//pelican:noalloc
 func (sc *scorer) worker(i int) {
 	defer sc.workerWG.Done()
 	replica := strconv.Itoa(i)
@@ -120,6 +122,10 @@ func (sc *scorer) worker(i int) {
 	live := make([]*item, 0, sc.maxBatch)
 	verdicts := make([]nids.Verdict, sc.maxBatch)
 	aggs := make([]traceAgg, 0, 8)
+	// attrs is the infer span's attribute list, identical for every trace
+	// in a batch: built once per batch into this recycled buffer instead
+	// of a fresh slice literal per trace.
+	attrs := make([]string, 0, 6)
 	for fb := range sc.b.batches {
 		batch := fb.items
 		st := sc.stages
@@ -193,14 +199,14 @@ func (sc *scorer) worker(i int) {
 			// Spans must land before the WaitGroup releases: once every
 			// record is Done the handler may Finish (seal) the trace.
 			batchSize := strconv.Itoa(len(recs))
+			attrs = append(attrs[:0], "replica", replica, "batch", batchSize)
+			if chaosDelay > 0 {
+				attrs = append(attrs, "chaos_delay_ms", strconv.FormatInt(chaosDelay.Milliseconds(), 10))
+			}
 			for k := range aggs {
 				a := &aggs[k]
 				a.tr.Span("queue_wait", a.firstEnq, pickup.Sub(a.firstEnq))
 				a.tr.Span("batch_assembly", fb.openedAt, fb.flushedAt.Sub(fb.openedAt), "batch", batchSize)
-				attrs := []string{"replica", replica, "batch", batchSize}
-				if chaosDelay > 0 {
-					attrs = append(attrs, "chaos_delay_ms", strconv.FormatInt(chaosDelay.Milliseconds(), 10))
-				}
 				a.tr.Span("infer", inferStart, inferDur, attrs...)
 			}
 			for _, it := range live {

@@ -14,6 +14,8 @@ const parallelThreshold = 1 << 16
 // MatMulInto computes dst = a @ b for rank-2 tensors a (m×k) and b (k×n),
 // writing into dst (m×n). dst must not alias a or b. Large products are
 // split into row bands executed by the persistent GEMM worker pool.
+//
+//pelican:noalloc
 func MatMulInto(dst, a, b *Tensor) {
 	m, k, n := checkMatMul("MatMulInto", dst, a, b, false, false)
 	mulKernel(dst.data, a.data, b.data, m, k, n)
@@ -31,6 +33,8 @@ func MatMul(a, b *Tensor) *Tensor {
 
 // MatMulTransAInto computes dst = aᵀ @ b where a is k×m and b is k×n,
 // producing m×n. Used by backward passes (weight gradients).
+//
+//pelican:noalloc
 func MatMulTransAInto(dst, a, b *Tensor) {
 	m, k, n := checkMatMul("MatMulTransAInto", dst, a, b, true, false)
 	mulKernelTransA(dst.data, a.data, b.data, m, k, n)
@@ -38,12 +42,17 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 
 // MatMulTransBInto computes dst = a @ bᵀ where a is m×k and b is n×k,
 // producing m×n. Used by backward passes (input gradients).
+//
+//pelican:noalloc
 func MatMulTransBInto(dst, a, b *Tensor) {
 	m, k, n := checkMatMul("MatMulTransBInto", dst, a, b, false, true)
 	mulKernelTransB(dst.data, a.data, b.data, m, k, n)
 }
 
-// checkMatMul validates shapes and returns (m, k, n).
+// checkMatMul validates shapes and returns (m, k, n). The panic paths may
+// format freely; the noalloc contract exempts them.
+//
+//pelican:noalloc
 func checkMatMul(op string, dst, a, b *Tensor, transA, transB bool) (m, k, n int) {
 	if len(a.shape) != 2 || len(b.shape) != 2 || len(dst.shape) != 2 {
 		panic(fmt.Sprintf("tensor: %s requires rank-2 tensors, got dst=%v a=%v b=%v", op, dst.shape, a.shape, b.shape))
@@ -68,10 +77,49 @@ func checkMatMul(op string, dst, a, b *Tensor, transA, transB bool) (m, k, n int
 	return m, k, n
 }
 
+// gemmKind selects which block kernel a dispatched band runs.
+type gemmKind uint8
+
+const (
+	gemmF64 gemmKind = iota
+	gemmF64TransA
+	gemmF64TransB
+	gemmF32Fused
+)
+
+// gemmArgs carries one kernel invocation's operands by value. Dispatch
+// used to hand the pool a fresh closure per call, which heap-allocated the
+// closure and its captured variables on every parallel GEMM; a value
+// struct copied into the channel buffer allocates nothing.
+type gemmArgs struct {
+	kind       gemmKind
+	dst, a, b  []float64
+	dst32, a32 []float32
+	w32, b32   []float32
+	m, k, n    int
+	act        Act
+}
+
+// run executes rows [r0, r1) of the invocation on the calling goroutine.
+//
+//pelican:noalloc
+func (g *gemmArgs) run(r0, r1 int) {
+	switch g.kind {
+	case gemmF64:
+		mulBlock(g.dst, g.a, g.b, r0, r1, g.k, g.n)
+	case gemmF64TransA:
+		mulBlockTransA(g.dst, g.a, g.b, r0, r1, g.m, g.k, g.n)
+	case gemmF64TransB:
+		mulBlockTransB(g.dst, g.a, g.b, r0, r1, g.k, g.n)
+	case gemmF32Fused:
+		gemmBlockF32(g.dst32, g.a32, g.w32, g.b32, r0, r1, g.k, g.n, g.act)
+	}
+}
+
 // gemmTask is one row band of a kernel invocation, executed by a pool
 // worker (or inline by the submitter for the first band).
 type gemmTask struct {
-	fn     func(r0, r1 int)
+	args   gemmArgs
 	r0, r1 int
 	wg     *sync.WaitGroup
 }
@@ -80,6 +128,9 @@ var (
 	gemmOnce    sync.Once
 	gemmQueue   chan gemmTask
 	gemmWorkers int
+	// gemmWGs recycles the completion WaitGroups so a parallel dispatch
+	// never heap-allocates one per call.
+	gemmWGs = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
 )
 
 // startGEMMPool launches the persistent worker goroutines. The pool size is
@@ -89,18 +140,25 @@ func startGEMMPool() {
 	gemmWorkers = runtime.GOMAXPROCS(0)
 	gemmQueue = make(chan gemmTask, 4*gemmWorkers)
 	for i := 0; i < gemmWorkers; i++ {
-		go func() {
-			for t := range gemmQueue {
-				t.fn(t.r0, t.r1)
-				t.wg.Done()
-			}
-		}()
+		go gemmWorker()
+	}
+}
+
+// gemmWorker drains the task queue for the process lifetime.
+//
+//pelican:noalloc
+func gemmWorker() {
+	for t := range gemmQueue {
+		t.args.run(t.r0, t.r1)
+		t.wg.Done()
 	}
 }
 
 // serialRows reports whether an m-row kernel with the given per-row work
 // should run on the calling goroutine only. Kept separate from
-// parallelRows so the serial fast path never constructs a closure.
+// parallelRows so the serial fast path never touches the pool.
+//
+//pelican:noalloc
 func serialRows(m, workPerRow int) bool {
 	return runtime.GOMAXPROCS(0) <= 1 || m <= 1 || m*workPerRow < parallelThreshold
 }
@@ -109,28 +167,31 @@ func serialRows(m, workPerRow int) bool {
 // pool. The calling goroutine executes the first band itself, so small
 // splits never pay a full handoff and the pool can never deadlock on its
 // own submissions.
-func parallelRows(m int, fn func(r0, r1 int)) {
+//
+//pelican:noalloc
+func parallelRows(m int, args gemmArgs) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > m {
 		workers = m
 	}
 	if workers <= 1 {
-		fn(0, m)
+		args.run(0, m)
 		return
 	}
 	gemmOnce.Do(startGEMMPool)
 	band := (m + workers - 1) / workers
-	var wg sync.WaitGroup
+	wg := gemmWGs.Get().(*sync.WaitGroup)
 	for r0 := band; r0 < m; r0 += band {
 		r1 := r0 + band
 		if r1 > m {
 			r1 = m
 		}
 		wg.Add(1)
-		gemmQueue <- gemmTask{fn: fn, r0: r0, r1: r1, wg: &wg}
+		gemmQueue <- gemmTask{args: args, r0: r0, r1: r1, wg: wg}
 	}
-	fn(0, band)
+	args.run(0, band)
 	wg.Wait()
+	gemmWGs.Put(wg)
 }
 
 // The three kernels below are cache-blocked in row panels: each pass
@@ -142,15 +203,19 @@ func parallelRows(m int, fn func(r0, r1 int)) {
 // shortcut for zero initial recurrent states and post-ReLU sparsity.
 
 // mulKernel computes dst = a @ b, a: m×k, b: k×n (row-major flat slices).
+//
+//pelican:noalloc
 func mulKernel(dst, a, b []float64, m, k, n int) {
 	if serialRows(m, k*n) {
 		mulBlock(dst, a, b, 0, m, k, n)
 		return
 	}
-	parallelRows(m, func(r0, r1 int) { mulBlock(dst, a, b, r0, r1, k, n) })
+	parallelRows(m, gemmArgs{kind: gemmF64, dst: dst, a: a, b: b, m: m, k: k, n: n})
 }
 
 // mulBlock computes rows [r0, r1) of dst = a @ b in four-row panels.
+//
+//pelican:noalloc
 func mulBlock(dst, a, b []float64, r0, r1, k, n int) {
 	i := r0
 	for ; i+4 <= r1; i += 4 {
@@ -202,15 +267,19 @@ func mulBlock(dst, a, b []float64, r0, r1, k, n int) {
 // dst[i][j] = sum_p a[p][i] * b[p][j]: the four a-values of a panel are
 // adjacent within one a-row, and b streams sequentially exactly as in
 // mulKernel.
+//
+//pelican:noalloc
 func mulKernelTransA(dst, a, b []float64, m, k, n int) {
 	if serialRows(m, k*n) {
 		mulBlockTransA(dst, a, b, 0, m, m, k, n)
 		return
 	}
-	parallelRows(m, func(r0, r1 int) { mulBlockTransA(dst, a, b, r0, r1, m, k, n) })
+	parallelRows(m, gemmArgs{kind: gemmF64TransA, dst: dst, a: a, b: b, m: m, k: k, n: n})
 }
 
 // mulBlockTransA computes rows [r0, r1) of dst = aᵀ @ b.
+//
+//pelican:noalloc
 func mulBlockTransA(dst, a, b []float64, r0, r1, m, k, n int) {
 	i := r0
 	for ; i+4 <= r1; i += 4 {
@@ -257,15 +326,19 @@ func mulBlockTransA(dst, a, b []float64, r0, r1, m, k, n int) {
 // mulKernelTransB computes dst = a @ bᵀ, a: m×k, b: n×k.
 // dst[i][j] = dot(a_row_i, b_row_j): both operand rows are contiguous, so
 // the tile holds two a-rows against four b-rows in eight dot accumulators.
+//
+//pelican:noalloc
 func mulKernelTransB(dst, a, b []float64, m, k, n int) {
 	if serialRows(m, k*n) {
 		mulBlockTransB(dst, a, b, 0, m, k, n)
 		return
 	}
-	parallelRows(m, func(r0, r1 int) { mulBlockTransB(dst, a, b, r0, r1, k, n) })
+	parallelRows(m, gemmArgs{kind: gemmF64TransB, dst: dst, a: a, b: b, m: m, k: k, n: n})
 }
 
 // mulBlockTransB computes rows [r0, r1) of dst = a @ bᵀ.
+//
+//pelican:noalloc
 func mulBlockTransB(dst, a, b []float64, r0, r1, k, n int) {
 	i := r0
 	for ; i+2 <= r1; i += 2 {
@@ -322,6 +395,8 @@ func mulBlockTransB(dst, a, b []float64, r0, r1, k, n int) {
 
 // MatVecInto computes dst = a @ x for a rank-2 a (m×k) and vector x (k),
 // writing into vector dst (m).
+//
+//pelican:noalloc
 func MatVecInto(dst, a, x *Tensor) {
 	if len(a.shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatVecInto requires rank-2 a, got %v", a.shape))
@@ -342,6 +417,8 @@ func MatVecInto(dst, a, x *Tensor) {
 
 // Outer computes dst += alpha * x ⊗ y where x has length m, y has length n
 // and dst is m×n. Used for rank-1 gradient accumulation.
+//
+//pelican:noalloc
 func Outer(dst *Tensor, alpha float64, x, y *Tensor) {
 	if len(dst.shape) != 2 {
 		panic(fmt.Sprintf("tensor: Outer requires rank-2 dst, got %v", dst.shape))

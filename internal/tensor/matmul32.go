@@ -27,6 +27,8 @@ const (
 // slices a (m×k), w (n×k — one row per output column, the inference
 // compiler's pre-transposed packing) and dst (m×n). bias (length n) may be
 // nil. dst must not alias a or w.
+//
+//pelican:noalloc
 func GemmBiasActF32(dst, a, w, bias []float32, m, k, n int, act Act) {
 	if len(a) < m*k || len(w) < k*n || len(dst) < m*n {
 		panic("tensor: GemmBiasActF32 slice shorter than its shape")
@@ -38,12 +40,14 @@ func GemmBiasActF32(dst, a, w, bias []float32, m, k, n int, act Act) {
 		gemmBlockF32(dst, a, w, bias, 0, m, k, n, act)
 		return
 	}
-	parallelRows(m, func(r0, r1 int) { gemmBlockF32(dst, a, w, bias, r0, r1, k, n, act) })
+	parallelRows(m, gemmArgs{kind: gemmF32Fused, dst32: dst, a32: a, w32: w, b32: bias, m: m, k: k, n: n, act: act})
 }
 
 // gemmBlockF32 computes rows [r0, r1) of dst = act(a @ wᵀ + bias) in 2×4
 // register tiles: eight dot accumulators live in registers across the
 // whole k loop.
+//
+//pelican:noalloc
 func gemmBlockF32(dst, a, w, bias []float32, r0, r1, k, n int, act Act) {
 	i := r0
 	for ; i+2 <= r1; i += 2 {
@@ -142,6 +146,7 @@ func gemmBlockF32(dst, a, w, bias []float32, r0, r1, k, n int, act Act) {
 	}
 }
 
+//pelican:noalloc
 func relu32(v float32) float32 {
 	if v < 0 {
 		return 0
