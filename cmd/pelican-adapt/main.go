@@ -23,12 +23,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/adapt"
@@ -70,6 +74,8 @@ func run(args []string, out io.Writer) error {
 		gateOff     = fs.Bool("gate-off", false, "publish every retrain unconditionally (disable the held-out promotion gate)")
 		reportEvery = fs.Int("report-every", 2000, "print realized stats every N flows (0 = off)")
 		healthEvery = fs.Duration("healthz-every", 0, "poll -target/healthz at this interval and fail on any non-200 (0 = off)")
+		stateDir    = fs.String("state-dir", "", "directory for adaptation checkpoints (drift windows + flow buffer); a restarted sidecar resumes its drift window instead of re-warming")
+		ckptEvery   = fs.Duration("checkpoint-every", 5*time.Second, "periodic checkpoint interval when -state-dir is set (0 = only at exit)")
 		mustRetrain = fs.Bool("require-retrain", false, "exit non-zero unless at least one retrain was published")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6061; empty disables)")
 		logLevel    = fs.String("log-level", "info", "structured log level: debug, info, warn, error")
@@ -158,6 +164,37 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	// Durable adaptation state: restore the dead process's drift windows
+	// and flow buffer before the first observation, so the monitors are
+	// watching from flow one instead of re-warming (a gap during which
+	// real drift would pass unnoticed). A corrupt or cross-generation
+	// checkpoint is discarded — fresh windows beat poisoned ones.
+	var ckptPath string
+	saveCheckpoint := func() {
+		if ckptPath == "" {
+			return
+		}
+		if err := loop.SaveCheckpoint(ckptPath); err != nil {
+			fmt.Fprintf(out, "checkpoint save failed: %v\n", err)
+		}
+	}
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			return fmt.Errorf("-state-dir: %w", err)
+		}
+		ckptPath = filepath.Join(*stateDir, "adapt.ckpt")
+		switch err := loop.RestoreCheckpoint(ckptPath); {
+		case err == nil:
+			sig, z := loop.Stat()
+			fmt.Fprintf(out, "resumed adaptation state from %s (%d buffered flows, %d seen, drift %s z=%.1f)\n",
+				ckptPath, loop.Buffer().Len(), loop.Buffer().Seen(), sig, z)
+		case errors.Is(err, os.ErrNotExist):
+			// First boot: nothing to resume.
+		default:
+			fmt.Fprintf(out, "checkpoint discarded (%v); starting with fresh drift windows\n", err)
+		}
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	loopDone := make(chan struct{})
@@ -165,6 +202,20 @@ func run(args []string, out io.Writer) error {
 		defer close(loopDone)
 		loop.Run(ctx)
 	}()
+	if ckptPath != "" && *ckptEvery > 0 {
+		go func() {
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					saveCheckpoint()
+				}
+			}
+		}()
+	}
 
 	// Optional health watchdog: the whole point of hot-reload is that the
 	// swap is invisible to /healthz. Every poll runs under its own
@@ -236,6 +287,11 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "adapting %s (version %s) at %s: %d flows, shift at %d\n",
 		art.ModelName, art.Version(), *target, *flows, *shiftAt)
+	// SIGTERM/SIGINT stop the stream gracefully: the pipeline drains, the
+	// loop exits, and a final checkpoint lands — so an orchestrated restart
+	// (rolling update, node drain) resumes its drift window.
+	sigCtx, sigStop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer sigStop()
 	flowCh := make(chan flow.Flow, 32)
 	var prev nids.StatsSnapshot
 	go func() {
@@ -257,14 +313,25 @@ func run(args []string, out io.Writer) error {
 					sig, z, loop.Retrains())
 				prev = st
 			}
-			flowCh <- src.Next()
+			select {
+			case flowCh <- src.Next():
+			case <-sigCtx.Done():
+				return
+			}
 		}
 	}()
-	if err := pipe.Run(context.Background(), flowCh, nil); err != nil {
-		return err
-	}
+	runErr := pipe.Run(sigCtx, flowCh, nil)
+	interrupted := sigCtx.Err() != nil
 	cancel()
 	<-loopDone
+	saveCheckpoint()
+	if interrupted {
+		fmt.Fprintf(out, "interrupted: adaptation state checkpointed (%d flows buffered)\n", loop.Buffer().Len())
+		return nil
+	}
+	if runErr != nil {
+		return runErr
+	}
 
 	st := pipe.Stats()
 	final, err := client.Model()

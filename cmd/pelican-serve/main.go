@@ -33,6 +33,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/synth"
 )
 
@@ -46,7 +47,8 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pelican-serve", flag.ContinueOnError)
 	var (
-		model      = fs.String("model", "", "model artifact to serve live (written by pelican-train -save)")
+		model      = fs.String("model", "", "model artifact to serve live (written by pelican-train -save); omit with -state-dir to recover the journaled topology")
+		stateDir   = fs.String("state-dir", "", "durable state directory (content-addressed artifact store + registry journal); every lifecycle op is journaled, and a restart without -model recovers the exact pre-crash topology")
 		shadow     = fs.String("shadow", "", "optional artifact to preload into the shadow slot (mirrored, promotable via /v2/promote)")
 		addr       = fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 		replicas   = fs.Int("replicas", 2, "detector replicas (scoring shards) per model slot")
@@ -100,6 +102,13 @@ func run(args []string, out io.Writer) error {
 		inj.SetScoreDelay(*chaosDelay)
 		cfg.Chaos = inj
 	}
+	if *stateDir != "" {
+		st, err := store.Open(*stateDir)
+		if err != nil {
+			return fmt.Errorf("-state-dir: %w", err)
+		}
+		cfg.Store = st
+	}
 	if *pprofAddr != "" {
 		bound, stop, err := obs.StartPprof(*pprofAddr)
 		if err != nil {
@@ -112,16 +121,37 @@ func run(args []string, out io.Writer) error {
 }
 
 func runServer(out io.Writer, model, shadow, addr string, cfg serve.Config) error {
-	if model == "" {
-		return fmt.Errorf("-model is required (train one with: pelican-train -save model.plcn)")
-	}
-	a, err := serve.LoadArtifactFile(model)
-	if err != nil {
-		return err
-	}
-	srv, err := serve.New(a, cfg)
-	if err != nil {
-		return err
+	var srv *serve.Server
+	switch {
+	case model != "":
+		// Fresh start: this artifact is the new truth, any journaled
+		// topology is discarded.
+		a, err := serve.LoadArtifactFile(model)
+		if err != nil {
+			return err
+		}
+		if srv, err = serve.New(a, cfg); err != nil {
+			return err
+		}
+	case cfg.Store != nil:
+		var err error
+		if srv, err = serve.Recover(cfg); err != nil {
+			return err
+		}
+		rep := srv.Recovery()
+		fmt.Fprintf(out, "recovered from journal: %d slots restored, %d degraded (%d records replayed, %d truncated) in %s\n",
+			len(rep.Restored), len(rep.Degraded), rep.Replayed, rep.Truncated, rep.Duration.Round(time.Millisecond))
+		for tag, version := range rep.Restored {
+			fmt.Fprintf(out, "  %s: %s\n", tag, version)
+		}
+		for _, d := range rep.Degraded {
+			fmt.Fprintf(out, "  DEGRADED %s (%s): %s\n", d.Tag, d.Version, d.Reason)
+		}
+		if _, ok := rep.Restored["live"]; !ok {
+			fmt.Fprintln(out, "no live slot recovered: /readyz answers 503 until a model is loaded")
+		}
+	default:
+		return fmt.Errorf("-model is required (train one with: pelican-train -save model.plcn), or pass -state-dir to recover a journaled topology")
 	}
 	if shadow != "" {
 		sa, err := serve.LoadArtifactFile(shadow)
@@ -137,9 +167,13 @@ func runServer(out io.Writer, model, shadow, addr string, cfg serve.Config) erro
 	if err != nil {
 		return err
 	}
+	if info := srv.Info(); info.Version != "" {
+		fmt.Fprintf(out, "serving %s (version %s, %d features, %d classes) on http://%s\n",
+			info.Model, info.Version, info.Features, info.Classes, ln.Addr())
+	} else {
+		fmt.Fprintf(out, "serving (no live model) on http://%s\n", ln.Addr())
+	}
 	info := srv.Info()
-	fmt.Fprintf(out, "serving %s (version %s, %d features, %d classes) on http://%s\n",
-		info.Model, info.Version, info.Features, info.Classes, ln.Addr())
 	fmt.Fprintf(out, "engine=%s replicas=%d max-batch=%d max-wait=%s\n", info.Engine, info.Replicas, info.MaxBatch, cfg.MaxWait)
 	fmt.Fprintf(out, "registry: /v2/models (list), /v2/load?tag= (stage), /v2/promote, /v2/rollback\n")
 

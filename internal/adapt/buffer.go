@@ -1,6 +1,7 @@
 package adapt
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/data"
@@ -57,6 +58,41 @@ func (b *FlowBuffer) Seen() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.seen
+}
+
+// State exports the buffer for a checkpoint: the buffered flows oldest
+// first (same view as Snapshot) plus the lifetime counter.
+func (b *FlowBuffer) State() (recs []data.Record, labels []int, seen int64) {
+	recs, labels = b.Snapshot()
+	return recs, labels, b.Seen()
+}
+
+// Restore refills the buffer from a checkpoint. Flows arrive oldest
+// first; when the checkpoint holds more than the buffer's capacity
+// (it was written by a larger-capacity run) only the newest flows are
+// kept, matching what sliding eviction would have left. The lifetime
+// counter resumes at seen, so monotonic reporting survives the restart.
+func (b *FlowBuffer) Restore(recs []data.Record, labels []int, seen int64) error {
+	if len(recs) != len(labels) {
+		return fmt.Errorf("adapt: checkpoint buffer has %d records but %d labels", len(recs), len(labels))
+	}
+	if drop := len(recs) - len(b.recs); drop > 0 {
+		recs, labels = recs[drop:], labels[drop:]
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.head, b.n = 0, 0
+	for i := range recs {
+		b.recs[b.head] = recs[i]
+		b.labels[b.head] = labels[i]
+		b.head = (b.head + 1) % len(b.recs)
+		b.n++
+	}
+	if seen < int64(b.n) {
+		seen = int64(b.n)
+	}
+	b.seen = seen
+	return nil
 }
 
 // Snapshot copies the buffered flows out in arrival order (oldest first),

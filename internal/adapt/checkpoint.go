@@ -1,0 +1,145 @@
+package adapt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/store"
+)
+
+// Checkpointing persists the adaptation loop's streaming state — the
+// four drift monitors' windows, the sliding flow buffer, and the retrain
+// counter — so a restarted sidecar resumes its drift window exactly
+// where the dead process left it, with no re-warming gap during which
+// real drift would go unnoticed. The retraining network itself is NOT
+// checkpointed: it warm-starts from the deployed artifact, which is the
+// durable truth for weights.
+//
+// File format: a magic line, an 8-hex CRC32 of the payload, a newline,
+// then the gob-encoded payload. Writes go through store.WriteAtomic, so
+// a crash mid-save leaves the previous checkpoint intact; any torn or
+// tampered file fails the CRC and is discarded, never half-applied.
+
+// checkpointMagic begins every checkpoint file; bump the version suffix
+// on incompatible payload changes.
+const checkpointMagic = "PELICANCKPTv1\n"
+
+// checkpointFormat is the payload schema version inside the gob.
+const checkpointFormat = 1
+
+// ErrCheckpointStale marks a structurally valid checkpoint that belongs
+// to a different artifact generation than the loop's: its monitor
+// windows describe another model's score distribution, so restoring it
+// would alias two normals. Callers start fresh instead.
+var ErrCheckpointStale = errors.New("adapt: checkpoint belongs to a different artifact generation")
+
+// checkpointWire is the gob payload.
+type checkpointWire struct {
+	FormatVersion int
+	Version       string // artifact generation the state describes
+	SavedAt       time.Time
+	Monitors      map[string]MonitorState
+	Recs          []data.Record
+	Labels        []int
+	Seen          int64
+	Retrains      int64
+}
+
+// monitorsByName keys the loop's monitors by their stable signal names —
+// the checkpoint's join key across restarts.
+func (l *Loop) monitorsByName() map[string]*Monitor {
+	return map[string]*Monitor{
+		"normal-score": l.normalScoreMon,
+		"attack-score": l.attackScoreMon,
+		"alert-rate":   l.alertMon,
+		"feature-mean": l.featMon,
+	}
+}
+
+// SaveCheckpoint atomically writes the loop's streaming state to path.
+// Safe to call concurrently with Observe and Run: each component is
+// snapshotted under its own lock.
+func (l *Loop) SaveCheckpoint(path string) error {
+	w := checkpointWire{
+		FormatVersion: checkpointFormat,
+		Version:       l.Version(),
+		SavedAt:       time.Now().UTC(),
+		Monitors:      map[string]MonitorState{},
+		Retrains:      l.retrains.Load(),
+	}
+	for name, m := range l.monitorsByName() {
+		w.Monitors[name] = m.State()
+	}
+	w.Recs, w.Labels, w.Seen = l.buf.State()
+
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(w); err != nil {
+		return fmt.Errorf("adapt: encode checkpoint: %w", err)
+	}
+	out := make([]byte, 0, len(checkpointMagic)+9+payload.Len())
+	out = append(out, checkpointMagic...)
+	out = append(out, fmt.Sprintf("%08x\n", crc32.ChecksumIEEE(payload.Bytes()))...)
+	out = append(out, payload.Bytes()...)
+	return store.WriteAtomic(path, out)
+}
+
+// RestoreCheckpoint loads the state saved at path into the loop. It is
+// all-or-nothing per component: a bad magic, CRC, format version, or
+// artifact-version mismatch rejects the whole file (the loop keeps its
+// fresh state), while per-monitor geometry mismatches skip only that
+// monitor. Returns ErrCheckpointStale for a version mismatch and wraps
+// os.ErrNotExist when no checkpoint exists, so callers can distinguish
+// "first boot" from "corrupt state".
+func (l *Loop) RestoreCheckpoint(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("adapt: read checkpoint: %w", err)
+	}
+	if !bytes.HasPrefix(b, []byte(checkpointMagic)) {
+		return errors.New("adapt: checkpoint magic mismatch")
+	}
+	b = b[len(checkpointMagic):]
+	if len(b) < 9 || b[8] != '\n' {
+		return errors.New("adapt: checkpoint CRC header malformed")
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(b[:8]), "%08x", &want); err != nil {
+		return errors.New("adapt: checkpoint CRC header malformed")
+	}
+	payload := b[9:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return errors.New("adapt: checkpoint CRC mismatch (torn or corrupt file)")
+	}
+	var w checkpointWire
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&w); err != nil {
+		return fmt.Errorf("adapt: decode checkpoint: %w", err)
+	}
+	if w.FormatVersion != checkpointFormat {
+		return fmt.Errorf("adapt: checkpoint format %d, want %d", w.FormatVersion, checkpointFormat)
+	}
+	if w.Version != l.Version() {
+		return fmt.Errorf("%w (checkpoint %s, deployed %s)", ErrCheckpointStale, w.Version, l.Version())
+	}
+	if err := l.buf.Restore(w.Recs, w.Labels, w.Seen); err != nil {
+		return err
+	}
+	for name, m := range l.monitorsByName() {
+		st, ok := w.Monitors[name]
+		if !ok {
+			continue
+		}
+		if err := m.RestoreState(st); err != nil {
+			// Window geometry changed across the restart: this monitor
+			// re-warms from scratch, the others resume.
+			l.cfg.Logger.Warn("checkpoint monitor skipped", "signal", name, "error", err)
+		}
+	}
+	l.retrains.Store(w.Retrains)
+	return nil
+}

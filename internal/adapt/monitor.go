@@ -191,6 +191,58 @@ func (m *Monitor) Reset() {
 	m.quiet = 0
 }
 
+// MonitorState is a Monitor's complete streaming state, exportable for
+// checkpointing and restorable into a monitor with the same window
+// geometry. All fields are plain values so the state gob-encodes.
+type MonitorState struct {
+	RefN    int
+	RefMean float64
+	RefM2   float64
+	Ring    []float64
+	Head    int
+	N       int
+	Sum     float64
+	SumSq   float64
+	Quiet   int
+	Trips   int64
+}
+
+// State snapshots the monitor for a checkpoint. The ring is copied, so
+// the snapshot stays stable while the monitor keeps observing.
+func (m *Monitor) State() MonitorState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ring := make([]float64, len(m.ring))
+	copy(ring, m.ring)
+	return MonitorState{
+		RefN: m.refN, RefMean: m.refMean, RefM2: m.refM2,
+		Ring: ring, Head: m.head, N: m.n, Sum: m.sum, SumSq: m.sumsq,
+		Quiet: m.quiet, Trips: m.trips,
+	}
+}
+
+// RestoreState replaces the monitor's streaming state with a checkpoint,
+// so a restarted sidecar resumes its drift window instead of re-warming
+// reference and current windows from scratch. A state whose ring length
+// differs from the configured window (the config changed across the
+// restart) or whose indices are out of range is rejected, leaving the
+// monitor untouched.
+func (m *Monitor) RestoreState(st MonitorState) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(st.Ring) != len(m.ring) {
+		return fmt.Errorf("adapt: checkpoint window %d does not match configured window %d", len(st.Ring), len(m.ring))
+	}
+	if st.Head < 0 || st.Head >= len(m.ring) || st.N < 0 || st.N > len(m.ring) || st.RefN < 0 {
+		return fmt.Errorf("adapt: checkpoint monitor state out of range (head=%d n=%d refN=%d)", st.Head, st.N, st.RefN)
+	}
+	copy(m.ring, st.Ring)
+	m.refN, m.refMean, m.refM2 = st.RefN, st.RefMean, st.RefM2
+	m.head, m.n, m.sum, m.sumsq = st.Head, st.N, st.Sum, st.SumSq
+	m.quiet, m.trips = st.Quiet, st.Trips
+	return nil
+}
+
 // String summarizes monitor state for logs.
 func (m *Monitor) String() string {
 	m.mu.Lock()

@@ -1,0 +1,113 @@
+package chaos
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestTruncateTail pins the torn-write fault: exactly n bytes come off
+// the end, over-truncation clamps to empty, and a missing file errors.
+func TestTruncateTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.jsonl")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateTail(path, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("012345")) {
+		t.Fatalf("after TruncateTail(4): %q, want %q", got, "012345")
+	}
+	if err := TruncateTail(path, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); len(got) != 0 {
+		t.Fatalf("over-truncation left %d bytes, want 0", len(got))
+	}
+	if err := TruncateTail(filepath.Join(dir, "missing"), 1); err == nil {
+		t.Fatal("truncating a missing file did not error")
+	}
+}
+
+// TestCorruptFileAt checks the flip lands on the requested byte and
+// out-of-range offsets are rejected.
+func TestCorruptFileAt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.bin")
+	orig := []byte("abcdef")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptFileAt(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	for i := range got {
+		if (got[i] != orig[i]) != (i == 2) {
+			t.Fatalf("byte %d: got %#x, orig %#x", i, got[i], orig[i])
+		}
+	}
+	if err := CorruptFileAt(path, int64(len(orig))); err == nil {
+		t.Fatal("out-of-range offset did not error")
+	}
+	if err := CorruptFileAt(path, -1); err == nil {
+		t.Fatal("negative offset did not error")
+	}
+}
+
+// TestProcKill9 runs a real child and kills it without ceremony: Alive
+// flips, Wait reports the signal death, and repeated Wait is stable.
+func TestProcKill9(t *testing.T) {
+	p, err := StartProc("sleep", "30")
+	if err != nil {
+		t.Skipf("cannot start sleep: %v", err)
+	}
+	if !p.Alive() {
+		t.Fatal("child not alive after start")
+	}
+	if err := p.Kill9(); err != nil {
+		t.Fatalf("Kill9: %v", err)
+	}
+	if p.Alive() {
+		t.Fatal("child still alive after kill -9")
+	}
+	if err := p.Wait(); err == nil {
+		t.Fatal("Wait returned nil for a SIGKILLed child")
+	}
+	if err1, err2 := p.Wait(), p.Wait(); err1 != err2 {
+		t.Fatalf("repeated Wait disagrees: %v vs %v", err1, err2)
+	}
+}
+
+// TestProcWaitExit covers the clean-exit path and the timeout path.
+func TestProcWaitExit(t *testing.T) {
+	p, err := StartProc("true")
+	if err != nil {
+		t.Skipf("cannot start true: %v", err)
+	}
+	if !p.WaitExit(5 * time.Second) {
+		t.Fatal("child did not exit within 5s")
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("clean exit reported error: %v", err)
+	}
+
+	slow, err := StartProc("sleep", "30")
+	if err != nil {
+		t.Skipf("cannot start sleep: %v", err)
+	}
+	if slow.WaitExit(50 * time.Millisecond) {
+		t.Fatal("WaitExit returned before the child could have exited")
+	}
+	if err := slow.Kill9(); err != nil {
+		t.Fatalf("Kill9 cleanup: %v", err)
+	}
+}

@@ -71,6 +71,51 @@ type Stats struct {
 	DeadlineExpired atomic.Int64
 }
 
+// StatsSnapshot is a plain-value copy of a Stats, used by the durable
+// control plane to checkpoint counters into the registry journal and
+// restore them after a restart.
+type StatsSnapshot struct {
+	Records         int64
+	Attacks         int64
+	Mirrored        int64
+	MirrorDropped   int64
+	Agreements      int64
+	Disagreements   int64
+	Shed            int64
+	DeadlineExpired int64
+}
+
+// Snapshot copies the counters. The copy is not atomic across fields —
+// counters written concurrently may be one scrape apart — which is fine
+// for checkpointing: restore only needs each counter to be a value the
+// slot actually reached.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Records:         s.Records.Load(),
+		Attacks:         s.Attacks.Load(),
+		Mirrored:        s.Mirrored.Load(),
+		MirrorDropped:   s.MirrorDropped.Load(),
+		Agreements:      s.Agreements.Load(),
+		Disagreements:   s.Disagreements.Load(),
+		Shed:            s.Shed.Load(),
+		DeadlineExpired: s.DeadlineExpired.Load(),
+	}
+}
+
+// Restore sets the counters to a checkpointed snapshot. Called once at
+// recovery, before the slot takes traffic, so the monotonicity contract
+// (counters never run backwards within a process) holds.
+func (s *Stats) Restore(snap StatsSnapshot) {
+	s.Records.Store(snap.Records)
+	s.Attacks.Store(snap.Attacks)
+	s.Mirrored.Store(snap.Mirrored)
+	s.MirrorDropped.Store(snap.MirrorDropped)
+	s.Agreements.Store(snap.Agreements)
+	s.Disagreements.Store(snap.Disagreements)
+	s.Shed.Store(snap.Shed)
+	s.DeadlineExpired.Store(snap.DeadlineExpired)
+}
+
 // slot is one named registry entry.
 type slot struct {
 	inst     Instance
@@ -267,6 +312,22 @@ func (r *Registry) Unload(tag string) error {
 	r.mu.Unlock()
 	r.retire([]Instance{s.inst})
 	return nil
+}
+
+// RestorePrevious installs inst as the retained rollback generation
+// without recording a transition. It exists for crash recovery: the
+// journal replay rebuilds the slot topology through Load, but the
+// rollback target is not a loadable tag, so recovery hands it back
+// directly. Any previously retained generation is retired.
+func (r *Registry) RestorePrevious(inst Instance) {
+	var retired []Instance
+	r.mu.Lock()
+	if r.prev != nil {
+		retired = append(retired, r.prev.inst)
+	}
+	r.prev = &slot{inst: inst, loadedAt: time.Now()}
+	r.mu.Unlock()
+	r.retire(retired)
 }
 
 // Get returns the instance and load time under tag. Previous resolves to

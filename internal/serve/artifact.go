@@ -58,7 +58,14 @@ type Artifact struct {
 
 	scaler     *data.Scaler
 	checkpoint []byte
-	version    string
+	// fileBytes is the canonical serialized form — the exact bytes written
+	// by SaveArtifact and stored in the CAS, captured at creation or load.
+	// version is defined over these bytes, so they must never be
+	// regenerated: gob assigns type ids process-globally in first-use
+	// order, which makes a re-encode byte-stable within a process but NOT
+	// across processes with different gob histories.
+	fileBytes []byte
+	version   string
 
 	// Compiled float32 inference plan, lowered from the checkpoint once on
 	// first use and shared by every replica (the weights stay stored once,
@@ -96,6 +103,7 @@ func NewArtifact(modelName string, block models.BlockConfig, schema data.Schema,
 	if err != nil {
 		return nil, err
 	}
+	a.fileBytes = enc
 	a.version = versionOf(enc)
 	return a, nil
 }
@@ -111,7 +119,13 @@ func (a *Artifact) Features() int { return a.Schema.EncodedWidth() }
 // Classes returns the number of output classes.
 func (a *Artifact) Classes() int { return a.Schema.NumClasses() }
 
+// Bytes returns the artifact's canonical file bytes — the form whose
+// SHA-256 defines Version(). Callers must not mutate the result.
+func (a *Artifact) Bytes() []byte { return a.fileBytes }
+
 // encode serializes the artifact to its file bytes (magic + gob payload).
+// Only NewArtifact may call it: everywhere else must use the captured
+// canonical Bytes, because gob output is not byte-stable across processes.
 func (a *Artifact) encode() ([]byte, error) {
 	var buf bytes.Buffer
 	buf.WriteString(artifactMagic)
@@ -137,13 +151,10 @@ func versionOf(fileBytes []byte) string {
 }
 
 // SaveArtifact writes the artifact to w in the single-file format that
-// LoadArtifact reads.
+// LoadArtifact reads. It writes the canonical bytes version is defined
+// over, so save → load round-trips the version exactly.
 func SaveArtifact(w io.Writer, a *Artifact) error {
-	enc, err := a.encode()
-	if err != nil {
-		return err
-	}
-	_, err = w.Write(enc)
+	_, err := w.Write(a.fileBytes)
 	return err
 }
 
@@ -195,6 +206,7 @@ func LoadArtifact(r io.Reader) (*Artifact, error) {
 		Schema:     wire.Schema,
 		scaler:     &data.Scaler{Mean: wire.ScalerMean, Std: wire.ScalerStd},
 		checkpoint: wire.Checkpoint,
+		fileBytes:  fileBytes,
 		version:    versionOf(fileBytes),
 	}, nil
 }

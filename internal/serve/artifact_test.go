@@ -204,6 +204,38 @@ func mlpArtifactBytes(t *testing.T) []byte {
 	return buf.Bytes()
 }
 
+// TestArtifactBytesCanonical pins the CAS identity contract: an
+// artifact's Bytes() are exactly what SaveArtifact writes and what a
+// loader read, byte for byte — never a re-encode. Gob assigns type ids
+// process-globally in first-use order, so a re-encode in a process with
+// a different gob history (pelican-train encodes the nn checkpoint
+// first) produces different bytes for identical content, and a version
+// derived from them would not match the artifact's. Bytes() must be the
+// captured canonical form so version == sha(Bytes()) in every process.
+func TestArtifactBytesCanonical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, _, _ := trainTestArtifact(t, "mlp", 5, 1)
+	if got := versionOf(a.Bytes()); got != a.Version() {
+		t.Fatalf("version %s is not the hash of Bytes() (%s)", a.Version(), got)
+	}
+	var buf bytes.Buffer
+	if err := SaveArtifact(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), a.Bytes()) {
+		t.Fatal("SaveArtifact wrote something other than the canonical bytes")
+	}
+	loaded, err := LoadArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(loaded.Bytes(), a.Bytes()) {
+		t.Fatal("loaded artifact does not carry the bytes it was read from")
+	}
+}
+
 func TestArtifactRejectsBadMagic(t *testing.T) {
 	if _, err := LoadArtifact(bytes.NewReader([]byte("definitely not an artifact"))); err == nil {
 		t.Fatal("foreign bytes accepted")

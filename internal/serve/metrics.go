@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/registry"
+	"repro/internal/store"
 )
 
 // serverMetrics holds the server-wide counters exported at /metrics.
@@ -92,6 +93,11 @@ type promSnapshot struct {
 	rollbacks       int64
 	previousVersion string
 	started         time.Time
+	// store holds the artifact-store counters (nil without Config.Store —
+	// the families are then absent, not zero); recovery is non-nil only
+	// on a server built by Recover.
+	store    *store.Stats
+	recovery *RecoveryReport
 }
 
 // writeProm renders the metrics in the Prometheus text exposition format.
@@ -193,6 +199,24 @@ func (m *serverMetrics) writeProm(w io.Writer, snap promSnapshot) {
 		stageHist("pelican_serve_batch_size",
 			"Records per flushed batch.",
 			func(st *stageMetrics) *obs.Histogram { return st.batchSize })
+	}
+
+	// Durable-control-plane families: present only when the server runs
+	// with an artifact store (and, for the recovery set, only after a
+	// journal recovery actually happened).
+	if snap.store != nil {
+		obs.WritePromHeader(w, "pelican_store_artifacts", "gauge", "Verified artifacts resident in the content-addressed store.")
+		fmt.Fprintf(w, "pelican_store_artifacts %d\n", snap.store.Artifacts)
+		obs.WritePromHeader(w, "pelican_store_bytes", "gauge", "Total bytes of resident artifacts in the content-addressed store.")
+		fmt.Fprintf(w, "pelican_store_bytes %d\n", snap.store.Bytes)
+		counter("pelican_store_gc_total", "Unreferenced artifacts deleted by store GC since process start.", snap.store.GCTotal)
+		counter("pelican_store_quarantined_total", "Artifacts quarantined after failing verification since process start.", snap.store.Quarantined)
+	}
+	if snap.recovery != nil {
+		counter("pelican_recovery_journal_replayed_total", "Journal records replayed during startup recovery.", int64(snap.recovery.Replayed))
+		counter("pelican_recovery_truncated_records_total", "Torn or corrupt trailing journal records truncated during recovery.", int64(snap.recovery.Truncated))
+		obs.WritePromHeader(w, "pelican_recovery_duration_seconds", "gauge", "Wall time of the startup journal replay and artifact re-lowering.")
+		fmt.Fprintf(w, "pelican_recovery_duration_seconds %.6f\n", snap.recovery.Duration.Seconds())
 	}
 
 	obs.WriteRuntimeProm(w, snap.started)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/nids"
 	"repro/internal/obs"
 	"repro/internal/registry"
+	"repro/internal/store"
 )
 
 // Config tunes the scoring server.
@@ -88,6 +89,18 @@ type Config struct {
 	// Logger receives structured serving-plane logs (slot lifecycle,
 	// request errors); nil silences them.
 	Logger *obs.Logger
+	// Store, when non-nil, makes the control plane durable: every loaded
+	// artifact is persisted to the content-addressed store and every slot
+	// lifecycle op is journaled before its caller is answered, so a
+	// restarted process recovers the exact slot→version topology (via
+	// Recover). Nil disables all persistence — the pre-durability
+	// behavior, and the default for tests and embedded use.
+	Store *store.Store
+	// StatsInterval is how often per-slot counters are checkpointed into
+	// the journal (so a crash rewinds them by at most this much). Only
+	// meaningful with Store set. Default 5s; negative disables periodic
+	// checkpoints (lifecycle ops still carry them).
+	StatsInterval time.Duration
 }
 
 // Engine values accepted by Config.Engine.
@@ -127,6 +140,9 @@ func (c Config) withDefaults() Config {
 	if c.TraceCap <= 0 {
 		c.TraceCap = 512
 	}
+	if c.StatsInterval == 0 {
+		c.StatsInterval = 5 * time.Second
+	}
 	return c
 }
 
@@ -155,12 +171,63 @@ type Server struct {
 	mirrorWG  sync.WaitGroup
 	mirrorSem chan struct{}
 	closed    sync.Once
+
+	// Durable control plane (nil/zero without Config.Store): the CAS the
+	// artifacts persist into, the lifecycle journal, what its replay
+	// found, readiness (a servable live slot exists), and the recovery
+	// report when the server was built by Recover.
+	store      *store.Store
+	journal    *store.Log
+	replayInfo store.RecoverInfo
+	ready      atomic.Bool
+	recovery   *RecoveryReport
+	statsStop  chan struct{}
+	statsWG    sync.WaitGroup
 }
 
 // New builds a server with a in its live slot and starts the scoring
-// workers.
+// workers. With Config.Store set, New means "start fresh with this
+// artifact": any prior journaled topology is discarded (use Recover to
+// restore one) and the initial live load is journaled like any other op.
 func New(a *Artifact, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	s, err := newServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.journal != nil {
+		if err := s.journal.Reset(store.NewTopology()); err != nil {
+			s.closeDurability()
+			return nil, err
+		}
+	}
+	if err := s.persistArtifact(a); err != nil {
+		s.closeDurability()
+		return nil, err
+	}
+	si, err := s.newInstance(a)
+	if err != nil {
+		s.closeDurability()
+		return nil, err
+	}
+	if s.store != nil {
+		s.store.Retain(a.Version())
+	}
+	if err := s.reg.Load(registry.Live, si); err != nil {
+		s.closeDurability()
+		return nil, err
+	}
+	s.journalAppend(store.OpLoad, registry.Live, a.Version())
+	s.ready.Store(true)
+	s.log.Info("model loaded", "slot", registry.Live, "version", a.Version(), "model", a.ModelName)
+	return s, nil
+}
+
+// newServer builds everything but the model slots: metrics, routes, the
+// registry with its retire hook, and — with Config.Store — the opened
+// (and replayed) journal plus the periodic stats checkpointer. Both New
+// and Recover start here.
+func newServer(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:       cfg,
 		m:         newServerMetrics(),
@@ -168,6 +235,7 @@ func New(a *Artifact, cfg Config) (*Server, error) {
 		log:       cfg.Logger,
 		started:   time.Now(),
 		mirrorSem: make(chan struct{}, cfg.MirrorConcurrency),
+		store:     cfg.Store,
 	}
 	if !cfg.ObsOff {
 		s.traces = obs.NewTraceRing(cfg.TraceCap)
@@ -176,21 +244,29 @@ func New(a *Artifact, cfg Config) (*Server, error) {
 		// A displaced generation drains in the background: requests that
 		// already enqueued onto it still get their verdicts (close flushes
 		// the queue), and Close waits for these drains before returning.
+		// Its CAS reference drops first (synchronously, so a load that
+		// displaces a slot can GC the old artifact before returning).
 		si := inst.(*slotInstance)
+		s.releaseArtifact(si)
 		s.retireWG.Add(1)
 		go func() {
 			defer s.retireWG.Done()
 			si.scorer.close()
 		}()
 	})
-	si, err := s.newInstance(a)
-	if err != nil {
-		return nil, err
+	if s.store != nil {
+		l, info, err := store.OpenLog(s.store.JournalDir())
+		if err != nil {
+			return nil, err
+		}
+		s.journal = l
+		s.replayInfo = info
+		if cfg.StatsInterval > 0 {
+			s.statsStop = make(chan struct{})
+			s.statsWG.Add(1)
+			go s.statsFlusher()
+		}
 	}
-	if err := s.reg.Load(registry.Live, si); err != nil {
-		return nil, err
-	}
-	s.log.Info("model loaded", "slot", registry.Live, "version", a.Version(), "model", a.ModelName)
 
 	s.mux.HandleFunc("/v1/detect", s.handleDetect)
 	s.mux.HandleFunc("/v1/detect-batch", s.handleDetectBatch)
@@ -204,6 +280,7 @@ func New(a *Artifact, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v2/promote", s.handlePromote)
 	s.mux.HandleFunc("/v2/rollback", s.handleRollback)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/traces", s.handleTraces)
 	return s, nil
@@ -255,17 +332,36 @@ func (s *Server) LoadSlot(tag string, a *Artifact) error {
 	}
 	s.adminMu.Lock()
 	defer s.adminMu.Unlock()
+	// A version already deployed in some slot shares its artifact (and
+	// thus its once-lowered plan) instead of lowering a second copy.
+	a = s.dedupeArtifact(a)
 	if tag == registry.Live {
 		if live, ok := s.slot(registry.Live); ok && !a.Schema.SameFeatures(live.artifact.Schema) {
 			return fmt.Errorf("serve: artifact's feature layout differs from the live model's (same-shaped swaps only; load into %q and promote for schema changes)", registry.Shadow)
 		}
 	}
+	// Durability ordering: the artifact must be in the CAS (and retained,
+	// so a concurrent retire's GC cannot sweep it) before the registry op
+	// that references it.
+	if err := s.persistArtifact(a); err != nil {
+		return err
+	}
 	si, err := s.newInstance(a)
 	if err != nil {
 		return err
 	}
+	if s.store != nil {
+		s.store.Retain(a.Version())
+	}
 	if err := s.reg.Load(tag, si); err != nil {
+		if s.store != nil {
+			s.store.Release(a.Version())
+		}
 		return err
+	}
+	s.journalAppend(store.OpLoad, tag, a.Version())
+	if tag == registry.Live {
+		s.ready.Store(true)
 	}
 	s.m.reloads.Add(1)
 	s.log.Info("model loaded", "slot", tag, "version", a.Version(), "model", a.ModelName)
@@ -287,6 +383,8 @@ func (s *Server) Promote() error {
 	defer s.adminMu.Unlock()
 	inst, err := s.reg.Promote()
 	if err == nil {
+		s.journalAppend(store.OpPromote, registry.Live, inst.Version())
+		s.ready.Store(true)
 		s.log.Info("model promoted", "slot", registry.Live, "version", inst.Version())
 	}
 	return err
@@ -300,6 +398,7 @@ func (s *Server) Rollback() error {
 	defer s.adminMu.Unlock()
 	inst, err := s.reg.Rollback()
 	if err == nil {
+		s.journalAppend(store.OpRollback, registry.Live, inst.Version())
 		s.log.Warn("model rolled back", "slot", registry.Live, "version", inst.Version())
 	}
 	return err
@@ -309,7 +408,14 @@ func (s *Server) Rollback() error {
 func (s *Server) Unload(tag string) error {
 	s.adminMu.Lock()
 	defer s.adminMu.Unlock()
-	return s.reg.Unload(tag)
+	si, ok := s.slot(tag)
+	if err := s.reg.Unload(tag); err != nil {
+		return err
+	}
+	if ok {
+		s.journalAppend(store.OpUnload, tag, si.artifact.Version())
+	}
+	return nil
 }
 
 // BeginDrain makes the server answer new scoring requests with 503 while
@@ -319,10 +425,14 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 // Close drains and stops every slot's scoring workers. Call it only after
 // the HTTP listener has stopped accepting (so no handler can still
 // enqueue); queued records — including mirrored ones — are all scored
-// before Close returns.
+// before Close returns. With a store configured, a final stats
+// checkpoint and a journal compaction land first, so a clean shutdown
+// restarts from a one-line snapshot.
 func (s *Server) Close() {
 	s.closed.Do(func() {
 		s.draining.Store(true)
+		s.ready.Store(false)
+		s.closeDurability()
 		// Mirror goroutines enqueue onto the shadow scorer; wait for them
 		// before tearing the scorers down.
 		s.mirrorWG.Wait()
@@ -1131,6 +1241,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			stages:  si.scorer.stages,
 		})
 	}
+	var storeStats *store.Stats
+	if s.store != nil {
+		st := s.store.Stats()
+		storeStats = &st
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.m.writeProm(w, promSnapshot{
 		queueDepth:      queueDepth,
@@ -1139,6 +1254,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		rollbacks:       s.reg.Rollbacks(),
 		previousVersion: s.reg.PreviousVersion(),
 		started:         s.started,
+		store:           storeStats,
+		recovery:        s.recovery,
 	})
 }
 
