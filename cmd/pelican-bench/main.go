@@ -36,7 +36,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pelican-bench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment id: table1..table5, table5x, fig2, fig5a..fig5d, ext-*, infer, all")
+		exp        = fs.String("exp", "all", "experiment id: table1..table5, table5x, fig2, fig5a..fig5d, ext-*, infer, transport, all")
 		profile    = fs.String("profile", "default", "workload profile: paper, default, smoke")
 		records    = fs.Int("records", 0, "override records per dataset (0 = profile default)")
 		epochs     = fs.Int("epochs", 0, "override training epochs (0 = profile default)")
@@ -45,7 +45,7 @@ func run(args []string, out io.Writer) error {
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		engine     = fs.String("engine", "both", "infer A/B (-exp infer, or its -exp all tail): which engines to drive (f32, f64 or both)")
-		benchJSON  = fs.String("json", "", "infer A/B: also write the result to this JSON file (e.g. BENCH_infer.json)")
+		benchJSON  = fs.String("json", "", "infer/transport A/B: also write the result to this JSON file (e.g. BENCH_infer.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,6 +117,28 @@ func runInferBench(p experiments.Profile, engine, jsonPath string, out, log io.W
 		return err
 	}
 	fmt.Fprint(out, experiments.FormatInferBench(res))
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", jsonPath, err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// runTransportBench runs the HTTP/JSON-vs-wire serving transport A/B
+// and, when jsonPath is set, writes the result there
+// (BENCH_transport.json tracks the transport trajectory).
+func runTransportBench(p experiments.Profile, jsonPath string, out, log io.Writer) error {
+	res, err := experiments.RunTransportBench(p, log)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, experiments.FormatTransportBench(res))
 	if jsonPath != "" {
 		b, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
@@ -271,6 +293,8 @@ func dispatch(exp string, p experiments.Profile, engine, benchJSON string, out, 
 		}
 	case "infer":
 		return runInferBench(p, engine, benchJSON, out, log)
+	case "transport":
+		return runTransportBench(p, benchJSON, out, log)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}

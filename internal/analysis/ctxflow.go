@@ -25,7 +25,7 @@ func CtxFlow() *Analyzer {
 	return &Analyzer{
 		Name:  "ctxflow",
 		Doc:   "request-path code must thread context and give goroutines cancellation/completion discipline",
-		Scope: []string{"internal/serve", "internal/nids"},
+		Scope: []string{"internal/serve", "internal/nids", "internal/wire"},
 		Run:   runCtxFlow,
 	}
 }

@@ -27,7 +27,7 @@ func LockScope() *Analyzer {
 	return &Analyzer{
 		Name:  "lockscope",
 		Doc:   "no blocking operation while holding a mutex in the serving plane",
-		Scope: []string{"internal/serve", "internal/registry", "internal/nids"},
+		Scope: []string{"internal/serve", "internal/registry", "internal/nids", "internal/wire"},
 		Run:   runLockScope,
 	}
 }

@@ -25,7 +25,24 @@ import (
 const DefaultClientTimeout = 10 * time.Second
 
 // defaultHTTPClient is shared by every Client whose HTTP field is nil.
-var defaultHTTPClient = &http.Client{Timeout: DefaultClientTimeout}
+// Its transport is tuned for a scoring client's traffic shape — many
+// concurrent requests to one or two hosts: http.DefaultTransport keeps
+// only 2 idle connections per host, so a load generator churns through
+// ephemeral connections (handshakes, TIME_WAIT) instead of reusing
+// keep-alive ones. That would also handicap the HTTP side of any
+// HTTP-vs-wire comparison with connection-setup cost the binary plane
+// (persistent connections) never pays.
+var defaultHTTPClient = &http.Client{
+	Timeout: DefaultClientTimeout,
+	Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 128,
+		IdleConnTimeout:     90 * time.Second,
+		// Keep-alives stay enabled (the zero value): every scoring
+		// request after the first reuses a warm connection.
+		DisableKeepAlives: false,
+	},
+}
 
 // Client is a typed HTTP client for the scoring server: the consumer side
 // of the /v1 and /v2 APIs for Go callers (load generators, adaptation

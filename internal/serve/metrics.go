@@ -37,6 +37,14 @@ type serverMetrics struct {
 	shed            atomic.Int64
 	deadlineExpired atomic.Int64
 	latency         *obs.Histogram
+	// Binary transport plane (wire.go): open connections, frames and
+	// bytes by direction, and framing/payload protocol violations.
+	wireConnections atomic.Int64
+	wireFramesIn    atomic.Int64
+	wireFramesOut   atomic.Int64
+	wireBytesIn     atomic.Int64
+	wireBytesOut    atomic.Int64
+	wireProtoErrors atomic.Int64
 }
 
 func newServerMetrics() *serverMetrics {
@@ -126,6 +134,16 @@ func (m *serverMetrics) writeProm(w io.Writer, snap promSnapshot) {
 
 	obs.WritePromHeader(w, "pelican_serve_queue_depth", "gauge", "Records waiting across all slot batcher queues.")
 	fmt.Fprintf(w, "pelican_serve_queue_depth %d\n", snap.queueDepth)
+
+	obs.WritePromHeader(w, "pelican_wire_connections", "gauge", "Open binary-transport connections.")
+	fmt.Fprintf(w, "pelican_wire_connections %d\n", m.wireConnections.Load())
+	obs.WritePromHeader(w, "pelican_wire_frames_total", "counter", "Wire frames by direction (in = read from clients, out = written to clients).")
+	fmt.Fprintf(w, "pelican_wire_frames_total{dir=\"in\"} %d\n", m.wireFramesIn.Load())
+	fmt.Fprintf(w, "pelican_wire_frames_total{dir=\"out\"} %d\n", m.wireFramesOut.Load())
+	obs.WritePromHeader(w, "pelican_wire_bytes_total", "counter", "Wire frame bytes (headers + payloads) by direction.")
+	fmt.Fprintf(w, "pelican_wire_bytes_total{dir=\"in\"} %d\n", m.wireBytesIn.Load())
+	fmt.Fprintf(w, "pelican_wire_bytes_total{dir=\"out\"} %d\n", m.wireBytesOut.Load())
+	counter("pelican_wire_protocol_errors_total", "Framing/payload protocol violations; each closes its connection.", m.wireProtoErrors.Load())
 
 	obs.WritePromHeader(w, "pelican_serve_model_info", "gauge", "Loaded model per registry slot (value is always 1).")
 	for _, sl := range snap.slots {

@@ -305,6 +305,9 @@ type slotInstance struct {
 	artifact *Artifact
 	scorer   *scorer
 	loadedAt time.Time
+	// wireFP is the artifact schema's wire fingerprint, precomputed at
+	// load so the binary transport's per-request check is a compare.
+	wireFP uint64
 }
 
 var _ registry.Instance = (*slotInstance)(nil)

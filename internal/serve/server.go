@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sort"
 	"strconv"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/store"
+	"repro/internal/wire"
 )
 
 // Config tunes the scoring server.
@@ -101,6 +103,10 @@ type Config struct {
 	// meaningful with Store set. Default 5s; negative disables periodic
 	// checkpoints (lifecycle ops still carry them).
 	StatsInterval time.Duration
+	// WirePipeline is the binary transport's per-connection worker count:
+	// how many pipelined score frames one wire connection may have in
+	// flight through the scoring path at once. Default 8.
+	WirePipeline int
 }
 
 // Engine values accepted by Config.Engine.
@@ -143,6 +149,9 @@ func (c Config) withDefaults() Config {
 	if c.StatsInterval == 0 {
 		c.StatsInterval = 5 * time.Second
 	}
+	if c.WirePipeline <= 0 {
+		c.WirePipeline = 8
+	}
 	return c
 }
 
@@ -171,6 +180,13 @@ type Server struct {
 	mirrorWG  sync.WaitGroup
 	mirrorSem chan struct{}
 	closed    sync.Once
+
+	// Binary transport plane (see wire.go): the open wire listeners and
+	// connections, and the WaitGroup ShutdownWire drains.
+	wireMu    sync.Mutex
+	wireLns   map[net.Listener]struct{}
+	wireConns map[*wireServerConn]struct{}
+	wireWG    sync.WaitGroup
 
 	// Durable control plane (nil/zero without Config.Store): the CAS the
 	// artifacts persist into, the lifecycle journal, what its replay
@@ -293,7 +309,12 @@ func (s *Server) newInstance(a *Artifact) (*slotInstance, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &slotInstance{artifact: a, scorer: sc, loadedAt: time.Now()}, nil
+	return &slotInstance{
+		artifact: a,
+		scorer:   sc,
+		loadedAt: time.Now(),
+		wireFP:   wire.Fingerprint(a.Schema),
+	}, nil
 }
 
 // slot resolves a tag to its loaded instance.
@@ -432,6 +453,11 @@ func (s *Server) Close() {
 	s.closed.Do(func() {
 		s.draining.Store(true)
 		s.ready.Store(false)
+		// Wire connections still open (servers that never called
+		// ShutdownWire) are force-closed: their in-flight requests must
+		// finish before the scorers tear down.
+		s.forceCloseWire()
+		s.wireWG.Wait()
 		s.closeDurability()
 		// Mirror goroutines enqueue onto the shadow scorer; wait for them
 		// before tearing the scorers down.

@@ -1,0 +1,624 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/nids"
+	"repro/internal/obs"
+	"repro/internal/registry"
+	"repro/internal/wire"
+)
+
+// This file is the binary scoring plane: a wire.Frame listener whose
+// decoded score requests feed the exact same per-slot batcher/scorer
+// path as the HTTP handlers — one admission controller, one deadline
+// policy, one set of stage histograms, one drain sequence. The wire
+// plane is a second front door, never a second scoring path.
+//
+// Connection lifecycle: accept → Hello/Schema handshake → pipelined
+// Score frames fanned over a fixed per-connection worker pool →
+// out-of-order Result frames serialized by one writer goroutine. On
+// drain (ShutdownWire) every connection gets a GoAway; in-flight
+// requests are still answered, post-GoAway requests answer Error 503
+// (shed, same as the HTTP plane's drain answer), and the connection
+// closes when the client, having collected its last response, closes
+// its end — so no in-flight frame is ever dropped.
+
+// ServeWire accepts wire-protocol connections on ln and serves them
+// until ln is closed (by ShutdownWire, Close, or ctx cancellation).
+// Each connection gets its own goroutines; ctx bounds the scoring work
+// of every request on every connection. Blocks; run it in a goroutine
+// beside http.Server.Serve.
+func (s *Server) ServeWire(ctx context.Context, ln net.Listener) error {
+	s.trackWireListener(ln, true)
+	defer s.trackWireListener(ln, false)
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close()
+		case <-watchDone:
+		}
+	}()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		s.wireWG.Add(1)
+		go func(conn net.Conn) {
+			defer s.wireWG.Done()
+			s.serveWireConn(ctx, conn)
+		}(nc)
+	}
+}
+
+// ShutdownWire gracefully drains the wire plane: stops accepting, sends
+// every connection a GoAway, answers everything already in flight, and
+// waits for clients to collect their responses and close. Connections
+// still open when ctx expires are force-closed. Call it after the HTTP
+// listener has shut down and before Close (the scorers must outlive the
+// in-flight wire requests).
+func (s *Server) ShutdownWire(ctx context.Context) error {
+	s.wireMu.Lock()
+	lns := make([]net.Listener, 0, len(s.wireLns))
+	for ln := range s.wireLns {
+		lns = append(lns, ln)
+	}
+	conns := make([]*wireServerConn, 0, len(s.wireConns))
+	for cn := range s.wireConns {
+		conns = append(conns, cn)
+	}
+	s.wireMu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, cn := range conns {
+		cn.beginDrain()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wireWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.forceCloseWire()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// forceCloseWire abandons graceful drain: every wire socket is closed
+// outright. In-flight requests finish scoring (the scorers drain them)
+// but their responses may be lost — the crash-shaped path, used by
+// Close for embedded/test servers that never called ShutdownWire.
+func (s *Server) forceCloseWire() {
+	s.wireMu.Lock()
+	lns := make([]net.Listener, 0, len(s.wireLns))
+	for ln := range s.wireLns {
+		lns = append(lns, ln)
+	}
+	conns := make([]*wireServerConn, 0, len(s.wireConns))
+	for cn := range s.wireConns {
+		conns = append(conns, cn)
+	}
+	s.wireMu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, cn := range conns {
+		cn.closeSocket()
+	}
+}
+
+func (s *Server) trackWireListener(ln net.Listener, add bool) {
+	s.wireMu.Lock()
+	if add {
+		if s.wireLns == nil {
+			s.wireLns = make(map[net.Listener]struct{})
+		}
+		s.wireLns[ln] = struct{}{}
+	} else {
+		delete(s.wireLns, ln)
+	}
+	s.wireMu.Unlock()
+}
+
+func (s *Server) trackWireConn(cn *wireServerConn, add bool) {
+	s.wireMu.Lock()
+	if add {
+		if s.wireConns == nil {
+			s.wireConns = make(map[*wireServerConn]struct{})
+		}
+		s.wireConns[cn] = struct{}{}
+	} else {
+		delete(s.wireConns, cn)
+	}
+	s.wireMu.Unlock()
+}
+
+// wireReply is one outbound frame: the payload buffer returns to the
+// reply pool after the writer sends it.
+type wireReply struct {
+	ft      wire.FrameType
+	payload []byte
+}
+
+// wireServerConn is one accepted wire connection.
+type wireServerConn struct {
+	s  *Server
+	nc net.Conn
+	bw *bufio.Writer
+	fr *wire.FrameReader
+	fw *wire.FrameWriter
+
+	writeq     chan wireReply
+	noMoreSend chan struct{} // closed when nothing further will be enqueued
+	down       chan struct{} // closed when the socket is being torn down
+	writerDone chan struct{}
+	noMoreOnce sync.Once
+	downOnce   sync.Once
+
+	draining atomic.Bool
+	// active counts accepted Score frames whose reply is not yet
+	// enqueued; the connection teardown waits it out so every read
+	// request gets its answer written.
+	active   sync.WaitGroup
+	reqq     chan *wireRequest
+	workerWG sync.WaitGroup
+}
+
+const wireConnBufSize = 64 << 10
+
+// serveWireConn runs one connection to completion.
+func (s *Server) serveWireConn(ctx context.Context, nc net.Conn) {
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	bw := bufio.NewWriterSize(nc, wireConnBufSize)
+	cn := &wireServerConn{
+		s:          s,
+		nc:         nc,
+		bw:         bw,
+		fr:         wire.NewFrameReader(bufio.NewReaderSize(nc, wireConnBufSize)),
+		fw:         wire.NewFrameWriter(bw),
+		writeq:     make(chan wireReply, 4*s.cfg.WirePipeline),
+		noMoreSend: make(chan struct{}),
+		down:       make(chan struct{}),
+		writerDone: make(chan struct{}),
+		reqq:       make(chan *wireRequest, s.cfg.WirePipeline),
+	}
+	s.m.wireConnections.Add(1)
+	s.trackWireConn(cn, true)
+	go cn.writeLoop()
+	for i := 0; i < s.cfg.WirePipeline; i++ {
+		cn.workerWG.Add(1)
+		go cn.worker(ctx)
+	}
+	cn.readLoop()
+	// The reader is done: no further requests will be dispatched. Let the
+	// workers finish, wait until every accepted request's reply has been
+	// enqueued, let the writer drain and flush, then release the socket.
+	close(cn.reqq)
+	cn.workerWG.Wait()
+	cn.active.Wait()
+	cn.noMoreOnce.Do(func() { close(cn.noMoreSend) })
+	<-cn.writerDone
+	cn.closeSocket()
+	s.trackWireConn(cn, false)
+	s.m.wireConnections.Add(-1)
+}
+
+// beginDrain marks the connection draining and queues the GoAway notice.
+// The connection then closes on the client's initiative (or a force
+// close): the client collects its in-flight responses, sees its pending
+// set empty, and closes its end.
+func (cn *wireServerConn) beginDrain() {
+	cn.draining.Store(true)
+	cn.enqueueReply(wire.FrameGoAway, nil)
+}
+
+// closeSocket tears the transport down, unblocking the reader and writer.
+func (cn *wireServerConn) closeSocket() {
+	cn.downOnce.Do(func() {
+		close(cn.down)
+		cn.nc.Close()
+	})
+}
+
+// readLoop is the connection's single reader: handshake, then dispatch.
+func (cn *wireServerConn) readLoop() {
+	s := cn.s
+	handshaken := false
+	for {
+		ft, p, err := cn.fr.Read()
+		if err != nil {
+			if err != io.EOF && wire.IsProtocolError(err) {
+				cn.protoError(err)
+			}
+			return
+		}
+		s.m.wireFramesIn.Add(1)
+		s.m.wireBytesIn.Add(int64(wire.HeaderSize + len(p)))
+		switch ft {
+		case wire.FrameHello:
+			if !cn.sendSchema() {
+				return
+			}
+			handshaken = true
+		case wire.FrameScore:
+			if !handshaken {
+				cn.protoError(fmt.Errorf("wire: score frame before handshake"))
+				return
+			}
+			wr := getWireRequest()
+			req, perr := wr.rb.SetPayload(p)
+			if perr != nil {
+				putWireRequest(wr)
+				cn.protoError(perr)
+				return
+			}
+			wr.req = req
+			cn.active.Add(1)
+			if cn.draining.Load() || s.draining.Load() {
+				// Same answer the HTTP plane gives during drain; the reply
+				// is still delivered, so the client can account it as shed.
+				s.m.requestErrors5xx.Add(1)
+				cn.sendError(req.ID, http.StatusServiceUnavailable, "server is draining")
+				cn.active.Done()
+				putWireRequest(wr)
+				continue
+			}
+			cn.reqq <- wr
+		default:
+			// Clients send only Hello and Score.
+			cn.protoError(wire.ErrUnknownFrame)
+			return
+		}
+	}
+}
+
+// protoError counts a protocol violation, best-effort notifies the peer
+// with a connection-level Error frame, and lets the caller close.
+func (cn *wireServerConn) protoError(err error) {
+	cn.s.m.wireProtoErrors.Add(1)
+	cn.s.log.Warn("wire protocol error", "remote", cn.nc.RemoteAddr().String(), "error", err.Error())
+	cn.sendError(0, http.StatusBadRequest, err.Error())
+}
+
+// sendSchema answers a Hello with the live slot's schema. The handshake
+// always describes the live schema; a client pinned to a slot with a
+// different feature layout learns that via the per-request fingerprint
+// check (409).
+func (cn *wireServerConn) sendSchema() bool {
+	si, ok := cn.s.slot(registry.Live)
+	if !ok {
+		cn.s.m.requestErrors5xx.Add(1)
+		cn.sendError(0, http.StatusServiceUnavailable, "no model loaded under tag \"live\"")
+		return false
+	}
+	payload, err := wire.EncodeSchemaInfo(wire.SchemaInfo{
+		ModelVersion: si.artifact.Version(),
+		Fingerprint:  si.wireFP,
+		Schema:       si.artifact.Schema,
+	})
+	if err != nil {
+		cn.s.m.requestErrors5xx.Add(1)
+		cn.sendError(0, http.StatusInternalServerError, "encode schema: "+err.Error())
+		return false
+	}
+	buf := append(getReplyBuf(), payload...)
+	cn.enqueueReply(wire.FrameSchema, buf)
+	return true
+}
+
+// sendError queues an Error frame (id 0 = connection-level).
+func (cn *wireServerConn) sendError(id uint64, status int, msg string) {
+	buf := wire.AppendError(getReplyBuf(), id, status, msg)
+	cn.enqueueReply(wire.FrameError, buf)
+}
+
+// enqueueReply hands one outbound frame to the writer; if the connection
+// is going down the buffer is recycled and the frame dropped.
+func (cn *wireServerConn) enqueueReply(ft wire.FrameType, payload []byte) {
+	select {
+	case cn.writeq <- wireReply{ft: ft, payload: payload}:
+	case <-cn.down:
+		putReplyBuf(payload)
+	}
+}
+
+// writeLoop is the connection's single writer: it serializes the
+// pipelined replies, flushing once per burst (drain the queue, then
+// flush) so pipelined responses share syscalls without adding latency.
+func (cn *wireServerConn) writeLoop() {
+	defer close(cn.writerDone)
+	for {
+		select {
+		case rep := <-cn.writeq:
+			if !cn.writeBurst(rep) {
+				return
+			}
+		case <-cn.noMoreSend:
+			// Nothing further will be enqueued; drain what's there, flush,
+			// and exit.
+			for {
+				select {
+				case rep := <-cn.writeq:
+					if !cn.writeReply(rep) {
+						return
+					}
+				default:
+					cn.bw.Flush()
+					return
+				}
+			}
+		case <-cn.down:
+			return
+		}
+	}
+}
+
+// writeBurst writes rep plus everything else already queued, then
+// flushes once.
+func (cn *wireServerConn) writeBurst(rep wireReply) bool {
+	if !cn.writeReply(rep) {
+		return false
+	}
+	for {
+		select {
+		case next := <-cn.writeq:
+			if !cn.writeReply(next) {
+				return false
+			}
+		default:
+			if err := cn.bw.Flush(); err != nil {
+				cn.closeSocket()
+				return false
+			}
+			return true
+		}
+	}
+}
+
+func (cn *wireServerConn) writeReply(rep wireReply) bool {
+	err := cn.fw.Write(rep.ft, rep.payload)
+	cn.s.m.wireFramesOut.Add(1)
+	cn.s.m.wireBytesOut.Add(int64(wire.HeaderSize + len(rep.payload)))
+	putReplyBuf(rep.payload)
+	if err != nil {
+		cn.closeSocket()
+		return false
+	}
+	return true
+}
+
+// worker scores dispatched requests. The pool is fixed at connection
+// setup (WirePipeline workers), so pipelining costs no per-frame
+// goroutine.
+func (cn *wireServerConn) worker(ctx context.Context) {
+	defer cn.workerWG.Done()
+	for wr := range cn.reqq {
+		cn.handleScore(ctx, wr)
+	}
+}
+
+// handleScore runs one score request end to end: trace, deadline,
+// shared scoring path, packed response. By return, the reply (result or
+// error) is enqueued — that pairs the active.Done with the reader's Add.
+func (cn *wireServerConn) handleScore(ctx context.Context, wr *wireRequest) {
+	defer cn.active.Done()
+	defer putWireRequest(wr)
+	s := cn.s
+	start := time.Now()
+	id := wr.req.ID
+	var tr *obs.Trace
+	if s.traces != nil {
+		tr = obs.NewTrace(fmt.Sprintf("%016x", id), "/wire/score")
+		tr.Records = wr.req.Count
+	}
+	tag := internWireTag(wr.req.Tag)
+	rctx, cancel := s.wireScoreCtx(ctx, wr.req.DeadlineMS)
+	verdicts, si, status, err := s.scoreWire(rctx, wr, tag, tr)
+	cancel()
+	if err != nil {
+		if status >= 500 {
+			s.m.requestErrors5xx.Add(1)
+			s.log.Warn("wire request error", "status", status, "request_id", fmt.Sprintf("%016x", id), "error", err.Error())
+		} else {
+			s.m.requestErrors4xx.Add(1)
+			s.log.Debug("wire request rejected", "status", status, "request_id", fmt.Sprintf("%016x", id), "error", err.Error())
+		}
+		cn.sendError(id, status, err.Error())
+		s.putTrace(tr, status, err.Error())
+		return
+	}
+	s.m.records.Add(int64(len(verdicts)))
+	encStart := time.Now()
+	buf, aerr := wire.AppendScoreResponse(getReplyBuf(), id, si.artifact.Version(), verdicts)
+	if aerr != nil {
+		putReplyBuf(buf)
+		s.m.requestErrors5xx.Add(1)
+		cn.sendError(id, http.StatusInternalServerError, "encode response: "+aerr.Error())
+		s.putTrace(tr, http.StatusInternalServerError, aerr.Error())
+		return
+	}
+	cn.enqueueReply(wire.FrameResult, buf)
+	s.finishScored(tr, si, encStart, len(verdicts))
+	s.m.observeLatency(time.Since(start))
+}
+
+// wireScoreCtx derives the scoring deadline for one wire request: the
+// connection's context bounded by RequestTimeout, shortened — never
+// extended — by the request frame's deadline field. The exact twin of
+// scoreCtx's X-Timeout-Ms handling.
+func (s *Server) wireScoreCtx(ctx context.Context, deadlineMS uint32) (context.Context, context.CancelFunc) {
+	budget := s.cfg.RequestTimeout
+	if deadlineMS > 0 {
+		if d := time.Duration(deadlineMS) * time.Millisecond; budget < 0 || d < budget {
+			budget = d
+		}
+	}
+	if budget < 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, budget)
+}
+
+// scoreWire is scoreSlot for packed-binary requests: resolve the slot,
+// check the schema fingerprint, materialize the packed records against
+// that slot's own schema, and score on its replicas — with the same
+// admission watermark, deadline shedding, swap retry, stats, and
+// mirroring as the HTTP path. Records and verdicts live in wr's pooled
+// slabs, valid until wr is recycled.
+func (s *Server) scoreWire(ctx context.Context, wr *wireRequest, tag string, tr *obs.Trace) ([]nids.Verdict, *slotInstance, int, error) {
+	const maxAttempts = 4
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		admitStart := time.Now()
+		si, ok := s.slot(tag)
+		if !ok {
+			return nil, nil, http.StatusNotFound, fmt.Errorf("no model loaded under tag %q", tag)
+		}
+		if wr.req.Fingerprint != si.wireFP {
+			// The request was encoded against a schema this slot no longer
+			// serves (a promote changed the vocabulary). Decoding its
+			// indices would score garbage; the client re-handshakes.
+			return nil, nil, http.StatusConflict,
+				fmt.Errorf("schema fingerprint mismatch for slot %q (client %016x, server %016x); re-handshake", tag, wr.req.Fingerprint, si.wireFP)
+		}
+		recs, err := wr.rb.Decode(&wr.req, si.artifact.Schema)
+		if err != nil {
+			return nil, nil, http.StatusBadRequest, fmt.Errorf("decode records: %w", err)
+		}
+		tr.SetSlot(tag, si.artifact.Version())
+		st := s.reg.StatsFor(tag)
+		if wm := s.cfg.AdmitWatermark; wm > 0 && si.scorer.queueLen() >= wm {
+			st.Shed.Add(int64(len(recs)))
+			s.m.shed.Add(int64(len(recs)))
+			return nil, nil, http.StatusTooManyRequests,
+				fmt.Errorf("slot %q queue is over the admission watermark (%d queued, watermark %d); retry later", tag, si.scorer.queueLen(), wm)
+		}
+		if attempt == 0 {
+			tr.Span("admit", admitStart, time.Since(admitStart))
+		}
+		if cap(wr.verdicts) < len(recs) {
+			wr.verdicts = make([]nids.Verdict, len(recs))
+		}
+		verdicts := wr.verdicts[:len(recs)]
+		for i := range verdicts {
+			verdicts[i] = nids.Verdict{}
+		}
+		var expired atomic.Int64
+		switch si.scorer.score(ctx, recs, verdicts, &expired, tr) {
+		case submitClosed:
+			continue
+		case submitExpired:
+			n := expired.Load()
+			st.DeadlineExpired.Add(n)
+			s.m.deadlineExpired.Add(n)
+			return nil, nil, http.StatusServiceUnavailable,
+				fmt.Errorf("deadline expired while queued: %d of %d records shed; retry with more budget", n, len(recs))
+		}
+		st.Records.Add(int64(len(recs)))
+		attacks := int64(0)
+		for i := range verdicts {
+			if verdicts[i].IsAttack {
+				attacks++
+			}
+		}
+		st.Attacks.Add(attacks)
+		if tag == registry.Live && !s.cfg.MirrorOff {
+			if _, ok := s.slot(registry.Shadow); ok {
+				// The mirror consumes recs/verdicts asynchronously, but
+				// these live in pooled slabs recycled when this request's
+				// reply goes out — hand the mirror its own copy.
+				s.mirror(si, cloneRecords(recs), cloneVerdicts(verdicts), tr)
+			}
+		}
+		return verdicts, si, 0, nil
+	}
+	return nil, nil, http.StatusServiceUnavailable,
+		fmt.Errorf("slot %q was replaced %d times mid-request; retry", tag, maxAttempts)
+}
+
+// internWireTag maps a request's tag bytes to the registry tag without
+// allocating for the overwhelmingly common cases.
+func internWireTag(b []byte) string {
+	if len(b) == 0 || string(b) == registry.Live {
+		return registry.Live
+	}
+	if string(b) == registry.Shadow {
+		return registry.Shadow
+	}
+	return string(b)
+}
+
+// cloneRecords deep-copies pooled records into fresh backing storage
+// (the categorical strings themselves are immutable and shared).
+func cloneRecords(recs []data.Record) []data.Record {
+	out := make([]data.Record, len(recs))
+	nn, nc := 0, 0
+	for i := range recs {
+		nn += len(recs[i].Numeric)
+		nc += len(recs[i].Categorical)
+	}
+	nums := make([]float64, 0, nn)
+	cats := make([]string, 0, nc)
+	for i := range recs {
+		n0 := len(nums)
+		nums = append(nums, recs[i].Numeric...)
+		c0 := len(cats)
+		cats = append(cats, recs[i].Categorical...)
+		out[i] = data.Record{
+			Numeric:     nums[n0:len(nums):len(nums)],
+			Categorical: cats[c0:len(cats):len(cats)],
+			Label:       recs[i].Label,
+		}
+	}
+	return out
+}
+
+func cloneVerdicts(vs []nids.Verdict) []nids.Verdict {
+	out := make([]nids.Verdict, len(vs))
+	copy(out, vs)
+	return out
+}
+
+// wireRequest is the pooled per-request decode state: the copied frame
+// payload, the record slabs, and the verdict slab.
+type wireRequest struct {
+	req      wire.ScoreRequest
+	rb       wire.RecordBuffer
+	verdicts []nids.Verdict
+}
+
+var wireRequestPool = sync.Pool{New: func() any { return new(wireRequest) }}
+
+func getWireRequest() *wireRequest   { return wireRequestPool.Get().(*wireRequest) }
+func putWireRequest(wr *wireRequest) { wireRequestPool.Put(wr) }
+
+// replyBufPool recycles outbound frame payload buffers.
+var replyBufPool = sync.Pool{New: func() any { return []byte(nil) }}
+
+func getReplyBuf() []byte { return replyBufPool.Get().([]byte)[:0] }
+func putReplyBuf(p []byte) {
+	if p != nil {
+		replyBufPool.Put(p) //nolint:staticcheck // slice header boxing is fine here
+	}
+}

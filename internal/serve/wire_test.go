@@ -1,0 +1,564 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/data"
+	"repro/internal/nids"
+	"repro/internal/wire"
+)
+
+// startWireListener opens a loopback wire listener on srv and returns its
+// address. The listener is shut down via cancel at cleanup; tests that
+// exercise drain call ShutdownWire themselves first.
+func startWireListener(t *testing.T, srv *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeWire(ctx, ln)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+// wireTestConn is a hand-driven protocol peer: tests that need exact
+// frame-level control (hostile fingerprints, drain ordering, garbage)
+// drive the connection themselves instead of going through wire.Client.
+type wireTestConn struct {
+	nc  net.Conn
+	bw  *bufio.Writer
+	fr  *wire.FrameReader
+	fw  *wire.FrameWriter
+	enc *wire.RecordEncoder
+}
+
+// dialWire connects and completes the Hello/Schema handshake.
+func dialWire(t *testing.T, addr string) *wireTestConn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	c := &wireTestConn{
+		nc: nc,
+		bw: bufio.NewWriter(nc),
+		fr: wire.NewFrameReader(bufio.NewReader(nc)),
+	}
+	c.fw = wire.NewFrameWriter(c.bw)
+	if err := c.fw.Write(wire.FrameHello, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ft, p, err := c.fr.Read()
+	if err != nil || ft != wire.FrameSchema {
+		t.Fatalf("handshake answer: frame %d, err %v (want Schema)", ft, err)
+	}
+	info, err := wire.DecodeSchemaInfo(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.enc = wire.NewRecordEncoder(info.Schema)
+	if c.enc.Fingerprint() != info.Fingerprint {
+		t.Fatalf("client fingerprint %016x != server %016x", c.enc.Fingerprint(), info.Fingerprint)
+	}
+	return c
+}
+
+// sendScore frames one score request (mutate, when non-nil, edits the
+// payload before framing — hostile-input tests use it).
+func (c *wireTestConn) sendScore(t *testing.T, id uint64, deadlineMS uint32, tag string, recs []*data.Record, mutate func([]byte)) {
+	t.Helper()
+	p, err := c.enc.AppendScoreRequest(nil, id, deadlineMS, tag, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutate != nil {
+		mutate(p)
+	}
+	if err := c.fw.Write(wire.FrameScore, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readFrame reads one frame with a test-failure deadline.
+func (c *wireTestConn) readFrame(t *testing.T) (wire.FrameType, []byte) {
+	t.Helper()
+	c.nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	ft, p, err := c.fr.Read()
+	if err != nil {
+		t.Fatalf("read frame: %v", err)
+	}
+	return ft, p
+}
+
+// expectError reads one frame and asserts it is an Error with the given
+// id and status.
+func (c *wireTestConn) expectError(t *testing.T, id uint64, status int) wire.WireError {
+	t.Helper()
+	ft, p := c.readFrame(t)
+	if ft != wire.FrameError {
+		t.Fatalf("frame type %d, want Error", ft)
+	}
+	we, err := wire.ParseError(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if we.ID != id || we.Status != status {
+		t.Fatalf("error frame id=%d status=%d (%s), want id=%d status=%d", we.ID, we.Status, we.Msg, id, status)
+	}
+	return we
+}
+
+// TestWireMatchesHTTPPlane pins the tentpole acceptance: verdicts served
+// over the binary transport equal the HTTP plane's on the same records
+// (scores within f32 narrowing, which the wire format applies by design),
+// requests are traced through the same ring, and the wire metrics move.
+func TestWireMatchesHTTPPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, _, recs := trainTestArtifact(t, "mlp", 11, 2)
+	srv, ts := newTestServer(t, a, Config{Replicas: 2, MaxBatch: 8, MaxWait: time.Millisecond})
+	addr := startWireListener(t, srv)
+
+	wc := wire.NewClient(addr)
+	defer wc.Close()
+	got, version, err := wc.Score(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d verdicts for %d records", len(got), len(recs))
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/detect-batch", detectBatchRequest{Records: recordsJSON(recs)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/detect-batch = %d (%s)", resp.StatusCode, body)
+	}
+	var httpResp detectBatchResponse
+	if err := json.Unmarshal(body, &httpResp); err != nil {
+		t.Fatal(err)
+	}
+	if version != httpResp.ModelVersion {
+		t.Fatalf("wire version %q != HTTP version %q", version, httpResp.ModelVersion)
+	}
+	if wc.ModelVersion() != version {
+		t.Fatalf("ModelVersion() = %q, want %q", wc.ModelVersion(), version)
+	}
+	for i, hv := range httpResp.Verdicts {
+		wv := got[i]
+		if wv.IsAttack != hv.IsAttack || wv.Class != hv.Class {
+			t.Fatalf("record %d: wire %+v vs http %+v", i, wv, hv)
+		}
+		// Scores agree to f32 precision; batch composition differs between
+		// the two calls, so allow a few ulps on top of the f32 narrowing.
+		if diff := math.Abs(wv.Score - hv.Score); diff > 1e-4*math.Max(1, math.Abs(hv.Score)) {
+			t.Fatalf("record %d score: wire %v vs http %v", i, wv.Score, hv.Score)
+		}
+		if wv.Failed {
+			t.Fatalf("record %d: wire verdict marked Failed on a successful call", i)
+		}
+	}
+
+	// Tracing: the wire request went through the same ring, tagged with
+	// the wire endpoint and its hex request id.
+	var wireTrace bool
+	for _, tr := range srv.traces.Snapshot() {
+		if tr.Endpoint == "/wire/score" {
+			wireTrace = true
+			if len(tr.ID) != 16 {
+				t.Fatalf("wire trace id %q, want 16 hex digits", tr.ID)
+			}
+			if tr.Records != len(recs) {
+				t.Fatalf("wire trace records = %d, want %d", tr.Records, len(recs))
+			}
+		}
+	}
+	if !wireTrace {
+		t.Fatal("no /wire/score trace captured")
+	}
+
+	// Metrics: the four wire families render and move.
+	code, metrics := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"pelican_wire_connections 1",
+		`pelican_wire_frames_total{dir="in"}`,
+		`pelican_wire_frames_total{dir="out"}`,
+		`pelican_wire_bytes_total{dir="in"}`,
+		`pelican_wire_bytes_total{dir="out"}`,
+		"pelican_wire_protocol_errors_total 0",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if srv.m.wireFramesIn.Load() < 2 || srv.m.wireFramesOut.Load() < 2 {
+		t.Fatalf("wire frame counters in=%d out=%d, want >= 2 each",
+			srv.m.wireFramesIn.Load(), srv.m.wireFramesOut.Load())
+	}
+}
+
+// TestWirePipelinedOutOfOrder pins the multiplexing contract: many
+// concurrent calls over one client share its pooled connections and every
+// caller gets its own answer back.
+func TestWirePipelinedOutOfOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, orig, recs := trainTestArtifact(t, "mlp", 11, 2)
+	srv, _ := newTestServer(t, a, Config{Replicas: 2, MaxBatch: 8, MaxWait: time.Millisecond})
+	addr := startWireListener(t, srv)
+
+	want := make([]nids.Verdict, len(recs))
+	orig.DetectBatch(recs, want)
+
+	wc := wire.NewClient(addr)
+	defer wc.Close()
+	const callers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each caller scores a distinct rotation so a cross-wired
+			// response (wrong id → wrong caller) cannot go unnoticed.
+			sub := []*data.Record{recs[g%len(recs)], recs[(g+1)%len(recs)]}
+			for i := 0; i < 8; i++ {
+				got, _, err := wc.Score(sub)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range sub {
+					w := want[(g+j)%len(recs)]
+					if got[j].IsAttack != w.IsAttack || got[j].Class != w.Class {
+						t.Errorf("caller %d call %d rec %d: %+v, want %+v", g, i, j, got[j], w)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestWireDeadlineExpiredSheds mirrors TestDeadlineExpiredSheds503 over
+// the binary plane: a request whose frame deadline runs out behind a
+// stalled replica is shed with an Error 503 — the deadline field maps to
+// X-Timeout-Ms exactly.
+func TestWireDeadlineExpiredSheds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, _, recs := trainTestArtifact(t, "mlp", 13, 1)
+	inj := &chaos.Injector{}
+	srv, _ := newTestServer(t, a, Config{
+		Replicas: 1, MaxBatch: 1, MaxWait: time.Millisecond,
+		QueueDepth: 8, Chaos: inj,
+	})
+	addr := startWireListener(t, srv)
+	c := dialWire(t, addr)
+
+	// Occupy the only replica, then send a request that cannot survive
+	// the stall on a 50ms budget.
+	inj.SetScoreDelay(400 * time.Millisecond)
+	c.sendScore(t, 1, 0, "", recs[:1], nil)
+	time.Sleep(50 * time.Millisecond)
+	c.sendScore(t, 2, 50, "", recs[:1], nil)
+
+	deadline := time.Now().Add(10 * time.Second)
+	var got503 bool
+	for time.Now().Before(deadline) {
+		ft, p := c.readFrame(t)
+		if ft == wire.FrameError {
+			we, err := wire.ParseError(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if we.ID != 2 || we.Status != http.StatusServiceUnavailable {
+				t.Fatalf("error frame id=%d status=%d (%s), want id=2 status=503", we.ID, we.Status, we.Msg)
+			}
+			got503 = true
+			break
+		}
+	}
+	if !got503 {
+		t.Fatal("no 503 Error frame for the expired request")
+	}
+	inj.SetScoreDelay(0)
+	if n := srv.Registry().StatsFor("live").DeadlineExpired.Load(); n != 1 {
+		t.Fatalf("DeadlineExpired = %d, want 1", n)
+	}
+}
+
+// TestWireFingerprintMismatch409 pins the schema-skew guard: a request
+// stamped with a foreign fingerprint is refused with 409 before any
+// record is decoded, telling the client to re-handshake.
+func TestWireFingerprintMismatch409(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, _, recs := trainTestArtifact(t, "mlp", 11, 1)
+	srv, _ := newTestServer(t, a, Config{Replicas: 1, MaxBatch: 4, MaxWait: time.Millisecond})
+	addr := startWireListener(t, srv)
+	c := dialWire(t, addr)
+
+	c.sendScore(t, 7, 0, "", recs[:2], func(p []byte) {
+		p[12] ^= 0xFF // corrupt the fingerprint field
+	})
+	c.expectError(t, 7, http.StatusConflict)
+	if n := srv.m.wireProtoErrors.Load(); n != 0 {
+		t.Fatalf("fingerprint mismatch counted as protocol error (%d); it is a deliberate 409", n)
+	}
+	// The connection survives: a correct request still scores.
+	c.sendScore(t, 8, 0, "", recs[:2], nil)
+	ft, p := c.readFrame(t)
+	if ft != wire.FrameResult {
+		t.Fatalf("post-409 frame type %d, want Result", ft)
+	}
+	resp, err := wire.ParseScoreResponse(p)
+	if err != nil || resp.ID != 8 || resp.Count != 2 {
+		t.Fatalf("post-409 response %+v, %v", resp, err)
+	}
+}
+
+// TestWireUnknownTag404 pins slot resolution parity with ?tag=.
+func TestWireUnknownTag404(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, _, recs := trainTestArtifact(t, "mlp", 11, 1)
+	srv, _ := newTestServer(t, a, Config{Replicas: 1, MaxBatch: 4, MaxWait: time.Millisecond})
+	addr := startWireListener(t, srv)
+	c := dialWire(t, addr)
+	c.sendScore(t, 3, 0, "nonesuch", recs[:1], nil)
+	c.expectError(t, 3, http.StatusNotFound)
+}
+
+// TestWireProtocolErrorAnswersAndCloses pins the hostile-peer contract:
+// garbage on the wire is counted, answered with a connection-level Error
+// 400, and the connection is closed — it never hangs and never panics
+// the server.
+func TestWireProtocolErrorAnswersAndCloses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, _, _ := trainTestArtifact(t, "mlp", 11, 1)
+	srv, _ := newTestServer(t, a, Config{Replicas: 1, MaxBatch: 4, MaxWait: time.Millisecond})
+	addr := startWireListener(t, srv)
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write([]byte("this is not a PLWF frame at all, not even close")); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	fr := wire.NewFrameReader(bufio.NewReader(nc))
+	ft, p, err := fr.Read()
+	if err != nil || ft != wire.FrameError {
+		t.Fatalf("garbage answer: frame %d, err %v, want Error", ft, err)
+	}
+	we, err := wire.ParseError(p)
+	if err != nil || we.ID != 0 || we.Status != http.StatusBadRequest {
+		t.Fatalf("garbage answer %+v, %v; want connection-level 400", we, err)
+	}
+	// The server closes after the notice.
+	if _, _, err := fr.Read(); err == nil {
+		t.Fatal("connection still open after protocol error")
+	}
+	waitFor(t, time.Second, func() bool { return srv.m.wireProtoErrors.Load() >= 1 })
+	waitFor(t, time.Second, func() bool { return srv.m.wireConnections.Load() == 0 })
+}
+
+// TestWireGracefulDrain pins the zero-dropped-frames drain: ShutdownWire
+// sends GoAway, the in-flight request is still answered, a post-GoAway
+// request is answered 503 (delivered, so the client accounts it as shed),
+// and the server waits for the client to collect everything and close
+// before ShutdownWire returns — gracefully, not by force.
+func TestWireGracefulDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, _, recs := trainTestArtifact(t, "mlp", 13, 1)
+	inj := &chaos.Injector{}
+	srv, err := New(a, Config{
+		Replicas: 1, MaxBatch: 1, MaxWait: time.Millisecond,
+		QueueDepth: 8, Chaos: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	addr := startWireListener(t, srv)
+	c := dialWire(t, addr)
+
+	// Put one request in flight behind a 300ms stall, then drain.
+	inj.SetScoreDelay(300 * time.Millisecond)
+	c.sendScore(t, 1, 0, "", recs[:1], nil)
+	time.Sleep(50 * time.Millisecond)
+
+	shutdownDone := make(chan error, 1)
+	shCtx, shCancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer shCancel()
+	go func() { shutdownDone <- srv.ShutdownWire(shCtx) }()
+
+	// GoAway arrives while request 1 is still scoring.
+	ft, _ := c.readFrame(t)
+	if ft != wire.FrameGoAway {
+		t.Fatalf("first post-drain frame %d, want GoAway", ft)
+	}
+	// A post-GoAway request is answered 503 — delivered, not dropped.
+	c.sendScore(t, 2, 0, "", recs[:1], nil)
+	c.expectError(t, 2, http.StatusServiceUnavailable)
+	// The in-flight request's answer still lands.
+	ft, p := c.readFrame(t)
+	if ft != wire.FrameResult {
+		t.Fatalf("in-flight answer frame %d, want Result", ft)
+	}
+	resp, perr := wire.ParseScoreResponse(p)
+	if perr != nil || resp.ID != 1 || resp.Count != 1 {
+		t.Fatalf("in-flight answer %+v, %v", resp, perr)
+	}
+
+	// The server is still waiting on us: ShutdownWire must not have
+	// returned. Closing our end releases it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("ShutdownWire returned %v before the client closed", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	c.nc.Close()
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Fatalf("ShutdownWire = %v, want nil (graceful, not forced)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ShutdownWire did not return after the client closed")
+	}
+	if n := srv.m.wireConnections.Load(); n != 0 {
+		t.Fatalf("wire connections gauge = %d after drain, want 0", n)
+	}
+}
+
+// TestWireClientDrainsToShed pins the wire.Client side of drain: after
+// GoAway the client reports Draining and surfaces no phantom successes.
+func TestWireClientDrainsToShed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, _, recs := trainTestArtifact(t, "mlp", 11, 1)
+	srv, err := New(a, Config{Replicas: 1, MaxBatch: 4, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	addr := startWireListener(t, srv)
+
+	wc := &wire.Client{Addr: addr, Conns: 1, MaxAttempts: 1, RetryBase: time.Millisecond}
+	defer wc.Close()
+	if _, _, err := wc.Score(recs[:2]); err != nil {
+		t.Fatal(err)
+	}
+
+	shCtx, shCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shCancel()
+	if err := srv.ShutdownWire(shCtx); err != nil {
+		t.Fatalf("ShutdownWire = %v (the idle client must close on GoAway)", err)
+	}
+	waitFor(t, 5*time.Second, wc.Draining)
+	// Post-drain calls fail (the listener is gone) but are classifiable
+	// as drain, never as phantom verdicts.
+	if _, _, err := wc.Score(recs[:2]); err == nil {
+		t.Fatal("Score succeeded against a drained server")
+	} else if _, shed := wire.ShedStatus(err); !shed && !wc.Draining() {
+		t.Fatalf("post-drain error %v not classifiable as drain/shed", err)
+	}
+}
+
+// TestWireClientFallsBackToHTTP pins the fallback satellite: with the
+// wire listener unreachable, calls are answered by the HTTP plane and
+// counted as fallbacks.
+func TestWireClientFallsBackToHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	a, orig, recs := trainTestArtifact(t, "mlp", 11, 2)
+	_, ts := newTestServer(t, a, Config{Replicas: 1, MaxBatch: 8, MaxWait: time.Millisecond})
+
+	httpClient := NewClient(ts.URL)
+	wc := &wire.Client{
+		Addr:        "127.0.0.1:1", // nothing listens here
+		MaxAttempts: 1,
+		RetryBase:   time.Millisecond,
+		Fallback:    httpClient,
+	}
+	defer wc.Close()
+
+	got, version, err := wc.Score(recs[:4])
+	if err != nil {
+		t.Fatalf("fallback call: %v", err)
+	}
+	if version == "" {
+		t.Fatal("fallback answered with an empty model version")
+	}
+	if wc.Fallbacks() != 1 {
+		t.Fatalf("Fallbacks() = %d, want 1", wc.Fallbacks())
+	}
+	want := make([]nids.Verdict, 4)
+	orig.DetectBatch(recs[:4], want)
+	for i := range got {
+		if got[i].IsAttack != want[i].IsAttack || got[i].Class != want[i].Class {
+			t.Fatalf("fallback verdict %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached within %v", d)
+}

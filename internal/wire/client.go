@@ -1,0 +1,746 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/nids"
+)
+
+// Client-side transport errors.
+var (
+	// ErrUnavailable means no healthy wire connection exists and one could
+	// not be established right now (dial failed, or the reconnect backoff
+	// window is still open). Retryable; eligible for HTTP fallback.
+	ErrUnavailable = errors.New("wire: no connection available")
+	// ErrBreakerOpen means the client's circuit breaker fast-failed the
+	// call without touching the network.
+	ErrBreakerOpen = errors.New("wire: circuit breaker open")
+	// ErrTimeout means the request was written but no response arrived
+	// within the client timeout.
+	ErrTimeout = errors.New("wire: request timed out")
+	// ErrClosed means the connection died while the request was in flight.
+	ErrClosed = errors.New("wire: connection closed")
+	// errVerdictCount means the server answered with a verdict count that
+	// does not match the request's record count.
+	errVerdictCount = errors.New("wire: verdict count mismatch")
+)
+
+// Breaker is the circuit-breaker surface the client needs; *serve.Breaker
+// satisfies it, so both transports share one breaker implementation and
+// its closed/open/half-open semantics. Every Allow() == true is paired
+// with exactly one Record(outcome).
+type Breaker interface {
+	Allow() bool
+	Record(ok bool)
+}
+
+// Scorer is the scoring surface of serve.Client — the HTTP fallback's
+// shape. A *serve.Client satisfies it directly.
+type Scorer interface {
+	Score(recs []*data.Record) ([]nids.Verdict, string, error)
+}
+
+// Client defaults.
+const (
+	// DefaultTimeout bounds each scoring call (and is sent to the server
+	// as the request's deadline hint, so the server sheds what the client
+	// has already given up on). Matches serve.DefaultClientTimeout.
+	DefaultTimeout = 10 * time.Second
+	// DefaultConns is how many TCP connections a client multiplexes over.
+	DefaultConns = 2
+	// defaultDialTimeout bounds connection establishment + handshake.
+	defaultDialTimeout = 3 * time.Second
+	// defaultRetryBase seeds the reconnect/retry backoff, as in serve.Client.
+	defaultRetryBase = 50 * time.Millisecond
+	// maxBackoff caps the exponential backoff, as in serve.Client.
+	maxBackoff = 2 * time.Second
+	// connBufSize sizes each connection's buffered reader/writer.
+	connBufSize = 64 << 10
+)
+
+// Client is the wire transport's scoring client: persistent TCP
+// connections to a pelican-serve wire listener, pipelined requests
+// correlated by id, out-of-order responses, reconnect with jittered
+// exponential backoff, optional circuit breaking, and optional fallback
+// to the HTTP plane. It implements nids.BatchDetector, so anything that
+// scores through serve.RemoteDetector can score through the wire
+// unchanged. Safe for concurrent use; calls from many goroutines
+// multiplex over the connection pool.
+type Client struct {
+	// Addr is the wire listener's host:port.
+	Addr string
+	// Conns is the connection pool size. 0 means DefaultConns.
+	Conns int
+	// Tag pins scoring to one registry slot ("" = live), as the HTTP
+	// plane's ?tag= does.
+	Tag string
+	// Timeout bounds each call and is the deadline hint sent in every
+	// request frame. 0 means DefaultTimeout.
+	Timeout time.Duration
+	// MaxAttempts caps tries per call (first + retries). 0 means 3.
+	MaxAttempts int
+	// RetryBase seeds the retry/reconnect backoff. 0 means 50ms.
+	RetryBase time.Duration
+	// Breaker, when non-nil, guards every call (pass a *serve.Breaker).
+	// Transport failures count against it; server shed answers (429/503)
+	// do not — same policy as the HTTP client.
+	Breaker Breaker
+	// Fallback, when non-nil, answers calls the wire transport cannot
+	// deliver (dial failures, open breaker, dead connections — never
+	// deliberate server answers like shedding). Pass a *serve.Client
+	// pointed at the same server's HTTP plane.
+	Fallback Scorer
+
+	mu     sync.Mutex // guards conns slice + rr; never held across I/O
+	conns  []*wireConn
+	rr     int
+	nextID atomic.Uint64
+	// dialing serializes reconnects without holding a lock across the
+	// dial; nextDial (unix nanos) is the backoff gate, dialFails the
+	// consecutive-failure count behind it.
+	dialing   atomic.Bool
+	nextDial  atomic.Int64
+	dialFails atomic.Int64
+
+	draining  atomic.Bool // a GoAway has been seen
+	errs      atomic.Int64
+	fallbacks atomic.Int64
+	framesOut atomic.Int64
+	framesIn  atomic.Int64
+	bytesOut  atomic.Int64
+	bytesIn   atomic.Int64
+
+	version atomic.Value // string: last model version that answered
+}
+
+var _ nids.BatchDetector = (*Client)(nil)
+
+// NewClient builds a wire client for the listener at addr. Request ids
+// start at a random point so traces from concurrent clients don't collide.
+func NewClient(addr string) *Client {
+	c := &Client{Addr: addr}
+	c.nextID.Store(rand.Uint64() << 16)
+	return c
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultTimeout
+}
+
+func (c *Client) poolSize() int {
+	if c.Conns > 0 {
+		return c.Conns
+	}
+	return DefaultConns
+}
+
+func (c *Client) attempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 3
+}
+
+func (c *Client) retryBase() time.Duration {
+	if c.RetryBase > 0 {
+		return c.RetryBase
+	}
+	return defaultRetryBase
+}
+
+// backoffFor mirrors serve.Client's retry delay: base doubled per attempt
+// with ±50% jitter, capped at maxBackoff.
+func backoffFor(base time.Duration, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	if d > maxBackoff || d <= 0 {
+		d = maxBackoff
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// Draining reports whether any connection has received a GoAway — the
+// server is shutting down and new requests should be treated as shed,
+// not as failures.
+func (c *Client) Draining() bool { return c.draining.Load() }
+
+// Errors returns how many scoring calls have failed (after retries and
+// fallback).
+func (c *Client) Errors() int64 { return c.errs.Load() }
+
+// Fallbacks returns how many calls were answered by the HTTP fallback.
+func (c *Client) Fallbacks() int64 { return c.fallbacks.Load() }
+
+// Stats returns cumulative frame/byte counters (out = client→server).
+func (c *Client) Stats() (framesOut, framesIn, bytesOut, bytesIn int64) {
+	return c.framesOut.Load(), c.framesIn.Load(), c.bytesOut.Load(), c.bytesIn.Load()
+}
+
+// ModelVersion returns the version that answered the most recent
+// successful call ("" before the first).
+func (c *Client) ModelVersion() string {
+	v, _ := c.version.Load().(string)
+	return v
+}
+
+// Connect pre-establishes the full connection pool (loadgen warms the
+// pool before the measurement window so dial cost stays out of the
+// latencies). Returns the first dial error, with however many
+// connections did establish left usable.
+func (c *Client) Connect() error {
+	for {
+		c.mu.Lock()
+		healthy := 0
+		for _, cn := range c.conns {
+			if cn != nil && cn.usable() {
+				healthy++
+			}
+		}
+		c.mu.Unlock()
+		if healthy >= c.poolSize() {
+			return nil
+		}
+		if _, err := c.addConn(); err != nil {
+			return err
+		}
+	}
+}
+
+// Close tears down every connection. In-flight calls fail with ErrClosed.
+func (c *Client) Close() {
+	c.mu.Lock()
+	conns := make([]*wireConn, len(c.conns))
+	copy(conns, c.conns)
+	c.conns = nil
+	c.mu.Unlock()
+	for _, cn := range conns {
+		if cn != nil {
+			cn.teardown(ErrClosed)
+		}
+	}
+}
+
+// getConn returns a usable connection, dialing one if the pool is empty.
+func (c *Client) getConn() (*wireConn, error) {
+	c.mu.Lock()
+	n := len(c.conns)
+	for i := 0; i < n; i++ {
+		cn := c.conns[(c.rr+i)%n]
+		if cn != nil && cn.usable() {
+			c.rr = (c.rr + i + 1) % n
+			c.mu.Unlock()
+			return cn, nil
+		}
+	}
+	c.mu.Unlock()
+	return c.addConn()
+}
+
+// addConn dials one new connection, respecting the backoff gate and
+// letting only one dial run at a time. The dial happens with no lock
+// held.
+func (c *Client) addConn() (*wireConn, error) {
+	if time.Now().UnixNano() < c.nextDial.Load() {
+		return nil, ErrUnavailable
+	}
+	if !c.dialing.CompareAndSwap(false, true) {
+		return nil, ErrUnavailable
+	}
+	cn, err := c.dial()
+	if err != nil {
+		fails := c.dialFails.Add(1)
+		c.nextDial.Store(time.Now().Add(backoffFor(c.retryBase(), int(fails))).UnixNano())
+		c.dialing.Store(false)
+		return nil, err
+	}
+	c.dialFails.Store(0)
+	c.nextDial.Store(0)
+	c.mu.Lock()
+	if len(c.conns) < c.poolSize() {
+		c.conns = append(c.conns, cn)
+	} else {
+		placed := false
+		for i, old := range c.conns {
+			if old == nil || !old.usable() {
+				c.conns[i] = cn
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// The pool filled up while we dialed; keep the youngest.
+			c.conns[c.rr%len(c.conns)] = cn
+		}
+	}
+	c.mu.Unlock()
+	c.dialing.Store(false)
+	return cn, nil
+}
+
+// dial establishes one connection and runs the Hello/Schema handshake.
+func (c *Client) dial() (*wireConn, error) {
+	nc, err := net.DialTimeout("tcp", c.Addr, defaultDialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	bw := bufio.NewWriterSize(nc, connBufSize)
+	fr := NewFrameReader(bufio.NewReaderSize(nc, connBufSize))
+	fw := NewFrameWriter(bw)
+	nc.SetDeadline(time.Now().Add(defaultDialTimeout))
+	if err := fw.Write(FrameHello, nil); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	ft, p, err := fr.Read()
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if ft == FrameError {
+		we, perr := ParseError(p)
+		nc.Close()
+		if perr != nil {
+			return nil, perr
+		}
+		return nil, &we
+	}
+	if ft != FrameSchema {
+		nc.Close()
+		return nil, ErrBadPayload
+	}
+	info, err := DecodeSchemaInfo(p)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	nc.SetDeadline(time.Time{})
+	cn := &wireConn{
+		client:  c,
+		c:       nc,
+		bw:      bw,
+		fr:      fr,
+		fw:      fw,
+		enc:     NewRecordEncoder(info.Schema),
+		lastVer: info.ModelVersion,
+		writeq:  make(chan []byte, 64),
+		closed:  make(chan struct{}),
+		pending: make(map[uint64]*wireCall),
+	}
+	if cn.enc.Fingerprint() != info.Fingerprint {
+		// Client and server hash the same schema differently — a version
+		// skew bug, not a transient; surface it loudly.
+		nc.Close()
+		return nil, ErrBadPayload
+	}
+	go cn.readLoop()
+	go cn.writeLoop()
+	return cn, nil
+}
+
+// wireCall is one in-flight request: the reader decodes verdicts straight
+// into dst, then signals done (buffered, never blocks).
+type wireCall struct {
+	dst  []nids.Verdict
+	done chan callResult
+}
+
+type callResult struct {
+	version string
+	err     error
+}
+
+// wireConn is one multiplexed connection: a writer goroutine serializes
+// pipelined request frames, a reader goroutine dispatches out-of-order
+// responses to pending calls by id.
+type wireConn struct {
+	client *Client
+	c      net.Conn
+	bw     *bufio.Writer
+	fr     *FrameReader
+	fw     *FrameWriter
+	enc    *RecordEncoder
+
+	writeq chan []byte
+	closed chan struct{}
+	once   sync.Once
+
+	draining atomic.Bool
+
+	mu      sync.Mutex // guards pending + dead; never held across I/O
+	dead    bool
+	pending map[uint64]*wireCall
+
+	lastVer string // reader-goroutine-owned version intern cache
+}
+
+func (cn *wireConn) usable() bool {
+	cn.mu.Lock()
+	ok := !cn.dead
+	cn.mu.Unlock()
+	return ok && !cn.draining.Load()
+}
+
+// register parks a call awaiting response id. Fails if the conn died.
+func (cn *wireConn) register(id uint64, ca *wireCall) bool {
+	cn.mu.Lock()
+	if cn.dead {
+		cn.mu.Unlock()
+		return false
+	}
+	cn.pending[id] = ca
+	cn.mu.Unlock()
+	return true
+}
+
+// take removes and returns the call waiting on id, if still pending.
+func (cn *wireConn) take(id uint64) (*wireCall, bool) {
+	cn.mu.Lock()
+	ca, ok := cn.pending[id]
+	if ok {
+		delete(cn.pending, id)
+	}
+	cn.mu.Unlock()
+	return ca, ok
+}
+
+// drainCloseIfIdle closes a draining connection once nothing is pending
+// on it: the server's graceful drain waits for the client to collect its
+// last in-flight response and hang up, so no frame is ever cut off
+// mid-stream. A call that races the close and registers anyway is failed
+// with ErrClosed and retried (or shed) by its caller.
+func (cn *wireConn) drainCloseIfIdle() {
+	if !cn.draining.Load() {
+		return
+	}
+	cn.mu.Lock()
+	idle := len(cn.pending) == 0 && !cn.dead
+	cn.mu.Unlock()
+	if idle {
+		cn.teardown(ErrClosed)
+	}
+}
+
+// teardown kills the connection once: marks it dead, closes the socket
+// (unblocking both loops), and fails every pending call with err.
+func (cn *wireConn) teardown(err error) {
+	cn.once.Do(func() {
+		cn.mu.Lock()
+		cn.dead = true
+		calls := make([]*wireCall, 0, len(cn.pending))
+		for id := range cn.pending {
+			calls = append(calls, cn.pending[id])
+			delete(cn.pending, id)
+		}
+		cn.mu.Unlock()
+		close(cn.closed)
+		cn.c.Close()
+		for _, ca := range calls {
+			ca.done <- callResult{err: err}
+		}
+	})
+}
+
+// writeLoop is the connection's single writer: it frames queued request
+// payloads and flushes. Payload buffers return to the pool after the
+// write.
+func (cn *wireConn) writeLoop() {
+	for {
+		select {
+		case p := <-cn.writeq:
+			err := cn.fw.Write(FrameScore, p)
+			if err == nil {
+				// Flush immediately: pipelining comes from many goroutines
+				// queueing, not from batching writes at the cost of latency.
+				err = cn.bw.Flush()
+			}
+			cn.client.framesOut.Add(1)
+			cn.client.bytesOut.Add(int64(HeaderSize + len(p)))
+			putBuf(p)
+			if err != nil {
+				cn.teardown(ErrClosed)
+				return
+			}
+		case <-cn.closed:
+			return
+		}
+	}
+}
+
+// readLoop is the connection's single reader: it dispatches Result and
+// Error frames to pending calls, and handles GoAway (drain notice).
+func (cn *wireConn) readLoop() {
+	for {
+		ft, p, err := cn.fr.Read()
+		if err != nil {
+			cn.teardown(ErrClosed)
+			return
+		}
+		cn.client.framesIn.Add(1)
+		cn.client.bytesIn.Add(int64(HeaderSize + len(p)))
+		switch ft {
+		case FrameResult:
+			resp, perr := ParseScoreResponse(p)
+			if perr != nil {
+				cn.teardown(perr)
+				return
+			}
+			ca, ok := cn.take(resp.ID)
+			if !ok {
+				continue // caller gave up (timed out) before the answer came
+			}
+			if resp.Count != len(ca.dst) {
+				ca.done <- callResult{err: errVerdictCount}
+				continue
+			}
+			if err := resp.DecodeVerdicts(ca.dst); err != nil {
+				ca.done <- callResult{err: err}
+				continue
+			}
+			if string(resp.Version) != cn.lastVer {
+				cn.lastVer = string(resp.Version)
+			}
+			ca.done <- callResult{version: cn.lastVer}
+			cn.drainCloseIfIdle()
+		case FrameError:
+			we, perr := ParseError(p)
+			if perr != nil {
+				cn.teardown(perr)
+				return
+			}
+			if we.ID == 0 {
+				// Connection-level fault: the server is closing on us.
+				cn.teardown(&we)
+				return
+			}
+			if ca, ok := cn.take(we.ID); ok {
+				ca.done <- callResult{err: &we}
+			}
+			cn.drainCloseIfIdle()
+		case FrameGoAway:
+			cn.draining.Store(true)
+			cn.client.draining.Store(true)
+			// The server holds a draining connection open until we, having
+			// collected every outstanding response, close our end.
+			cn.drainCloseIfIdle()
+		default:
+			// A server must only send Result/Error/GoAway after the
+			// handshake; anything else is a protocol violation.
+			cn.teardown(ErrBadPayload)
+			return
+		}
+	}
+}
+
+// bufPool recycles request payload buffers across calls and connections.
+var bufPool = sync.Pool{New: func() any { return []byte(nil) }}
+
+func getBuf() []byte  { return bufPool.Get().([]byte)[:0] }
+func putBuf(p []byte) { bufPool.Put(p) } //nolint:staticcheck // slice header boxing is fine here
+
+// Score scores recs against the server (Tag selects the slot; "" = live)
+// and returns verdicts plus the answering model version. Transport
+// failures are retried with jittered exponential backoff; if the wire
+// stays unavailable and a Fallback is set, the call is answered over
+// HTTP.
+func (c *Client) Score(recs []*data.Record) ([]nids.Verdict, string, error) {
+	out := make([]nids.Verdict, len(recs))
+	version, err := c.score(recs, out)
+	if err != nil {
+		return nil, "", err
+	}
+	return out, version, nil
+}
+
+// score runs the retry loop, decoding verdicts into out.
+func (c *Client) score(recs []*data.Record, out []nids.Verdict) (string, error) {
+	if len(recs) == 0 {
+		return "", nil
+	}
+	var last error
+	for i := 0; i < c.attempts(); i++ {
+		if i > 0 {
+			time.Sleep(backoffFor(c.retryBase(), i))
+		}
+		version, err := c.scoreOnce(recs, out)
+		if err == nil {
+			c.version.Store(version)
+			return version, nil
+		}
+		last = err
+		if !wireRetryable(err) {
+			break
+		}
+	}
+	if c.Fallback != nil && fallbackEligible(last) {
+		verdicts, version, err := c.Fallback.Score(recs)
+		if err == nil {
+			c.fallbacks.Add(1)
+			copy(out, verdicts)
+			return version, nil
+		}
+	}
+	c.errs.Add(1)
+	return "", last
+}
+
+// scoreOnce performs one request over one connection, with breaker
+// accounting mirroring the HTTP client: transport failures and hard
+// server errors are breaker failures; shed answers (429/503) and other
+// deliberate statuses are not.
+func (c *Client) scoreOnce(recs []*data.Record, out []nids.Verdict) (string, error) {
+	b := c.Breaker
+	if b != nil && !b.Allow() {
+		return "", ErrBreakerOpen
+	}
+	version, err := c.scoreConn(recs, out)
+	if b != nil {
+		b.Record(err == nil || !wireBreakerFailure(err))
+	}
+	return version, err
+}
+
+func (c *Client) scoreConn(recs []*data.Record, out []nids.Verdict) (string, error) {
+	cn, err := c.getConn()
+	if err != nil {
+		return "", err
+	}
+	timeout := c.timeout()
+	deadlineMS := uint32(timeout / time.Millisecond)
+	id := c.nextID.Add(1)
+	if id == 0 {
+		id = c.nextID.Add(1)
+	}
+	buf := getBuf()
+	buf, err = cn.enc.AppendScoreRequest(buf, id, deadlineMS, c.Tag, recs)
+	if err != nil {
+		putBuf(buf)
+		return "", err
+	}
+	ca := &wireCall{dst: out, done: make(chan callResult, 1)}
+	if !cn.register(id, ca) {
+		putBuf(buf)
+		return "", ErrClosed
+	}
+	select {
+	case cn.writeq <- buf:
+	case <-cn.closed:
+		putBuf(buf)
+		if _, ok := cn.take(id); ok {
+			return "", ErrClosed
+		}
+		r := <-ca.done // teardown already owned the call; take its verdict
+		return r.version, r.err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ca.done:
+		return r.version, r.err
+	case <-timer.C:
+		if _, ok := cn.take(id); ok {
+			return "", ErrTimeout
+		}
+		// The reader claimed the call before we could withdraw it: the
+		// answer is a channel send away — take it instead of racing it.
+		r := <-ca.done
+		return r.version, r.err
+	}
+}
+
+// wireRetryable mirrors serve's retryable(): transport failures and
+// overload/transient statuses retry; other server answers don't. A 409
+// (schema fingerprint mismatch — the model was promoted under us) retries
+// after tearing the connection down so the redial re-handshakes.
+func wireRetryable(err error) bool {
+	if errors.Is(err, ErrBreakerOpen) {
+		return false
+	}
+	var we *WireError
+	if errors.As(err, &we) {
+		switch we.Status {
+		case 429, 500, 502, 503, 504, 409:
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// wireBreakerFailure mirrors serve's breakerFailure(): evidence the
+// server is down, as opposed to a deliberate answer from a live one.
+func wireBreakerFailure(err error) bool {
+	var we *WireError
+	if errors.As(err, &we) {
+		switch we.Status {
+		case 500, 502, 504:
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// fallbackEligible limits HTTP fallback to wire-transport unavailability.
+// Deliberate server answers (shedding, bad request, fingerprint skew) and
+// in-flight losses must not be re-asked over HTTP: the server heard them.
+func fallbackEligible(err error) bool {
+	var we *WireError
+	if errors.As(err, &we) {
+		return false
+	}
+	return !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrClosed)
+}
+
+// ShedStatus reports whether err is the server deliberately shedding load
+// (admission control 429, deadline/drain 503) and with which status —
+// loadgen accounting uses it to separate shed from failure.
+func ShedStatus(err error) (int, bool) {
+	var we *WireError
+	if errors.As(err, &we) && (we.Status == 429 || we.Status == 503) {
+		return we.Status, true
+	}
+	return 0, false
+}
+
+// Name implements nids.Detector.
+func (c *Client) Name() string {
+	if c.Tag != "" {
+		return "wire:" + c.Addr + "#" + c.Tag
+	}
+	return "wire:" + c.Addr
+}
+
+// Detect implements nids.Detector.
+func (c *Client) Detect(rec *data.Record) nids.Verdict {
+	var v [1]nids.Verdict
+	c.DetectBatch([]*data.Record{rec}, v[:])
+	return v[0]
+}
+
+// DetectBatch implements nids.BatchDetector with the same degradation
+// contract as serve.RemoteDetector: failed calls yield verdicts marked
+// Failed (never a hang, never fabricated scores) and are tallied in
+// Errors.
+func (c *Client) DetectBatch(recs []*data.Record, verdicts []nids.Verdict) {
+	if _, err := c.score(recs, verdicts[:len(recs)]); err != nil {
+		for i := range verdicts[:len(recs)] {
+			verdicts[i] = nids.Verdict{Failed: true}
+		}
+	}
+}

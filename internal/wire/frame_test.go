@@ -1,0 +1,284 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// frameBytes encodes one frame into a byte slice via FrameWriter.
+func frameBytes(ft FrameType, payload []byte) []byte {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.Write(ft, payload); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		{0x42},
+		bytes.Repeat([]byte{0xAB}, 1000),
+		bytes.Repeat([]byte("pelican"), 4096),
+	}
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	types := []FrameType{FrameHello, FrameSchema, FrameScore, FrameResult, FrameError, FrameGoAway}
+	for i, p := range payloads {
+		if err := fw.Write(types[i%len(types)], p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	for i, p := range payloads {
+		ft, got, err := fr.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if ft != types[i%len(types)] {
+			t.Fatalf("frame %d: type %d, want %d", i, ft, types[i%len(types)])
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: payload mismatch (%d bytes vs %d)", i, len(got), len(p))
+		}
+	}
+	if _, _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+	if fr.Frames() != int64(len(payloads)) || fw.Frames() != int64(len(payloads)) {
+		t.Fatalf("frame counts: read %d written %d, want %d", fr.Frames(), fw.Frames(), len(payloads))
+	}
+	if fr.Bytes() != fw.Bytes() {
+		t.Fatalf("byte counts differ: read %d, written %d", fr.Bytes(), fw.Bytes())
+	}
+}
+
+// TestTruncationAtEveryOffset mirrors the store journal's torn-tail fuzz:
+// a stream cut at every possible byte offset must yield either a clean
+// io.EOF (cut exactly on a frame boundary) or io.ErrUnexpectedEOF — and
+// every successfully decoded prefix frame must be intact. Never a panic,
+// never a hang, never garbage accepted.
+func TestTruncationAtEveryOffset(t *testing.T) {
+	var full bytes.Buffer
+	fw := NewFrameWriter(&full)
+	payloads := [][]byte{
+		[]byte("alpha"),
+		{},
+		bytes.Repeat([]byte{0x5A}, 300),
+		[]byte("tail"),
+	}
+	boundaries := map[int]bool{0: true}
+	for _, p := range payloads {
+		if err := fw.Write(FrameScore, p); err != nil {
+			t.Fatal(err)
+		}
+		boundaries[full.Len()] = true
+	}
+	stream := full.Bytes()
+	for cut := 0; cut <= len(stream); cut++ {
+		fr := NewFrameReader(bytes.NewReader(stream[:cut]))
+		frames := 0
+		for {
+			_, p, err := fr.Read()
+			if err == nil {
+				if !bytes.Equal(p, payloads[frames]) {
+					t.Fatalf("cut %d: frame %d corrupted", cut, frames)
+				}
+				frames++
+				continue
+			}
+			if err == io.EOF {
+				if !boundaries[cut] {
+					t.Fatalf("cut %d: clean EOF mid-frame", cut)
+				}
+			} else if err == io.ErrUnexpectedEOF {
+				if boundaries[cut] {
+					t.Fatalf("cut %d: ErrUnexpectedEOF at a frame boundary", cut)
+				}
+				if !IsProtocolError(err) {
+					t.Fatalf("cut %d: truncation not a protocol error", cut)
+				}
+			} else {
+				t.Fatalf("cut %d: unexpected error %v", cut, err)
+			}
+			break
+		}
+	}
+}
+
+func TestCorruptCRC(t *testing.T) {
+	raw := frameBytes(FrameScore, []byte("payload under test"))
+	// Flip one bit in every payload byte position in turn; each must
+	// surface as ErrChecksum.
+	for off := HeaderSize; off < len(raw); off++ {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0x01
+		_, _, err := NewFrameReader(bytes.NewReader(mut)).Read()
+		if !errors.Is(err, ErrChecksum) {
+			t.Fatalf("payload bit flip at %d: %v, want ErrChecksum", off, err)
+		}
+		if !IsProtocolError(err) {
+			t.Fatalf("ErrChecksum not a protocol error")
+		}
+	}
+}
+
+func TestHeaderViolations(t *testing.T) {
+	good := frameBytes(FrameScore, []byte("x"))
+	mutate := func(off int, val byte) []byte {
+		m := append([]byte(nil), good...)
+		m[off] = val
+		return m
+	}
+	cases := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"bad magic", mutate(0, 'X'), ErrBadMagic},
+		{"bad version", mutate(4, 99), ErrBadVersion},
+		{"zero frame type", mutate(5, 0), ErrUnknownFrame},
+		{"frame type past GoAway", mutate(5, byte(FrameGoAway)+1), ErrUnknownFrame},
+		{"reserved byte 6", mutate(6, 1), ErrBadReserved},
+		{"reserved byte 7", mutate(7, 0xFF), ErrBadReserved},
+	}
+	for _, tc := range cases {
+		_, _, err := NewFrameReader(bytes.NewReader(tc.raw)).Read()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: %v, want %v", tc.name, err, tc.want)
+		}
+		if !IsProtocolError(err) {
+			t.Errorf("%s: not classified as protocol error", tc.name)
+		}
+	}
+}
+
+// TestOversizedLengthPrefix pins the allocation bound: a hostile length
+// prefix past MaxPayload is rejected from the header alone, without
+// allocating or reading the claimed payload.
+func TestOversizedLengthPrefix(t *testing.T) {
+	raw := frameBytes(FrameScore, []byte("x"))[:HeaderSize]
+	binary.LittleEndian.PutUint32(raw[8:12], MaxPayload+1)
+	_, _, err := NewFrameReader(bytes.NewReader(raw)).Read()
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized prefix: %v, want ErrFrameTooBig", err)
+	}
+	huge := frameBytes(FrameScore, nil)[:HeaderSize]
+	binary.LittleEndian.PutUint32(huge[8:12], 0xFFFFFFFF)
+	_, _, err = NewFrameReader(bytes.NewReader(huge)).Read()
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("4GiB prefix: %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestWriterRejectsOversizedPayload(t *testing.T) {
+	fw := NewFrameWriter(io.Discard)
+	if err := fw.Write(FrameScore, make([]byte, MaxPayload+1)); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized write: %v, want ErrFrameTooBig", err)
+	}
+}
+
+// TestGarbageStream feeds interleaved garbage after a valid frame: the
+// valid prefix decodes, the garbage surfaces as a protocol error.
+func TestGarbageStream(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	if err := fw.Write(FrameResult, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("GARBAGE GARBAGE GARBAGE!")
+	fr := NewFrameReader(&buf)
+	if _, p, err := fr.Read(); err != nil || string(p) != "good" {
+		t.Fatalf("valid prefix frame: %q, %v", p, err)
+	}
+	_, _, err := fr.Read()
+	if err == nil || !IsProtocolError(err) {
+		t.Fatalf("garbage tail: %v, want a protocol error", err)
+	}
+}
+
+// TestReadSteadyStateAllocs pins the pooled-buffer contract: once the
+// reader's payload buffer has grown to the workload's frame size,
+// decoding allocates nothing.
+func TestReadSteadyStateAllocs(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x77}, 2048)
+	raw := frameBytes(FrameScore, payload)
+	r := bytes.NewReader(raw)
+	fr := NewFrameReader(r)
+	if _, _, err := fr.Read(); err != nil { // warm the payload buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Reset(raw)
+		if _, _, err := fr.Read(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("FrameReader.Read allocates %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+func TestWriteSteadyStateAllocs(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x33}, 2048)
+	var buf bytes.Buffer
+	buf.Grow(len(payload) * 2)
+	fw := NewFrameWriter(&buf)
+	if err := fw.Write(FrameScore, payload); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf.Reset()
+		if err := fw.Write(FrameScore, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("FrameWriter.Write allocates %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+// FuzzReadFrame is the satellite's decoder fuzz: arbitrary bytes must
+// decode or fail with a classified protocol error / clean EOF — never
+// panic, never hang, never report success with an inconsistent payload.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(frameBytes(FrameHello, nil))
+	f.Add(frameBytes(FrameScore, []byte("seed payload")))
+	f.Add(frameBytes(FrameGoAway, bytes.Repeat([]byte{1}, 64)))
+	// Torn and corrupt seeds.
+	whole := frameBytes(FrameResult, []byte("torn"))
+	f.Add(whole[:len(whole)-2])
+	f.Add(whole[:HeaderSize-3])
+	crc := append([]byte(nil), whole...)
+	crc[len(crc)-1] ^= 0xFF
+	f.Add(crc)
+	big := append([]byte(nil), whole[:HeaderSize]...)
+	binary.LittleEndian.PutUint32(big[8:12], 0x7FFFFFFF)
+	f.Add(big)
+	f.Add([]byte("PLWF garbage that is not a frame at all ..........."))
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		fr := NewFrameReader(bytes.NewReader(in))
+		for {
+			ft, p, err := fr.Read()
+			if err != nil {
+				if err != io.EOF && !IsProtocolError(err) {
+					t.Fatalf("unclassified error from pure byte input: %v", err)
+				}
+				return
+			}
+			if ft < FrameHello || ft > FrameGoAway {
+				t.Fatalf("accepted out-of-range frame type %d", ft)
+			}
+			if len(p) > MaxPayload {
+				t.Fatalf("accepted payload of %d bytes past MaxPayload", len(p))
+			}
+		}
+	})
+}

@@ -1,0 +1,376 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nids"
+)
+
+// testSchema builds a small schema with two numeric and two categorical
+// features, enough to exercise every packing path.
+func testSchema() data.Schema {
+	return data.Schema{
+		NumericNames: []string{"duration", "src_bytes"},
+		Categorical: []data.CategoricalFeature{
+			{Name: "protocol_type", Values: []string{"tcp", "udp", "icmp"}},
+			{Name: "flag", Values: []string{"SF", "REJ"}},
+		},
+		ClassNames: []string{"normal", "dos"},
+	}
+}
+
+func testRecords() []*data.Record {
+	return []*data.Record{
+		{Numeric: []float64{1.5, 42}, Categorical: []string{"tcp", "SF"}},
+		{Numeric: []float64{0, -3.25}, Categorical: []string{"icmp", "REJ"}},
+		{Numeric: []float64{9e6, 0.125}, Categorical: []string{"not-in-vocab", "SF"}},
+	}
+}
+
+func TestScoreRequestRoundTrip(t *testing.T) {
+	schema := testSchema()
+	enc := NewRecordEncoder(schema)
+	recs := testRecords()
+	payload, err := enc.AppendScoreRequest(nil, 7, 250, "canary", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rb RecordBuffer
+	req, err := rb.SetPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ID != 7 || req.DeadlineMS != 250 || string(req.Tag) != "canary" {
+		t.Fatalf("header mismatch: %+v", req)
+	}
+	if req.Fingerprint != Fingerprint(schema) || req.Fingerprint != enc.Fingerprint() {
+		t.Fatalf("fingerprint mismatch")
+	}
+	if req.Count != len(recs) || req.NumNumeric != 2 || req.NumCat != 2 {
+		t.Fatalf("shape mismatch: %+v", req)
+	}
+	got, err := rb.Decode(&req, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		for j, v := range r.Numeric {
+			want := float64(float32(v)) // f32 narrowing is part of the contract
+			if got[i].Numeric[j] != want {
+				t.Fatalf("rec %d numeric %d: %v, want %v", i, j, got[i].Numeric[j], want)
+			}
+		}
+		for j, v := range r.Categorical {
+			want := v
+			if _, ok := map[string]bool{"tcp": true, "udp": true, "icmp": true, "SF": true, "REJ": true}[v]; !ok {
+				want = "" // out-of-vocabulary → UnknownIndex → empty string
+			}
+			if got[i].Categorical[j] != want {
+				t.Fatalf("rec %d cat %d: %q, want %q", i, j, got[i].Categorical[j], want)
+			}
+		}
+	}
+}
+
+func TestScoreRequestRejects(t *testing.T) {
+	schema := testSchema()
+	enc := NewRecordEncoder(schema)
+	ok := testRecords()
+	if _, err := enc.AppendScoreRequest(nil, 0, 0, "", ok); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("zero id: %v, want ErrBadPayload", err)
+	}
+	if _, err := enc.AppendScoreRequest(nil, 1, 0, "", nil); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("empty batch: %v, want ErrBadPayload", err)
+	}
+	bad := []*data.Record{{Numeric: []float64{1}, Categorical: []string{"tcp", "SF"}}}
+	if _, err := enc.AppendScoreRequest(nil, 1, 0, "", bad); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("short numeric row: %v, want ErrBadPayload", err)
+	}
+	if _, err := enc.AppendScoreRequest(nil, 1, 0, string(make([]byte, 256)), ok); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("overlong tag: %v, want ErrBadPayload", err)
+	}
+}
+
+func TestParseScoreRequestTruncation(t *testing.T) {
+	enc := NewRecordEncoder(testSchema())
+	payload, err := enc.AppendScoreRequest(nil, 3, 0, "t", testRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := ParseScoreRequest(payload[:cut]); !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("cut %d: %v, want ErrBadPayload", cut, err)
+		}
+	}
+	// One extra byte breaks the exact-size invariant too.
+	if _, err := ParseScoreRequest(append(append([]byte(nil), payload...), 0)); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("trailing byte: %v, want ErrBadPayload", err)
+	}
+}
+
+func TestDecodeRejectsHostileVocabIndex(t *testing.T) {
+	schema := testSchema()
+	enc := NewRecordEncoder(schema)
+	payload, err := enc.AppendScoreRequest(nil, 5, 0, "", testRecords()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the first categorical index (right after the two f32
+	// numerics of record 0) with an in-range-looking but out-of-vocab
+	// value: 3 with only 3 vocabulary entries (valid: 0..2, UnknownIndex).
+	off := len(payload) - 4 // 2 cats × 2 bytes from the end
+	payload[off] = 3
+	payload[off+1] = 0
+	var rb RecordBuffer
+	req, err := rb.SetPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.Decode(&req, schema); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("hostile vocab index: %v, want ErrBadPayload", err)
+	}
+}
+
+func TestDecodeRejectsShapeMismatch(t *testing.T) {
+	schema := testSchema()
+	enc := NewRecordEncoder(schema)
+	payload, err := enc.AppendScoreRequest(nil, 5, 0, "", testRecords()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rb RecordBuffer
+	req, err := rb.SetPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := testSchema()
+	other.NumericNames = other.NumericNames[:1]
+	if _, err := rb.Decode(&req, other); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("schema shape mismatch: %v, want ErrBadPayload", err)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Fingerprint(testSchema())
+	if base != Fingerprint(testSchema()) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	vocab := testSchema()
+	vocab.Categorical[0].Values = append(vocab.Categorical[0].Values, "sctp")
+	if Fingerprint(vocab) == base {
+		t.Fatal("vocabulary change did not change the fingerprint")
+	}
+	renamed := testSchema()
+	renamed.NumericNames[0] = "Duration"
+	if Fingerprint(renamed) == base {
+		t.Fatal("numeric rename did not change the fingerprint")
+	}
+	classes := testSchema()
+	classes.ClassNames = []string{"normal", "dos", "probe"}
+	if Fingerprint(classes) != base {
+		t.Fatal("class-name change altered the fingerprint (SameFeatures excludes classes)")
+	}
+	// Moving a name across the numeric/categorical boundary must not
+	// collide: the domain separators exist exactly for this.
+	a := data.Schema{NumericNames: []string{"x"}, Categorical: nil}
+	b := data.Schema{NumericNames: nil, Categorical: []data.CategoricalFeature{{Name: "x"}}}
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("numeric vs categorical domains collide")
+	}
+}
+
+func TestScoreResponseRoundTrip(t *testing.T) {
+	verdicts := []nids.Verdict{
+		{IsAttack: true, Class: 3, Score: 0.875},
+		{IsAttack: false, Class: 0, Score: 0.0625},
+		{Failed: true, Class: -1, Score: 0},
+	}
+	payload, err := AppendScoreResponse(nil, 99, "v12", verdicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ParseScoreResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 99 || string(resp.Version) != "v12" || resp.Count != len(verdicts) {
+		t.Fatalf("header mismatch: %+v", resp)
+	}
+	got := make([]nids.Verdict, resp.Count)
+	if err := resp.DecodeVerdicts(got); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range verdicts {
+		g := got[i]
+		if g.IsAttack != w.IsAttack || g.Failed != w.Failed || g.Class != w.Class {
+			t.Fatalf("verdict %d: %+v, want %+v", i, g, w)
+		}
+		if g.Score != float64(float32(w.Score)) {
+			t.Fatalf("verdict %d score: %v, want %v", i, g.Score, float64(float32(w.Score)))
+		}
+		if g.RuleID != 0 {
+			t.Fatalf("verdict %d: RuleID %d leaked over the wire", i, g.RuleID)
+		}
+	}
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := ParseScoreResponse(payload[:cut]); !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("cut %d: %v, want ErrBadPayload", cut, err)
+		}
+	}
+	if err := resp.DecodeVerdicts(make([]nids.Verdict, resp.Count-1)); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("short verdict slice: %v, want ErrBadPayload", err)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	payload := AppendError(nil, 12, 429, "shed: queue full")
+	we, err := ParseError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if we.ID != 12 || we.Status != 429 || we.Msg != "shed: queue full" {
+		t.Fatalf("round trip mismatch: %+v", we)
+	}
+	if we.Error() == "" {
+		t.Fatal("empty Error() string")
+	}
+	conn := AppendError(nil, 0, 400, "bad frame")
+	if we, err = ParseError(conn); err != nil || we.ID != 0 {
+		t.Fatalf("connection-level error: %+v, %v", we, err)
+	}
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := ParseError(payload[:cut]); !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("cut %d: %v, want ErrBadPayload", cut, err)
+		}
+	}
+}
+
+func TestSchemaInfoRoundTrip(t *testing.T) {
+	info := SchemaInfo{
+		ModelVersion: "20260807-120000-abcd",
+		Fingerprint:  Fingerprint(testSchema()),
+		Schema:       testSchema(),
+	}
+	p, err := EncodeSchemaInfo(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSchemaInfo(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ModelVersion != info.ModelVersion || got.Fingerprint != info.Fingerprint {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if !got.Schema.SameFeatures(info.Schema) {
+		t.Fatal("schema features did not survive the round trip")
+	}
+	if _, err := DecodeSchemaInfo([]byte("{not json")); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("bad JSON: %v, want ErrBadPayload", err)
+	}
+}
+
+// TestCodecSteadyStateAllocs pins the hot-path codec budget: encoding a
+// request into a reused buffer, parsing it, and decoding records into a
+// warm RecordBuffer must all be allocation-free.
+func TestCodecSteadyStateAllocs(t *testing.T) {
+	schema := testSchema()
+	enc := NewRecordEncoder(schema)
+	recs := testRecords()
+	var rb RecordBuffer
+	buf := make([]byte, 0, 4096)
+	// Warm the slabs once.
+	p, err := enc.AppendScoreRequest(buf, 1, 0, "", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := rb.SetPayload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rb.Decode(&req, schema); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		p, err := enc.AppendScoreRequest(buf[:0], 1, 0, "", recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := rb.SetPayload(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rb.Decode(&req, schema); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("request codec allocates %.1f/op in steady state, want 0", allocs)
+	}
+
+	verdicts := []nids.Verdict{{IsAttack: true, Class: 1, Score: 0.5}, {Class: 0, Score: 0.25}}
+	out := make([]nids.Verdict, len(verdicts))
+	allocs = testing.AllocsPerRun(100, func() {
+		p, err := AppendScoreResponse(buf[:0], 2, "v1", verdicts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ParseScoreResponse(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.DecodeVerdicts(out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("response codec allocates %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+// FuzzParseScoreRequest drives the request parser and record decoder with
+// arbitrary payloads: every outcome must be a clean parse or ErrBadPayload,
+// never a panic or out-of-range read.
+func FuzzParseScoreRequest(f *testing.F) {
+	enc := NewRecordEncoder(testSchema())
+	if seed, err := enc.AppendScoreRequest(nil, 9, 100, "fuzz", testRecords()); err == nil {
+		f.Add(seed)
+		f.Add(seed[:len(seed)-3])
+		f.Add(append(append([]byte(nil), seed...), 0xFF))
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, 27))
+	schema := testSchema()
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var rb RecordBuffer
+		req, err := rb.SetPayload(in)
+		if err != nil {
+			if !errors.Is(err, ErrBadPayload) {
+				t.Fatalf("unclassified parse error: %v", err)
+			}
+			return
+		}
+		recs, err := rb.Decode(&req, schema)
+		if err != nil {
+			if !errors.Is(err, ErrBadPayload) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		if len(recs) != req.Count {
+			t.Fatalf("decoded %d records for count %d", len(recs), req.Count)
+		}
+		for _, r := range recs {
+			for _, v := range r.Numeric {
+				if math.IsInf(v, 0) {
+					// f32 payloads may legitimately carry ±Inf; just touch
+					// the value to prove the slab is readable.
+					_ = v
+				}
+			}
+		}
+	})
+}
